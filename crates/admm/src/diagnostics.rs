@@ -1,0 +1,169 @@
+//! ADMM convergence diagnostics.
+//!
+//! Standard ADMM monitoring (Boyd et al., the paper's ref. \[30\]): the
+//! *primal residual* `‖W − Z‖` measures constraint violation, the *dual
+//! residual* `ρ‖Z_t − Z_{t−1}‖` measures how much the consensus point is
+//! still moving. Both shrinking toward zero is the convergence signal; a
+//! stuck primal residual means ρ is too small, an oscillating dual one
+//! that ρ grew too fast.
+
+use forms_tensor::Tensor;
+
+/// Residuals of one ADMM iteration, summed over all layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Residuals {
+    /// Primal residual `‖W − Z‖_F` (root of the summed squares).
+    pub primal: f32,
+    /// Dual residual `ρ‖Z − Z_prev‖_F`.
+    pub dual: f32,
+    /// The ρ in effect at this iteration.
+    pub rho: f32,
+}
+
+impl Residuals {
+    /// Computes residuals from per-layer `(W, Z, Z_prev)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes disagree within a layer.
+    pub fn compute(layers: &[(Tensor, Tensor, Tensor)], rho: f32) -> Self {
+        let mut primal_sq = 0.0f32;
+        let mut dual_sq = 0.0f32;
+        for (w, z, z_prev) in layers {
+            let mut d = w.clone();
+            d.axpy(-1.0, z);
+            primal_sq += d.norm_sq();
+            let mut dz = z.clone();
+            dz.axpy(-1.0, z_prev);
+            dual_sq += dz.norm_sq();
+        }
+        Residuals {
+            primal: primal_sq.sqrt(),
+            dual: rho * dual_sq.sqrt(),
+            rho,
+        }
+    }
+}
+
+/// A recorded trace of residuals across ADMM iterations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResidualTrace {
+    entries: Vec<Residuals>,
+}
+
+impl ResidualTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one iteration's residuals.
+    pub fn push(&mut self, r: Residuals) {
+        self.entries.push(r);
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[Residuals] {
+        &self.entries
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the primal residual decreased overall (first vs last),
+    /// the basic convergence check.
+    pub fn primal_converging(&self) -> bool {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(first), Some(last)) => last.primal <= first.primal,
+            _ => false,
+        }
+    }
+
+    /// The last iteration's residuals.
+    pub fn last(&self) -> Option<&Residuals> {
+        self.entries.last()
+    }
+
+    /// Renders the trace as a small table for logs.
+    pub fn render(&self) -> String {
+        let mut out = String::from("iter | primal      | dual        | rho\n");
+        for (i, r) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{i:4} | {:11.5} | {:11.5} | {:.4}\n",
+                r.primal, r.dual, r.rho
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()])
+    }
+
+    #[test]
+    fn residuals_of_consensus_are_zero() {
+        let w = t(&[1.0, 2.0]);
+        let r = Residuals::compute(&[(w.clone(), w.clone(), w.clone())], 0.1);
+        assert_eq!(r.primal, 0.0);
+        assert_eq!(r.dual, 0.0);
+    }
+
+    #[test]
+    fn primal_measures_w_z_gap() {
+        let r = Residuals::compute(&[(t(&[3.0, 0.0]), t(&[0.0, 4.0]), t(&[0.0, 4.0]))], 1.0);
+        assert!((r.primal - (9.0f32 + 16.0).sqrt() - 0.0).abs() < 1e-6);
+        assert_eq!(r.dual, 0.0);
+    }
+
+    #[test]
+    fn dual_scales_with_rho() {
+        let layers = [(t(&[0.0]), t(&[1.0]), t(&[0.0]))];
+        let r1 = Residuals::compute(&layers, 1.0);
+        let r2 = Residuals::compute(&layers, 2.0);
+        assert!((r2.dual / r1.dual - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_layer_residuals_accumulate() {
+        let single = Residuals::compute(&[(t(&[2.0]), t(&[0.0]), t(&[0.0]))], 1.0);
+        let double = Residuals::compute(
+            &[
+                (t(&[2.0]), t(&[0.0]), t(&[0.0])),
+                (t(&[2.0]), t(&[0.0]), t(&[0.0])),
+            ],
+            1.0,
+        );
+        assert!((double.primal - single.primal * 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_convergence_check() {
+        let mut trace = ResidualTrace::new();
+        assert!(!trace.primal_converging());
+        trace.push(Residuals {
+            primal: 10.0,
+            dual: 1.0,
+            rho: 0.01,
+        });
+        trace.push(Residuals {
+            primal: 2.0,
+            dual: 0.5,
+            rho: 0.013,
+        });
+        assert!(trace.primal_converging());
+        assert_eq!(trace.len(), 2);
+        assert!(trace.render().contains("iter"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fragments and polarization policies (paper §III-B, Fig. 3).
+//!
+//! A *fragment* is the set of consecutive weights that land on one column of
+//! a crossbar sub-array. Which weights become consecutive is decided by the
+//! polarization policy: the order in which a filter's 3-D weight volume
+//! (width W, height H, channel C) is linearised before being chopped into
+//! fragments of the sub-array row count.
+
+use std::fmt;
+
+/// The linearisation order of a filter's weights before fragmenting
+/// (paper Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PolarizationPolicy {
+    /// Width-major: walk each row of the filter left-to-right, rows
+    /// top-to-bottom, one channel after another — `(c, h, w)` with `w`
+    /// fastest. The paper's best policy on ImageNet.
+    #[default]
+    WMajor,
+    /// Height-major: columns first — `(c, w, h)` with `h` fastest.
+    HMajor,
+    /// Channel-major: all channels of one spatial position first —
+    /// `(h, w, c)` with `c` fastest. The paper's best policy on CIFAR.
+    CMajor,
+}
+
+impl fmt::Display for PolarizationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolarizationPolicy::WMajor => write!(f, "W-major"),
+            PolarizationPolicy::HMajor => write!(f, "H-major"),
+            PolarizationPolicy::CMajor => write!(f, "C-major"),
+        }
+    }
+}
+
+/// Geometry of one convolution filter: channels × height × width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FilterGeometry {
+    /// Input channels.
+    pub channels: usize,
+    /// Kernel height.
+    pub height: usize,
+    /// Kernel width.
+    pub width: usize,
+}
+
+impl FilterGeometry {
+    /// Creates a filter geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "filter extents must be positive"
+        );
+        Self {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total weights in one filter.
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Whether the filter has no weights (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Row permutation implementing a polarization policy.
+///
+/// The lowered weight matrix of [`forms_dnn::Conv2d::weight_matrix`] stores
+/// filter weights in `(c, h, w)` order with `w` fastest. This function
+/// returns `perm` such that `reordered_row_i = original_row_{perm[i]}`
+/// linearises the filter volume in the requested policy order.
+///
+/// # Example
+///
+/// ```
+/// use forms_admm::{row_permutation, FilterGeometry, PolarizationPolicy};
+///
+/// let g = FilterGeometry::new(2, 1, 3); // 2 channels, 1×3 kernel
+/// // C-major: position (0,0) over channels first → rows 0, 3, then (0,1)…
+/// let perm = row_permutation(PolarizationPolicy::CMajor, g);
+/// assert_eq!(perm, vec![0, 3, 1, 4, 2, 5]);
+/// ```
+pub fn row_permutation(policy: PolarizationPolicy, geom: FilterGeometry) -> Vec<usize> {
+    let (c_n, h_n, w_n) = (geom.channels, geom.height, geom.width);
+    let original = |c: usize, h: usize, w: usize| (c * h_n + h) * w_n + w;
+    let mut perm = Vec::with_capacity(geom.len());
+    match policy {
+        PolarizationPolicy::WMajor => {
+            for c in 0..c_n {
+                for h in 0..h_n {
+                    for w in 0..w_n {
+                        perm.push(original(c, h, w));
+                    }
+                }
+            }
+        }
+        PolarizationPolicy::HMajor => {
+            for c in 0..c_n {
+                for w in 0..w_n {
+                    for h in 0..h_n {
+                        perm.push(original(c, h, w));
+                    }
+                }
+            }
+        }
+        PolarizationPolicy::CMajor => {
+            for h in 0..h_n {
+                for w in 0..w_n {
+                    for c in 0..c_n {
+                        perm.push(original(c, h, w));
+                    }
+                }
+            }
+        }
+    }
+    perm
+}
+
+/// Number of fragments needed to cover a column of `rows` weights with
+/// fragments of `fragment_size` (the last fragment may be partial).
+///
+/// # Panics
+///
+/// Panics if `fragment_size` is zero.
+pub fn fragment_count(rows: usize, fragment_size: usize) -> usize {
+    assert!(fragment_size > 0, "fragment size must be positive");
+    rows.div_ceil(fragment_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_major_is_identity() {
+        let g = FilterGeometry::new(3, 2, 2);
+        let perm = row_permutation(PolarizationPolicy::WMajor, g);
+        assert_eq!(perm, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn h_major_transposes_spatial() {
+        let g = FilterGeometry::new(1, 2, 3);
+        // original rows: (h,w) = 00,01,02,10,11,12 → h-major: 00,10,01,11,02,12
+        let perm = row_permutation(PolarizationPolicy::HMajor, g);
+        assert_eq!(perm, vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn c_major_groups_channels() {
+        let g = FilterGeometry::new(2, 2, 1);
+        // original (c,h): 00→0, 01→1, 10→2, 11→3; c-major: (h,c)=00,10,01,11 → 0,2,1,3
+        let perm = row_permutation(PolarizationPolicy::CMajor, g);
+        assert_eq!(perm, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn permutations_are_bijective() {
+        let g = FilterGeometry::new(3, 3, 3);
+        for policy in [
+            PolarizationPolicy::WMajor,
+            PolarizationPolicy::HMajor,
+            PolarizationPolicy::CMajor,
+        ] {
+            let mut perm = row_permutation(policy, g);
+            perm.sort_unstable();
+            assert_eq!(perm, (0..27).collect::<Vec<_>>(), "{policy} not bijective");
+        }
+    }
+
+    #[test]
+    fn fragment_count_rounds_up() {
+        assert_eq!(fragment_count(16, 8), 2);
+        assert_eq!(fragment_count(17, 8), 3);
+        assert_eq!(fragment_count(7, 8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fragment_size_rejected() {
+        fragment_count(8, 0);
+    }
+
+    #[test]
+    fn geometry_len() {
+        assert_eq!(FilterGeometry::new(16, 3, 3).len(), 144);
+    }
+}

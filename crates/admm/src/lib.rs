@@ -1,0 +1,51 @@
+//! # forms-admm
+//!
+//! The FORMS hardware-aware optimization framework (paper §III): ADMM-
+//! regularized training that jointly enforces
+//!
+//! 1. **crossbar-aware structured pruning** — filter and filter-shape
+//!    pruning with keep counts aligned to the crossbar dimension,
+//! 2. **fragment polarization** — all weights mapped to one crossbar
+//!    sub-array column share a sign (the paper's key novelty),
+//! 3. **ReRAM-customized quantization** — weights restricted to a uniform
+//!    grid matching the resolution of multi-bit ReRAM cells.
+//!
+//! Each constraint set has an exact Euclidean projection ([`project_all`]
+//! and friends), and [`AdmmTrainer`] runs the two-subproblem iteration of
+//! paper Eq. (4)–(6) around any [`forms_dnn::Network`].
+//!
+//! # Example
+//!
+//! ```
+//! use forms_admm::{fragment_signs, project_polarization};
+//! use forms_tensor::Tensor;
+//!
+//! // A 4-row, 1-column weight matrix = one fragment of size 4.
+//! let w = Tensor::from_vec(vec![0.5, -0.1, 0.3, -0.2], &[4, 1]);
+//! let signs = fragment_signs(&w, 4);
+//! assert_eq!(signs, vec![true]); // sum = 0.5 ≥ 0 → positive fragment
+//! let z = project_polarization(&w, 4, &signs);
+//! assert_eq!(z.data(), &[0.5, 0.0, 0.3, 0.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compression;
+mod constraints;
+mod diagnostics;
+mod fragment;
+mod projections;
+mod sensitivity;
+mod trainer;
+
+pub use compression::{CompressionSummary, LayerCompression};
+pub use constraints::{crossbar_aware_keep, LayerConstraints, PolarizeSpec, PruneSpec, QuantSpec};
+pub use diagnostics::{ResidualTrace, Residuals};
+pub use fragment::{fragment_count, row_permutation, FilterGeometry, PolarizationPolicy};
+pub use projections::{
+    active_rows, fragment_signs, polarization_violations, project_all, project_polarization,
+    project_quantization, project_structured_pruning, quantization_step,
+};
+pub use sensitivity::{recommend_keeps, sensitivity_sweep, LayerSensitivity};
+pub use trainer::{AdmmConfig, AdmmReport, AdmmTrainer};

@@ -1,0 +1,413 @@
+//! Euclidean projections onto the three FORMS constraint sets
+//! (paper Eq. (6): `Z = Π(W + U)`).
+//!
+//! All projections operate on the lowered 2-D weight matrix of paper Fig. 2:
+//! shape `[rows, cols]`, where each column is one filter (or output neuron)
+//! and rows are filter-shape positions, already reordered by the
+//! polarization policy's row permutation.
+
+use forms_tensor::Tensor;
+
+use crate::constraints::LayerConstraints;
+
+/// Fragment signs per paper Eq. (2): positive iff the fragment sum is ≥ 0.
+///
+/// Fragments are consecutive `fragment_size`-row chunks of each column,
+/// column by column; the returned vector has
+/// `cols * ceil(rows / fragment_size)` entries, fragments of column 0 first.
+///
+/// # Panics
+///
+/// Panics if `matrix` is not rank-2 or `fragment_size` is zero.
+pub fn fragment_signs(matrix: &Tensor, fragment_size: usize) -> Vec<bool> {
+    assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
+    assert!(fragment_size > 0, "fragment size must be positive");
+    let cols = matrix.dims()[1];
+    let active = active_rows(matrix);
+    let frags_per_col = active.len().div_ceil(fragment_size).max(1);
+    let mut signs = Vec::with_capacity(cols * frags_per_col);
+    for col in 0..cols {
+        for chunk in active.chunks(fragment_size) {
+            let sum: f32 = chunk.iter().map(|&r| matrix.data()[r * cols + col]).sum();
+            signs.push(sum >= 0.0);
+        }
+        if active.is_empty() {
+            signs.push(true);
+        }
+    }
+    signs
+}
+
+/// Rows that survive structural pruning: rows with at least one non-zero
+/// entry. Fragments are formed over these rows only, mirroring the paper's
+/// pipeline where pruning removes rows *before* the pruned model is divided
+/// into fragments (Fig. 1).
+pub fn active_rows(matrix: &Tensor) -> Vec<usize> {
+    let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
+    (0..rows)
+        .filter(|&r| {
+            matrix.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .any(|&v| v != 0.0)
+        })
+        .collect()
+}
+
+/// Projects onto the fragment-polarization set **P** (paper §III-D2): every
+/// weight whose sign disagrees with its fragment's target sign is set to
+/// zero (the closest point with the required sign pattern).
+///
+/// `signs` must come from [`fragment_signs`] (or the trainer's cached copy)
+/// with the same `fragment_size`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the sign vector.
+pub fn project_polarization(matrix: &Tensor, fragment_size: usize, signs: &[bool]) -> Tensor {
+    assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
+    let cols = matrix.dims()[1];
+    let active = active_rows(matrix);
+    let frags_per_col = active.len().div_ceil(fragment_size).max(1);
+    assert_eq!(
+        signs.len(),
+        cols * frags_per_col,
+        "sign vector length mismatch"
+    );
+    let mut out = matrix.clone();
+    for col in 0..cols {
+        for (frag, chunk) in active.chunks(fragment_size).enumerate() {
+            let positive = signs[col * frags_per_col + frag];
+            for &r in chunk {
+                let v = &mut out.data_mut()[r * cols + col];
+                if (positive && *v < 0.0) || (!positive && *v > 0.0) {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counts weights whose sign violates the fragment polarization pattern
+/// implied by the *current* fragment signs — 0 means the matrix is exactly
+/// polarized.
+pub fn polarization_violations(matrix: &Tensor, fragment_size: usize) -> usize {
+    let signs = fragment_signs(matrix, fragment_size);
+    let cols = matrix.dims()[1];
+    let active = active_rows(matrix);
+    let frags_per_col = active.len().div_ceil(fragment_size).max(1);
+    let mut violations = 0;
+    for col in 0..cols {
+        for (frag, chunk) in active.chunks(fragment_size).enumerate() {
+            let positive = signs[col * frags_per_col + frag];
+            for &r in chunk {
+                let v = matrix.data()[r * cols + col];
+                if (positive && v < 0.0) || (!positive && v > 0.0) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Projects onto the structured-pruning set **S** (paper §III-D1): keeps the
+/// `keep_cols` filters (columns) and `keep_rows` filter-shapes (rows) with
+/// the largest L2 norms and zeroes the rest — the Euclidean projection onto
+/// "at most α columns and β rows are non-zero".
+///
+/// # Panics
+///
+/// Panics if the keep counts exceed the matrix dimensions.
+#[allow(clippy::needless_range_loop)] // several arrays are co-indexed
+pub fn project_structured_pruning(matrix: &Tensor, keep_rows: usize, keep_cols: usize) -> Tensor {
+    assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
+    let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
+    assert!(keep_rows <= rows, "keep_rows {keep_rows} > rows {rows}");
+    assert!(keep_cols <= cols, "keep_cols {keep_cols} > cols {cols}");
+    let col_norm = |c: usize| -> f32 {
+        (0..rows)
+            .map(|r| {
+                let v = matrix.data()[r * cols + c];
+                v * v
+            })
+            .sum()
+    };
+    let row_norm = |r: usize| -> f32 {
+        matrix.data()[r * cols..(r + 1) * cols]
+            .iter()
+            .map(|v| v * v)
+            .sum()
+    };
+    let keep_mask = |n: usize, keep: usize, norm: &dyn Fn(usize) -> f32| -> Vec<bool> {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            norm(b)
+                .partial_cmp(&norm(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut mask = vec![false; n];
+        for &i in order.iter().take(keep) {
+            mask[i] = true;
+        }
+        mask
+    };
+    let col_mask = keep_mask(cols, keep_cols, &col_norm);
+    let row_mask = keep_mask(rows, keep_rows, &row_norm);
+    let mut out = matrix.clone();
+    for r in 0..rows {
+        for c in 0..cols {
+            if !row_mask[r] || !col_mask[c] {
+                out.data_mut()[r * cols + c] = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// The quantization step for a symmetric uniform grid with `bits` bits:
+/// `step = max|w| / (2^(bits-1) - 1)`, so codes span `[-(2^(b-1)-1), …,
+/// 2^(b-1)-1]` — the grid realisable with sign-magnitude weights on
+/// multi-bit ReRAM cells (paper §III-C).
+///
+/// Returns 1.0 for an all-zero tensor (any step quantizes zeros exactly).
+///
+/// # Panics
+///
+/// Panics if `bits < 2` (one magnitude bit plus sign is the minimum).
+pub fn quantization_step(matrix: &Tensor, bits: u32) -> f32 {
+    assert!(bits >= 2, "need at least 2 bits, got {bits}");
+    let max = matrix.abs_max();
+    let levels = (1u32 << (bits - 1)) - 1;
+    if max > 0.0 {
+        max / levels as f32
+    } else {
+        1.0
+    }
+}
+
+/// Projects onto the quantization set **Q** (paper §III-D3): rounds every
+/// weight to the nearest multiple of `step`, saturating at
+/// `±(2^(bits-1)-1)·step`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `step` is not positive.
+pub fn project_quantization(matrix: &Tensor, step: f32, bits: u32) -> Tensor {
+    assert!(bits >= 2, "need at least 2 bits, got {bits}");
+    assert!(step > 0.0 && step.is_finite(), "step must be positive");
+    let levels = ((1u32 << (bits - 1)) - 1) as f32;
+    matrix.map(|v| {
+        let code = (v / step).round().clamp(-levels, levels);
+        code * step
+    })
+}
+
+/// Applies every constraint in `constraints`, in the paper's order
+/// (prune → polarize → quantize), to a lowered weight matrix.
+///
+/// `signs` supplies the polarization targets when polarization is enabled
+/// (`None` recomputes them from the input, matching the start-of-phase
+/// behaviour in §III-B).
+///
+/// # Panics
+///
+/// Panics if a supplied sign vector has the wrong length.
+pub fn project_all(
+    matrix: &Tensor,
+    constraints: &LayerConstraints,
+    signs: Option<&[bool]>,
+) -> Tensor {
+    let mut z = matrix.clone();
+    if let Some(prune) = &constraints.prune {
+        let (rows, cols) = (z.dims()[0], z.dims()[1]);
+        z = project_structured_pruning(&z, prune.keep_rows(rows), prune.keep_cols(cols));
+    }
+    if let Some(pol) = &constraints.polarize {
+        let expected = z.dims()[1] * active_rows(&z).len().div_ceil(pol.fragment_size).max(1);
+        // Cached signs are only valid while the pruning pattern (and hence
+        // the fragment structure) is unchanged; when pruning shifts rows
+        // between sign updates, re-derive the signs, as the paper does when
+        // it re-evaluates signs from the current weights. Zeroing can
+        // retire whole rows and re-shape the fragments, so the projection
+        // iterates until the sign pattern is exactly satisfied.
+        let mut pass = 0usize;
+        loop {
+            let s = match (signs, pass) {
+                (Some(s), 0) if s.len() == expected => s.to_vec(),
+                _ => fragment_signs(&z, pol.fragment_size),
+            };
+            z = project_polarization(&z, pol.fragment_size, &s);
+            pass += 1;
+            if polarization_violations(&z, pol.fragment_size) == 0 || pass > 64 {
+                break;
+            }
+        }
+    }
+    if let Some(quant) = &constraints.quantize {
+        let step = quantization_step(&z, quant.bits);
+        z = project_quantization(&z, step, quant.bits);
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{PolarizeSpec, PruneSpec, QuantSpec};
+    use crate::PolarizationPolicy;
+
+    fn m(data: Vec<f32>, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(data, &[rows, cols])
+    }
+
+    #[test]
+    fn signs_follow_fragment_sums() {
+        // Column 0: fragments [1,-2] (sum -1 → neg), [3,4] (pos).
+        let w = m(vec![1.0, -2.0, 3.0, 4.0], 4, 1);
+        assert_eq!(fragment_signs(&w, 2), vec![false, true]);
+    }
+
+    #[test]
+    fn sign_tie_is_positive() {
+        let w = m(vec![1.0, -1.0], 2, 1);
+        assert_eq!(fragment_signs(&w, 2), vec![true]);
+    }
+
+    #[test]
+    fn polarization_zeroes_minority_sign() {
+        let w = m(vec![1.0, -2.0, 3.0, 4.0], 4, 1);
+        let signs = fragment_signs(&w, 2);
+        let z = project_polarization(&w, 2, &signs);
+        // Fragment 0 negative → +1 dropped; fragment 1 positive → unchanged.
+        assert_eq!(z.data(), &[0.0, -2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn polarization_projection_is_idempotent() {
+        let w = m(vec![0.3, -0.4, 0.1, 0.9, -0.8, 0.05], 3, 2);
+        let signs = fragment_signs(&w, 3);
+        let z = project_polarization(&w, 3, &signs);
+        let z2 = project_polarization(&z, 3, &signs);
+        assert_eq!(z, z2);
+    }
+
+    #[test]
+    fn polarized_matrix_has_no_violations() {
+        let w = m(vec![0.3, -0.4, 0.1, 0.9, -0.8, 0.05, 0.2, -0.6], 4, 2);
+        let signs = fragment_signs(&w, 2);
+        let z = project_polarization(&w, 2, &signs);
+        assert_eq!(polarization_violations(&z, 2), 0);
+    }
+
+    #[test]
+    fn partial_last_fragment_is_handled() {
+        let w = m(vec![1.0, 2.0, -5.0], 3, 1); // fragment size 2: [1,2] and [-5]
+        let signs = fragment_signs(&w, 2);
+        assert_eq!(signs, vec![true, false]);
+        let z = project_polarization(&w, 2, &signs);
+        assert_eq!(z.data(), &[1.0, 2.0, -5.0]);
+    }
+
+    #[test]
+    fn pruning_keeps_largest_groups() {
+        // 2 rows × 3 cols; col norms: c0 small, c1 big, c2 medium.
+        let w = m(vec![0.1, 3.0, 1.0, 0.1, 3.0, 1.0], 2, 3);
+        let z = project_structured_pruning(&w, 2, 2);
+        assert_eq!(z.data(), &[0.0, 3.0, 1.0, 0.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn pruning_rows_and_cols_compose() {
+        let w = m(vec![5.0, 0.2, 0.1, 0.1, 4.0, 0.1, 0.1, 0.1, 0.1], 3, 3);
+        let z = project_structured_pruning(&w, 2, 2);
+        // Rows 0,1 and cols 0,1 survive.
+        assert_eq!(z.get(&[2, 0]), 0.0);
+        assert_eq!(z.get(&[0, 2]), 0.0);
+        assert_eq!(z.get(&[0, 0]), 5.0);
+        assert_eq!(z.get(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    fn pruning_projection_is_idempotent() {
+        let w = m(vec![5.0, 0.2, 0.1, 0.1, 4.0, 0.1, 0.1, 0.1, 0.1], 3, 3);
+        let z = project_structured_pruning(&w, 2, 2);
+        assert_eq!(project_structured_pruning(&z, 2, 2), z);
+    }
+
+    #[test]
+    fn quantization_rounds_to_grid() {
+        let w = m(vec![0.0, 0.3, -0.9, 1.0], 4, 1);
+        let step = quantization_step(&w, 3); // 3 bits → 3 levels → step 1/3
+        let z = project_quantization(&w, step, 3);
+        for &v in z.data() {
+            let code = v / step;
+            assert!((code - code.round()).abs() < 1e-6, "off grid: {v}");
+        }
+        assert_eq!(z.data()[3], 1.0); // max maps to top level exactly
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let w = m(vec![0.11, -0.72, 0.55, 0.98], 4, 1);
+        let step = quantization_step(&w, 4);
+        let z = project_quantization(&w, step, 4);
+        assert_eq!(project_quantization(&z, step, 4), z);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let w = m((0..32).map(|i| (i as f32 * 0.77).sin()).collect(), 32, 1);
+        let step = quantization_step(&w, 8);
+        let z = project_quantization(&w, step, 8);
+        assert!(w.max_abs_diff(&z) <= step / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn quantization_of_zero_matrix() {
+        let w = Tensor::zeros(&[4, 1]);
+        let step = quantization_step(&w, 8);
+        let z = project_quantization(&w, step, 8);
+        assert_eq!(z, w);
+    }
+
+    #[test]
+    fn project_all_satisfies_every_constraint() {
+        let w = m(
+            (0..64)
+                .map(|i| ((i * 37 % 64) as f32 / 32.0) - 1.0)
+                .collect(),
+            8,
+            8,
+        );
+        let constraints = LayerConstraints {
+            prune: Some(PruneSpec {
+                shape_keep: 0.5,
+                filter_keep: 0.75,
+            }),
+            polarize: Some(PolarizeSpec {
+                fragment_size: 4,
+                policy: PolarizationPolicy::WMajor,
+            }),
+            quantize: Some(QuantSpec { bits: 4 }),
+        };
+        let z = project_all(&w, &constraints, None);
+        // Pruning: at most 4 rows, 6 cols non-zero.
+        let (rows, cols) = (8, 8);
+        let nz_rows = (0..rows)
+            .filter(|&r| (0..cols).any(|c| z.get(&[r, c]) != 0.0))
+            .count();
+        let nz_cols = (0..cols)
+            .filter(|&c| (0..rows).any(|r| z.get(&[r, c]) != 0.0))
+            .count();
+        assert!(nz_rows <= 4, "rows {nz_rows}");
+        assert!(nz_cols <= 6, "cols {nz_cols}");
+        // Polarization: no violations.
+        assert_eq!(polarization_violations(&z, 4), 0);
+        // Quantization: on a uniform grid.
+        let step = quantization_step(&z, 4);
+        for &v in z.data() {
+            assert!(((v / step) - (v / step).round()).abs() < 1e-5);
+        }
+    }
+}

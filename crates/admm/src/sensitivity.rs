@@ -1,0 +1,184 @@
+//! Per-layer pruning sensitivity analysis.
+//!
+//! The paper's crossbar-aware pruning "carefully choos[es] the pruning
+//! ratio for each DNN layer to avoid unnecessary accuracy drop" (§III-A).
+//! The standard way to pick those ratios (as in ADMM-NN) is a sensitivity
+//! sweep: prune each layer *alone* at several keep fractions via one-shot
+//! projection (no retraining) and observe the accuracy, then assign
+//! aggressive ratios to insensitive layers and gentle ratios to sensitive
+//! ones.
+
+use forms_dnn::data::Dataset;
+use forms_dnn::{evaluate, Network, WeightLayerMut};
+
+use crate::project_structured_pruning;
+
+/// Sensitivity of one layer: accuracy at each tested keep fraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerSensitivity {
+    /// Weight-layer index (visit order).
+    pub layer: usize,
+    /// `(keep_fraction, accuracy)` pairs in sweep order.
+    pub accuracy_at_keep: Vec<(f32, f32)>,
+}
+
+impl LayerSensitivity {
+    /// The smallest tested keep fraction whose accuracy stays within
+    /// `tolerance` of the unpruned accuracy, or `1.0` if none does.
+    pub fn smallest_safe_keep(&self, baseline: f32, tolerance: f32) -> f32 {
+        self.accuracy_at_keep
+            .iter()
+            .filter(|(_, acc)| baseline - acc <= tolerance)
+            .map(|(keep, _)| *keep)
+            .fold(1.0, f32::min)
+    }
+}
+
+/// Sweeps pruning sensitivity for every weight layer.
+///
+/// For each layer and each keep fraction, both the rows and columns of its
+/// lowered matrix are pruned to that fraction by one-shot projection (the
+/// rest of the network untouched), and test accuracy is measured.
+///
+/// # Panics
+///
+/// Panics if `keeps` is empty or contains values outside `(0, 1]`.
+pub fn sensitivity_sweep(
+    net: &Network,
+    data: &Dataset,
+    keeps: &[f32],
+    batch_size: usize,
+) -> Vec<LayerSensitivity> {
+    assert!(!keeps.is_empty(), "need at least one keep fraction");
+    assert!(
+        keeps.iter().all(|&k| k > 0.0 && k <= 1.0),
+        "keep fractions must be in (0, 1]"
+    );
+    let count = {
+        let mut n = net.clone();
+        n.weight_layer_count()
+    };
+    let mut out = Vec::with_capacity(count);
+    for layer in 0..count {
+        let mut accuracy_at_keep = Vec::with_capacity(keeps.len());
+        for &keep in keeps {
+            let mut pruned = net.clone();
+            let mut idx = 0;
+            pruned.for_each_weight_layer(&mut |wl| {
+                if idx == layer {
+                    let m = match &wl {
+                        WeightLayerMut::Conv(c) => c.weight_matrix(),
+                        WeightLayerMut::Linear(l) => l.weight_matrix(),
+                    };
+                    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+                    let keep_rows = ((rows as f32 * keep).round() as usize).clamp(1, rows);
+                    let keep_cols = ((cols as f32 * keep).round() as usize).clamp(1, cols);
+                    let z = project_structured_pruning(&m, keep_rows, keep_cols);
+                    match wl {
+                        WeightLayerMut::Conv(c) => c.set_weight_matrix(&z),
+                        WeightLayerMut::Linear(l) => l.set_weight_matrix(&z),
+                    }
+                }
+                idx += 1;
+            });
+            accuracy_at_keep.push((keep, evaluate(&mut pruned, data, batch_size)));
+        }
+        out.push(LayerSensitivity {
+            layer,
+            accuracy_at_keep,
+        });
+    }
+    out
+}
+
+/// Turns a sensitivity sweep into per-layer keep recommendations: the
+/// smallest safe keep per layer, with the final layer never filter-pruned
+/// below `1.0` handled by the caller.
+pub fn recommend_keeps(
+    sweep: &[LayerSensitivity],
+    baseline_accuracy: f32,
+    tolerance: f32,
+) -> Vec<f32> {
+    sweep
+        .iter()
+        .map(|s| s.smallest_safe_keep(baseline_accuracy, tolerance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_dnn::data::SyntheticSpec;
+    use forms_dnn::{models, train_epoch, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_setup() -> (Network, Dataset, f32) {
+        let mut rng = StdRng::seed_from_u64(50);
+        let spec = SyntheticSpec {
+            classes: 3,
+            channels: 1,
+            height: 8,
+            width: 8,
+            train_per_class: 16,
+            test_per_class: 8,
+            noise: 0.12,
+        };
+        let (mut train, test) = spec.generate(&mut rng);
+        let mut net = models::mlp(&mut rng, 64, &[24, 16], 3);
+        let mut opt = Sgd::new(0.1).momentum(0.9);
+        for _ in 0..12 {
+            train_epoch(&mut net, &mut opt, &mut train, 16, &mut rng);
+        }
+        let acc = evaluate(&mut net, &test, 16);
+        (net, test, acc)
+    }
+
+    #[test]
+    fn sweep_covers_every_layer_and_keep() {
+        let (net, test, _) = trained_setup();
+        let sweep = sensitivity_sweep(&net, &test, &[0.5, 1.0], 16);
+        assert_eq!(sweep.len(), 3); // three linear layers
+        for s in &sweep {
+            assert_eq!(s.accuracy_at_keep.len(), 2);
+        }
+    }
+
+    #[test]
+    fn keep_one_is_lossless() {
+        let (net, test, baseline) = trained_setup();
+        let sweep = sensitivity_sweep(&net, &test, &[1.0], 16);
+        for s in &sweep {
+            assert!(
+                (s.accuracy_at_keep[0].1 - baseline).abs() < 1e-6,
+                "keep 1.0 must not change accuracy"
+            );
+        }
+    }
+
+    #[test]
+    fn recommendations_respect_tolerance() {
+        let (net, test, baseline) = trained_setup();
+        let sweep = sensitivity_sweep(&net, &test, &[0.25, 0.5, 0.75, 1.0], 16);
+        let keeps = recommend_keeps(&sweep, baseline, 0.05);
+        assert_eq!(keeps.len(), sweep.len());
+        for (&keep, s) in keeps.iter().zip(&sweep) {
+            // The recommended keep must itself be safe.
+            let (_, acc) = s
+                .accuracy_at_keep
+                .iter()
+                .find(|(k, _)| (*k - keep).abs() < 1e-6)
+                .expect("recommended keep was tested");
+            assert!(baseline - acc <= 0.05 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_can_force_keep_one() {
+        let (net, test, baseline) = trained_setup();
+        let sweep = sensitivity_sweep(&net, &test, &[0.25], 16);
+        let keeps = recommend_keeps(&sweep, baseline + 1.0, 0.0);
+        // An unreachable baseline makes every cut unsafe.
+        assert!(keeps.iter().all(|&k| k == 1.0));
+    }
+}

@@ -1,0 +1,647 @@
+//! End-to-end FORMS accelerator simulation: a whole DNN mapped onto
+//! polarized crossbars and executed through the mixed-signal path.
+//!
+//! Convolution and linear layers run on [`MappedLayer`]s (im2col → bit-
+//! serial crossbar MVMs → sign-indicator accumulation); pooling, ReLU,
+//! batch-norm and the residual adds run in the digital units, exactly as in
+//! the paper's tile (Fig. 10).
+//!
+//! Activations must be non-negative (the post-ReLU guarantee the paper's
+//! designs rely on); quantization clamps at zero.
+
+use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_reram::LogNormalVariation;
+use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
+use rand::Rng;
+
+use crate::mapping::{MapError, MappedLayer, MappingConfig, MvmStats};
+
+/// Accelerator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Crossbar mapping parameters.
+    pub mapping: MappingConfig,
+    /// Activation quantization bits (16 in the paper).
+    pub activation_bits: u32,
+}
+
+impl AcceleratorConfig {
+    /// The paper's evaluation point at a fragment size.
+    pub fn paper(fragment_size: usize) -> Self {
+        Self {
+            mapping: MappingConfig::paper(fragment_size),
+            activation_bits: 16,
+        }
+    }
+}
+
+/// A DNN mapped onto the FORMS accelerator.
+///
+/// Holds a copy of the network (for the digital layers and layer shapes)
+/// plus one [`MappedLayer`] per weight layer, and executes inference
+/// through the analog path while accumulating cycle statistics.
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    net: Network,
+    mapped: Vec<MappedLayer>,
+    perms: Vec<Option<Vec<usize>>>,
+    config: AcceleratorConfig,
+    stats: MvmStats,
+    layer_stats: Vec<MvmStats>,
+    /// Matrix-vector activations per weight layer since the last reset.
+    layer_mvms: Vec<u64>,
+}
+
+impl Accelerator {
+    /// Maps a network with identity row order (W-major polarization).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's [`MapError`] if any weight layer is not
+    /// polarized (or is all zero).
+    pub fn map_network(net: &Network, config: AcceleratorConfig) -> Result<Self, MapError> {
+        let count = {
+            let mut n = net.clone();
+            n.weight_layer_count()
+        };
+        Self::with_permutations(net, config, vec![None; count])
+    }
+
+    /// Maps a network whose polarization was trained under per-layer row
+    /// permutations (H-/C-major policies). `perms[i]` must be the policy
+    /// permutation of weight layer `i` in visit order (`None` = identity),
+    /// exactly as produced by `forms_admm::row_permutation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] if a layer cannot be mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms.len()` differs from the weight-layer count.
+    pub fn with_permutations(
+        net: &Network,
+        config: AcceleratorConfig,
+        perms: Vec<Option<Vec<usize>>>,
+    ) -> Result<Self, MapError> {
+        let mut net = net.clone();
+        let mut matrices = Vec::new();
+        net.for_each_weight_layer(&mut |wl| {
+            matrices.push(match wl {
+                WeightLayerMut::Conv(c) => c.weight_matrix(),
+                WeightLayerMut::Linear(l) => l.weight_matrix(),
+            });
+        });
+        assert_eq!(
+            matrices.len(),
+            perms.len(),
+            "need one permutation slot per weight layer"
+        );
+        let mut mapped = Vec::with_capacity(matrices.len());
+        for (m, perm) in matrices.iter().zip(&perms) {
+            let policy_m = match perm {
+                Some(p) => permute_rows(m, p),
+                None => m.clone(),
+            };
+            mapped.push(MappedLayer::map(&policy_m, config.mapping)?);
+        }
+        let count = mapped.len();
+        Ok(Self {
+            net,
+            mapped,
+            perms,
+            config,
+            stats: MvmStats::default(),
+            layer_stats: vec![MvmStats::default(); count],
+            layer_mvms: vec![0; count],
+        })
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The mapped weight layers, in visit order.
+    pub fn mapped_layers(&self) -> &[MappedLayer] {
+        &self.mapped
+    }
+
+    /// Mutable access to the mapped layers (variation/fault injection).
+    pub fn mapped_layers_mut(&mut self) -> &mut [MappedLayer] {
+        &mut self.mapped
+    }
+
+    /// Total physical crossbars used by the whole network.
+    pub fn total_crossbars(&self) -> usize {
+        self.mapped.iter().map(MappedLayer::crossbar_count).sum()
+    }
+
+    /// Accumulated MVM statistics since the last reset.
+    pub fn stats(&self) -> MvmStats {
+        self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MvmStats::default();
+        self.layer_stats = vec![MvmStats::default(); self.mapped.len()];
+        self.layer_mvms = vec![0; self.mapped.len()];
+    }
+
+    /// Accumulated statistics per weight layer (visit order) since the
+    /// last reset.
+    pub fn layer_stats(&self) -> &[MvmStats] {
+        &self.layer_stats
+    }
+
+    /// Builds the per-layer inputs of the frame-rate model from the
+    /// statistics of the inferences run so far: each layer's measured mean
+    /// EIC, its crossbar footprint and its matrix-vector activations per
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference has been run since the last reset or
+    /// `images` is zero.
+    pub fn layer_perfs(&self, images: usize) -> Vec<crate::LayerPerf> {
+        assert!(images > 0, "images must be positive");
+        assert!(
+            self.layer_mvms.iter().any(|&m| m > 0),
+            "run at least one inference before extracting layer perfs"
+        );
+        self.mapped
+            .iter()
+            .zip(&self.layer_stats)
+            .zip(&self.layer_mvms)
+            .map(|((layer, stats), &mvms)| {
+                let mean_eic = if stats.fragments_total == 0 {
+                    self.config.mapping.input_bits as f64
+                } else {
+                    (stats.cycles as f64 / stats.fragments_total as f64).max(1.0)
+                };
+                crate::LayerPerf {
+                    positions: (mvms as usize / images).max(1),
+                    crossbars: layer.crossbar_count(),
+                    input_cycles: mean_eic,
+                }
+            })
+            .collect()
+    }
+
+    /// Applies log-normal device variation to every crossbar of every
+    /// layer (paper §V-E).
+    pub fn apply_variation<R: Rng + ?Sized>(&mut self, v: &LogNormalVariation, rng: &mut R) {
+        for layer in &mut self.mapped {
+            for xbar in layer.crossbars_mut() {
+                v.apply(xbar, rng);
+            }
+        }
+    }
+
+    /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut layers = std::mem::take(&mut self.net).into_layers();
+        let mut widx = 0;
+        let mut y = x.clone();
+        for layer in &mut layers {
+            y = self.forward_layer(layer, &y, &mut widx);
+        }
+        self.net = Network::new(layers);
+        y
+    }
+
+    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
+        match layer {
+            Layer::Conv2d(conv) => {
+                let idx = *widx;
+                *widx += 1;
+                let geom = Conv2dGeometry::new(
+                    conv.in_channels(),
+                    x.dims()[2],
+                    x.dims()[3],
+                    conv.kernel(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.padding(),
+                );
+                let bias = conv.bias().value.clone();
+                self.conv_forward(idx, x, &geom, &bias)
+            }
+            Layer::Linear(lin) => {
+                let idx = *widx;
+                *widx += 1;
+                let bias = lin.bias().value.clone();
+                self.linear_forward(idx, x, &bias)
+            }
+            Layer::Residual(block) => {
+                let mut y = x.clone();
+                for l in block.body_mut() {
+                    y = self.forward_layer(l, &y, widx);
+                }
+                let shortcut = match block.projection_mut() {
+                    Some(p) => self.forward_layer(p, x, widx),
+                    None => x.clone(),
+                };
+                // Digital add + ReLU.
+                y.zip(&shortcut, |a, b| (a + b).max(0.0))
+            }
+            other => other.forward(x, false),
+        }
+    }
+
+    /// Quantizes a non-negative activation tensor with a shared per-call
+    /// scale.
+    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
+        let spec = FixedSpec::for_max_value(self.config.activation_bits, t.max());
+        QuantizedTensor::quantize_with(t, spec)
+    }
+
+    fn conv_forward(
+        &mut self,
+        idx: usize,
+        x: &Tensor,
+        geom: &Conv2dGeometry,
+        bias: &Tensor,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let f = bias.len();
+        let positions = geom.out_positions();
+        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+        for s in 0..n {
+            let sample = Tensor::from_vec(
+                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
+                &[c, h, w],
+            );
+            let cols = im2col(&sample, geom);
+            let q = self.quantize_activations(&cols);
+            let patch = geom.patch_len();
+            for p in 0..positions {
+                let mut codes: Vec<u32> =
+                    (0..patch).map(|r| q.codes()[r * positions + p]).collect();
+                if let Some(perm) = &self.perms[idx] {
+                    codes = perm.iter().map(|&src| codes[src]).collect();
+                }
+                let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
+                self.stats.merge(stats);
+                self.layer_stats[idx].merge(stats);
+                self.layer_mvms[idx] += 1;
+                for (fi, v) in vals.iter().enumerate() {
+                    out.data_mut()[((s * f + fi) * geom.out_h) * geom.out_w + p] =
+                        v + bias.data()[fi];
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        let (n, in_features) = (x.dims()[0], x.dims()[1]);
+        let o = bias.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        for s in 0..n {
+            let row = Tensor::from_vec(
+                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
+                &[in_features],
+            );
+            let q = self.quantize_activations(&row);
+            let mut codes = q.codes().to_vec();
+            if let Some(perm) = &self.perms[idx] {
+                codes = perm.iter().map(|&src| codes[src]).collect();
+            }
+            let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
+            self.stats.merge(stats);
+            self.layer_stats[idx].merge(stats);
+            self.layer_mvms[idx] += 1;
+            for (j, v) in vals.iter().enumerate() {
+                out.data_mut()[s * o + j] = v + bias.data()[j];
+            }
+        }
+        out
+    }
+
+    /// Runs inference on a `[N, ...]` batch with samples distributed over
+    /// worker threads (one accelerator clone per worker — the crossbars are
+    /// read-only during inference, so results are identical to
+    /// [`forward`](Self::forward)). Statistics from all workers are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn forward_parallel(&mut self, x: &Tensor, workers: usize) -> Tensor {
+        assert!(workers > 0, "need at least one worker");
+        let n = x.dims()[0];
+        if n == 0 || workers == 1 {
+            return self.forward(x);
+        }
+        let workers = workers.min(n);
+        let sample_len = x.len() / n;
+        let sample_dims = &x.dims()[1..];
+        let chunk = n.div_ceil(workers);
+        type WorkerResult = (Tensor, MvmStats, Vec<MvmStats>, Vec<u64>);
+        let mut results: Vec<Option<WorkerResult>> = vec![None; workers];
+        crossbeam::scope(|scope| {
+            for (w, slot) in results.iter_mut().enumerate() {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut dims = vec![hi - lo];
+                dims.extend_from_slice(sample_dims);
+                let part =
+                    Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
+                let mut worker_accel = self.clone();
+                worker_accel.reset_stats();
+                scope.spawn(move |_| {
+                    let y = worker_accel.forward(&part);
+                    let layer_stats = worker_accel.layer_stats().to_vec();
+                    let layer_mvms = worker_accel.layer_mvms.clone();
+                    *slot = Some((y, worker_accel.stats(), layer_stats, layer_mvms));
+                });
+            }
+        })
+        .expect("worker panicked");
+        // Stitch outputs back in order.
+        let mut out_data = Vec::new();
+        let mut out_dims: Option<Vec<usize>> = None;
+        for slot in results.into_iter().flatten() {
+            let (y, stats, layer_stats, layer_mvms) = slot;
+            self.stats.merge(stats);
+            for (acc, st) in self.layer_stats.iter_mut().zip(&layer_stats) {
+                acc.merge(*st);
+            }
+            for (acc, &m) in self.layer_mvms.iter_mut().zip(&layer_mvms) {
+                *acc += m;
+            }
+            if out_dims.is_none() {
+                out_dims = Some(y.dims().to_vec());
+            }
+            out_data.extend_from_slice(y.data());
+        }
+        let mut dims = out_dims.expect("at least one worker ran");
+        dims[0] = n;
+        Tensor::from_vec(out_data, &dims)
+    }
+
+    /// Classification accuracy of the mapped model on a dataset.
+    pub fn evaluate(&mut self, data: &forms_dnn::data::Dataset, batch_size: usize) -> f32 {
+        assert!(batch_size > 0, "batch size must be positive");
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0.0;
+        for (x, labels) in data.batches(batch_size) {
+            let logits = self.forward(&x);
+            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+        }
+        correct / data.len() as f32
+    }
+}
+
+/// Permutes matrix rows: `out[i] = in[perm[i]]`.
+fn permute_rows(m: &Tensor, perm: &[usize]) -> Tensor {
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    assert_eq!(perm.len(), rows, "permutation length mismatch");
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for (i, &src) in perm.iter().enumerate() {
+        out.data_mut()[i * cols..(i + 1) * cols]
+            .copy_from_slice(&m.data()[src * cols..(src + 1) * cols]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Polarizes a network in place with the ADMM projection (iterated to a
+    /// fixed point, since zeroing can retire rows and shift fragments) so
+    /// it can be mapped.
+    fn polarize_net(net: &mut Network, fragment: usize) {
+        net.for_each_weight_layer(&mut |wl| {
+            let mut z = match &wl {
+                WeightLayerMut::Conv(c) => c.weight_matrix(),
+                WeightLayerMut::Linear(l) => l.weight_matrix(),
+            };
+            while forms_admm::polarization_violations(&z, fragment) > 0 {
+                let signs = forms_admm::fragment_signs(&z, fragment);
+                z = forms_admm::project_polarization(&z, fragment, &signs);
+            }
+            match wl {
+                WeightLayerMut::Conv(c) => c.set_weight_matrix(&z),
+                WeightLayerMut::Linear(l) => l.set_weight_matrix(&z),
+            }
+        });
+    }
+
+    fn small_config(fragment: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            mapping: MappingConfig {
+                crossbar_dim: 16,
+                fragment_size: fragment,
+                weight_bits: 8,
+                cell: forms_reram::CellSpec::paper_2bit(),
+                input_bits: 12,
+                zero_skipping: true,
+            },
+            activation_bits: 12,
+        }
+    }
+
+    fn small_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 4, 3, 1, 1),
+            Layer::relu(),
+            Layer::max_pool(2),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 4 * 4 * 4, 3),
+        ])
+    }
+
+    #[test]
+    fn unpolarized_network_is_rejected() {
+        let net = small_net(0);
+        let err = Accelerator::map_network(&net, small_config(4)).unwrap_err();
+        assert!(matches!(err, MapError::NotPolarized { .. }));
+    }
+
+    #[test]
+    fn mapped_network_tracks_digital_reference() {
+        let mut net = small_net(1);
+        polarize_net(&mut net, 4);
+        let mut acc = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = forms_tensor::uniform(&mut rng, &[2, 1, 8, 8], 0.5).map(f32::abs);
+        let digital = net.clone().forward(&x);
+        let analog = acc.forward(&x);
+        assert_eq!(analog.dims(), digital.dims());
+        let err = analog.max_abs_diff(&digital);
+        let scale = digital.abs_max().max(1e-6);
+        assert!(
+            err / scale < 0.05,
+            "analog diverges from digital: {err} (scale {scale})"
+        );
+    }
+
+    #[test]
+    fn residual_network_maps_and_runs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = forms_dnn::ResidualBlock::new(
+            vec![
+                Layer::conv2d(&mut rng, 2, 2, 3, 1, 1),
+                Layer::relu(),
+                Layer::conv2d(&mut rng, 2, 2, 3, 1, 1),
+            ],
+            Some(Layer::conv2d(&mut rng, 2, 2, 1, 1, 0)),
+        );
+        let mut net = Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 2, 3, 1, 1),
+            Layer::relu(),
+            Layer::Residual(block),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 2 * 4 * 4, 2),
+        ]);
+        polarize_net(&mut net, 4);
+        let mut acc = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32 / 16.0));
+        let digital = net.clone().forward(&x);
+        let analog = acc.forward(&x);
+        let err = analog.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
+        assert!(err < 0.08, "relative error {err}");
+    }
+
+    #[test]
+    fn layer_perfs_feed_the_fps_model() {
+        let mut net = small_net(12);
+        polarize_net(&mut net, 4);
+        let mut accel = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let images = 2;
+        let x = Tensor::from_fn(&[images, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        accel.forward(&x);
+        let perfs = accel.layer_perfs(images);
+        assert_eq!(perfs.len(), 2); // conv + linear
+        // Conv layer: 64 output positions per image; linear: 1.
+        assert_eq!(perfs[0].positions, 64);
+        assert_eq!(perfs[1].positions, 1);
+        assert!(perfs.iter().all(|p| p.input_cycles >= 1.0 && p.crossbars > 0));
+        // The perfs drive the FPS model directly.
+        let fps = crate::FpsModel::new(forms_hwmodel::McuConfig::forms(4), perfs).fps();
+        assert!(fps > 0.0);
+    }
+
+    #[test]
+    fn parallel_forward_matches_serial() {
+        let mut net = small_net(11);
+        polarize_net(&mut net, 4);
+        let mut serial = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let mut parallel = serial.clone();
+        let x = Tensor::from_fn(&[5, 1, 8, 8], |i| (i % 9) as f32 / 9.0);
+        let ys = serial.forward(&x);
+        let yp = parallel.forward_parallel(&x, 3);
+        assert_eq!(ys, yp);
+        assert_eq!(serial.stats(), parallel.stats());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut net = small_net(4);
+        polarize_net(&mut net, 4);
+        let mut acc = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        acc.forward(&x);
+        let s = acc.stats();
+        assert!(s.cycles > 0 && s.adc_conversions > 0);
+        assert!(s.cycles <= s.cycles_without_skip);
+        acc.reset_stats();
+        assert_eq!(acc.stats(), MvmStats::default());
+    }
+
+    #[test]
+    fn variation_perturbs_outputs() {
+        let mut net = small_net(5);
+        polarize_net(&mut net, 4);
+        let mut acc = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 7) as f32 / 8.0);
+        let clean = acc.forward(&x);
+        let mut rng = StdRng::seed_from_u64(6);
+        acc.apply_variation(&forms_reram::LogNormalVariation::new(0.0, 0.3), &mut rng);
+        let noisy = acc.forward(&x);
+        assert!(
+            clean.max_abs_diff(&noisy) > 0.0,
+            "variation had no effect at sigma 0.3"
+        );
+    }
+
+    /// Overwrites every weight layer with a fully dense polarized pattern
+    /// (no zero rows, so fragment structure is permutation-stable).
+    fn dense_polarize_net(net: &mut Network, fragment: usize) {
+        net.for_each_weight_layer(&mut |wl| {
+            let m = match &wl {
+                WeightLayerMut::Conv(c) => c.weight_matrix(),
+                WeightLayerMut::Linear(l) => l.weight_matrix(),
+            };
+            let (rows, cols) = (m.dims()[0], m.dims()[1]);
+            let dense = Tensor::from_fn(&[rows, cols], |i| {
+                let (r, c) = (i / cols, i % cols);
+                let sign = if ((r / fragment) + c) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                sign * (0.1 + ((r * 31 + c * 17) % 7) as f32 * 0.1)
+            });
+            match wl {
+                WeightLayerMut::Conv(c) => c.set_weight_matrix(&dense),
+                WeightLayerMut::Linear(l) => l.set_weight_matrix(&dense),
+            }
+        });
+    }
+
+    #[test]
+    fn permuted_mapping_matches_identity_results() {
+        // Mapping with a row permutation and permuting inputs must give the
+        // same results as identity mapping (the paper's "re-order weights
+        // with their corresponding inputs" invariant).
+        let mut net = small_net(7);
+        dense_polarize_net(&mut net, 4); // dense, polarized in natural order
+        let count = net.clone().weight_layer_count();
+        let identity = Accelerator::map_network(&net, small_config(4)).unwrap();
+        // An involutive permutation that preserves fragments: swap adjacent
+        // pairs within each fragment of 4.
+        let mut perms = Vec::new();
+        {
+            let mut n = net.clone();
+            n.for_each_weight_layer(&mut |wl| {
+                let rows = match wl {
+                    WeightLayerMut::Conv(c) => c.weight_matrix().dims()[0],
+                    WeightLayerMut::Linear(l) => l.weight_matrix().dims()[0],
+                };
+                // Swap adjacent pairs; an odd trailing row maps to itself.
+                let perm: Vec<usize> = (0..rows)
+                    .map(|i| {
+                        if i % 2 == 0 && i + 1 < rows {
+                            i + 1
+                        } else if i % 2 == 1 {
+                            i - 1
+                        } else {
+                            i
+                        }
+                    })
+                    .collect();
+                perms.push(Some(perm));
+            });
+        }
+        assert_eq!(perms.len(), count);
+        let permuted = Accelerator::with_permutations(&net, small_config(4), perms).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 3) as f32 / 4.0);
+        let mut a = identity;
+        let mut b = permuted;
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert!(ya.allclose(&yb, 1e-4), "permutation changed results");
+    }
+}

@@ -1,0 +1,194 @@
+//! Design-space exploration (paper §IV-C: "We performed design space
+//! exploration to find the best size of crossbar arrays, ADCs, DACs and
+//! eDRAM storage").
+//!
+//! Sweeps the architecture axes — fragment size, cells per weight, ADCs per
+//! crossbar — through the calibrated cost models, scores each point by
+//! throughput per area and per watt at a given workload EIC, and extracts
+//! the Pareto-efficient set. The paper's chosen point (fragment 8, 2-bit
+//! cells, 4 ADCs per crossbar) should sit on that frontier.
+
+use forms_hwmodel::{ChipCost, McuConfig, ThroughputModel};
+
+/// One evaluated design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// Fragment size (sub-array rows).
+    pub fragment_size: usize,
+    /// Bits per ReRAM cell.
+    pub cell_bits: u32,
+    /// ADCs per crossbar.
+    pub adcs_per_crossbar: usize,
+    /// Chip power in watts.
+    pub chip_power_w: f64,
+    /// Chip area in mm².
+    pub chip_area_mm2: f64,
+    /// Effective GOPs at the workload EIC.
+    pub gops: f64,
+    /// GOPs per mm².
+    pub gops_per_mm2: f64,
+    /// GOPs per watt.
+    pub gops_per_watt: f64,
+}
+
+impl DesignPoint {
+    /// Whether `self` dominates `other` (at least as good on both
+    /// efficiency axes, strictly better on one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let ge =
+            self.gops_per_mm2 >= other.gops_per_mm2 && self.gops_per_watt >= other.gops_per_watt;
+        let gt = self.gops_per_mm2 > other.gops_per_mm2 || self.gops_per_watt > other.gops_per_watt;
+        ge && gt
+    }
+}
+
+/// The swept axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignSpace {
+    /// Fragment sizes to evaluate (must divide 128).
+    pub fragment_sizes: Vec<usize>,
+    /// Cell resolutions to evaluate.
+    pub cell_bits: Vec<u32>,
+    /// ADC sharing factors to evaluate.
+    pub adcs_per_crossbar: Vec<usize>,
+    /// Weight precision (bits).
+    pub weight_bits: u32,
+    /// Mean effective input cycles of the workload (16 = no skipping).
+    pub input_cycles: f64,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self {
+            fragment_sizes: vec![4, 8, 16, 32],
+            cell_bits: vec![1, 2, 4],
+            adcs_per_crossbar: vec![1, 2, 4, 8],
+            weight_bits: 16,
+            input_cycles: 10.7, // paper Fig. 8(b)
+        }
+    }
+}
+
+impl DesignSpace {
+    /// Evaluates every point in the grid.
+    pub fn evaluate(&self) -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for &fragment_size in &self.fragment_sizes {
+            for &cell_bits in &self.cell_bits {
+                for &adcs in &self.adcs_per_crossbar {
+                    let mut mcu = McuConfig::forms(fragment_size);
+                    mcu.cell_bits = cell_bits;
+                    mcu.adcs_per_crossbar = adcs;
+                    // The ADC must resolve fragment_size × (2^cell_bits − 1)
+                    // levels.
+                    let max = (fragment_size as u64) * ((1u64 << cell_bits) - 1);
+                    mcu.adc_bits = (64 - max.max(1).leading_zeros()).clamp(1, 12);
+                    mcu.adc_freq_ghz = (3.0 - 0.225 * mcu.adc_bits as f64).max(0.3);
+                    let model = ThroughputModel {
+                        input_cycles: self.input_cycles,
+                        weight_bits: self.weight_bits,
+                        ..ThroughputModel::baseline(mcu)
+                    };
+                    let chip = ChipCost::for_mcu(&mcu).total;
+                    let gops = model.effective_gops();
+                    points.push(DesignPoint {
+                        fragment_size,
+                        cell_bits,
+                        adcs_per_crossbar: adcs,
+                        chip_power_w: chip.power_mw / 1000.0,
+                        chip_area_mm2: chip.area_mm2,
+                        gops,
+                        gops_per_mm2: gops / chip.area_mm2,
+                        gops_per_watt: gops / (chip.power_mw / 1000.0),
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    /// The Pareto-efficient subset (not dominated on the two efficiency
+    /// axes), sorted by area efficiency.
+    pub fn pareto_frontier(&self) -> Vec<DesignPoint> {
+        let points = self.evaluate();
+        let mut frontier: Vec<DesignPoint> = points
+            .iter()
+            .filter(|p| !points.iter().any(|q| q.dominates(p)))
+            .copied()
+            .collect();
+        frontier.sort_by(|a, b| {
+            a.gops_per_mm2
+                .partial_cmp(&b.gops_per_mm2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_fully_evaluated() {
+        let space = DesignSpace::default();
+        let n = space.fragment_sizes.len() * space.cell_bits.len() * space.adcs_per_crossbar.len();
+        assert_eq!(space.evaluate().len(), n);
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_undominated() {
+        let space = DesignSpace::default();
+        let frontier = space.pareto_frontier();
+        assert!(!frontier.is_empty());
+        for a in &frontier {
+            for b in &frontier {
+                assert!(
+                    !a.dominates(b) || a == b,
+                    "frontier contains dominated point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_design_point_is_competitive() {
+        // Fragment 8 / 2-bit cells / 4 ADCs must not be grossly dominated:
+        // it should be within 20% of the frontier on at least one axis.
+        let space = DesignSpace::default();
+        let points = space.evaluate();
+        let paper = points
+            .iter()
+            .find(|p| p.fragment_size == 8 && p.cell_bits == 2 && p.adcs_per_crossbar == 4)
+            .expect("paper point in grid");
+        let best_area = points.iter().map(|p| p.gops_per_mm2).fold(0.0, f64::max);
+        let best_power = points.iter().map(|p| p.gops_per_watt).fold(0.0, f64::max);
+        let near_area = paper.gops_per_mm2 >= 0.3 * best_area;
+        let near_power = paper.gops_per_watt >= 0.3 * best_power;
+        assert!(
+            near_area || near_power,
+            "paper point far off frontier: {paper:?} (best area {best_area}, power {best_power})"
+        );
+    }
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let p = DesignSpace::default().evaluate()[0];
+        assert!(!p.dominates(&p));
+    }
+
+    #[test]
+    fn skipping_improves_every_point() {
+        let with = DesignSpace {
+            input_cycles: 10.7,
+            ..Default::default()
+        };
+        let without = DesignSpace {
+            input_cycles: 16.0,
+            ..Default::default()
+        };
+        for (a, b) in with.evaluate().iter().zip(without.evaluate().iter()) {
+            assert!(a.gops > b.gops);
+        }
+    }
+}

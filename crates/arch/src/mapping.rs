@@ -1,0 +1,710 @@
+//! The polarized crossbar mapping scheme (paper §IV-A, Fig. 5).
+//!
+//! A structurally pruned, polarized, quantized weight matrix is compacted
+//! (zero rows/columns dropped), its magnitudes quantized to sign-magnitude
+//! codes, bit-sliced over multi-bit cells and programmed onto 128×128
+//! physical crossbars partitioned into `fragment_size`-row logical
+//! sub-arrays. Each fragment's single sign bit lives in the 1R *sign
+//! indicator* and is applied during digital accumulation.
+
+use std::fmt;
+
+use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
+use forms_tensor::Tensor;
+use rand::Rng;
+
+use crate::zero_skip::ShiftRegisterBank;
+
+/// Configuration of the mapping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MappingConfig {
+    /// Physical crossbar dimension (128 in the paper).
+    pub crossbar_dim: usize,
+    /// Sub-array rows = weights per fragment (4/8/16).
+    pub fragment_size: usize,
+    /// Magnitude bits stored per weight (8 in the paper's evaluation).
+    pub weight_bits: u32,
+    /// The ReRAM cell specification (2-bit cells in the paper).
+    pub cell: CellSpec,
+    /// Input (activation) bits (16 in the paper's evaluation).
+    pub input_bits: u32,
+    /// Whether the zero-skipping logic is active.
+    pub zero_skipping: bool,
+}
+
+impl MappingConfig {
+    /// The paper's evaluation point at a given fragment size: 128×128
+    /// crossbars, 2-bit cells, 8-bit weights, 16-bit inputs, zero-skipping
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment_size` does not divide 128.
+    pub fn paper(fragment_size: usize) -> Self {
+        assert!(
+            fragment_size > 0 && 128 % fragment_size == 0,
+            "fragment size must divide the crossbar dimension"
+        );
+        Self {
+            crossbar_dim: 128,
+            fragment_size,
+            weight_bits: 8,
+            cell: CellSpec::paper_2bit(),
+            input_bits: 16,
+            zero_skipping: true,
+        }
+    }
+
+    /// Cells per weight.
+    pub fn cells_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.cell.bits()) as usize
+    }
+
+    /// Weight columns per physical crossbar.
+    pub fn weights_per_crossbar_row(&self) -> usize {
+        self.crossbar_dim / self.cells_per_weight()
+    }
+
+    /// Fragments stacked per physical crossbar column.
+    pub fn fragments_per_crossbar_col(&self) -> usize {
+        self.crossbar_dim / self.fragment_size
+    }
+}
+
+/// Why a matrix could not be mapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The matrix violates fragment polarization; mapping magnitude-only
+    /// weights would silently change signs. Carries the violation count.
+    NotPolarized {
+        /// Number of weights whose sign disagrees with their fragment.
+        violations: usize,
+    },
+    /// The matrix has no non-zero weights at all.
+    AllZero,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NotPolarized { violations } => write!(
+                f,
+                "matrix is not fragment-polarized ({violations} sign violations); \
+                 run ADMM polarization first"
+            ),
+            MapError::AllZero => write!(f, "matrix has no non-zero weights"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Statistics of one mapped matrix-vector multiplication.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MvmStats {
+    /// Input shift cycles actually spent.
+    pub cycles: u64,
+    /// Cycles a non-skipping design would have spent.
+    pub cycles_without_skip: u64,
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Fragments whose inputs were entirely zero (skipped outright).
+    pub fragments_skipped: u64,
+    /// Fragment activations processed.
+    pub fragments_total: u64,
+}
+
+impl MvmStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, other: MvmStats) {
+        self.cycles += other.cycles;
+        self.cycles_without_skip += other.cycles_without_skip;
+        self.adc_conversions += other.adc_conversions;
+        self.fragments_skipped += other.fragments_skipped;
+        self.fragments_total += other.fragments_total;
+    }
+
+    /// Fraction of input cycles saved by zero-skipping.
+    pub fn cycles_saved_fraction(&self) -> f64 {
+        if self.cycles_without_skip == 0 {
+            0.0
+        } else {
+            1.0 - self.cycles as f64 / self.cycles_without_skip as f64
+        }
+    }
+
+    /// Converts the statistics into a [`forms_hwmodel::Activity`] record
+    /// for energy accounting under a mapping configuration.
+    pub fn activity(&self, config: &MappingConfig) -> forms_hwmodel::Activity {
+        forms_hwmodel::Activity {
+            shift_cycles: self.cycles,
+            adc_conversions: self.adc_conversions,
+            rows_per_cycle: config.fragment_size as u64,
+            cells_per_conversion: config.cells_per_weight() as u64,
+            shift_add_ops: self.adc_conversions,
+        }
+    }
+
+    /// Dynamic energy of this activity on an MCU configuration, in pJ.
+    pub fn energy_pj(&self, config: &MappingConfig, mcu: &forms_hwmodel::McuConfig) -> f64 {
+        forms_hwmodel::EnergyModel::from_mcu(mcu).energy_pj(&self.activity(config))
+    }
+}
+
+/// A weight matrix mapped onto polarized physical crossbars.
+///
+/// Constructed from a *fragment-polarized* `[rows, cols]` matrix (rows in
+/// policy order); [`matvec`](Self::matvec) then executes the full
+/// mixed-signal path — shift registers, 1-bit DACs, fragment-windowed
+/// column currents, per-slice ADC conversion, shift-&-add recombination and
+/// sign-indicator-controlled digital accumulation.
+#[derive(Clone, Debug)]
+pub struct MappedLayer {
+    config: MappingConfig,
+    /// Map compact row index → original row index.
+    row_index: Vec<usize>,
+    /// Map compact column index → original column index.
+    col_index: Vec<usize>,
+    /// Original matrix dimensions.
+    orig_rows: usize,
+    orig_cols: usize,
+    /// Weight quantization step (value of magnitude code 1).
+    step: f32,
+    /// Sign per (compact column, fragment): `true` = positive.
+    signs: Vec<bool>,
+    fragments_per_col: usize,
+    /// Physical crossbar grid, row-major `[xb_rows × xb_cols]`.
+    crossbars: Vec<Crossbar>,
+    xb_cols: usize,
+    adc: Adc,
+    slicer: BitSlicer,
+}
+
+impl MappedLayer {
+    /// Maps a polarized weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotPolarized`] if any fragment mixes signs and
+    /// [`MapError::AllZero`] for an all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not rank-2.
+    pub fn map(matrix: &Tensor, config: MappingConfig) -> Result<Self, MapError> {
+        assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
+        assert!(
+            config.fragment_size > 0 && config.crossbar_dim.is_multiple_of(config.fragment_size),
+            "fragment size must divide the crossbar dimension"
+        );
+        let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
+        let m = config.fragment_size;
+
+        // Structural compaction: drop all-zero rows and columns.
+        let nz = |r: usize, c: usize| matrix.data()[r * cols + c] != 0.0;
+        let row_index: Vec<usize> = (0..rows).filter(|&r| (0..cols).any(|c| nz(r, c))).collect();
+        let col_index: Vec<usize> = (0..cols).filter(|&c| (0..rows).any(|r| nz(r, c))).collect();
+        if row_index.is_empty() || col_index.is_empty() {
+            return Err(MapError::AllZero);
+        }
+
+        let compact_rows = row_index.len();
+        let compact_cols = col_index.len();
+        let fragments_per_col = compact_rows.div_ceil(m);
+
+        // Polarization check + sign extraction on the compact matrix.
+        let mut signs = Vec::with_capacity(compact_cols * fragments_per_col);
+        let mut violations = 0usize;
+        for &c in &col_index {
+            for frag in 0..fragments_per_col {
+                let lo = frag * m;
+                let hi = (lo + m).min(compact_rows);
+                let vals: Vec<f32> = (lo..hi)
+                    .map(|i| matrix.data()[row_index[i] * cols + c])
+                    .collect();
+                let sum: f32 = vals.iter().sum();
+                let positive = sum >= 0.0;
+                violations += vals
+                    .iter()
+                    .filter(|&&v| if positive { v < 0.0 } else { v > 0.0 })
+                    .count();
+                signs.push(positive);
+            }
+        }
+        if violations > 0 {
+            return Err(MapError::NotPolarized { violations });
+        }
+
+        // Magnitude quantization.
+        let abs_max = matrix.abs_max();
+        let max_code = ((1u64 << config.weight_bits) - 1) as f32;
+        let step = if abs_max > 0.0 {
+            abs_max / max_code
+        } else {
+            1.0
+        };
+        let slicer = BitSlicer::new(config.weight_bits, config.cell.bits());
+        let cpw = config.cells_per_weight();
+
+        // Physical crossbar grid.
+        let dim = config.crossbar_dim;
+        let padded_rows = fragments_per_col * m;
+        let xb_rows = padded_rows.div_ceil(dim);
+        let xb_cols = (compact_cols * cpw).div_ceil(dim);
+        let mut crossbars = vec![Crossbar::new(dim, dim, config.cell); xb_rows * xb_cols];
+
+        for (ci, &c) in col_index.iter().enumerate() {
+            for (ri, &r) in row_index.iter().enumerate() {
+                let w = matrix.data()[r * cols + c];
+                if w == 0.0 {
+                    continue;
+                }
+                let code = ((w.abs() / step).round() as u32).min(max_code as u32);
+                let slices = slicer.slice(code);
+                let (xr, row_in_xb) = (ri / dim, ri % dim);
+                for (k, &s) in slices.iter().enumerate() {
+                    let cell_col = ci * cpw + k;
+                    let (xc, col_in_xb) = (cell_col / dim, cell_col % dim);
+                    crossbars[xr * xb_cols + xc].program_cell(row_in_xb, col_in_xb, s);
+                }
+            }
+        }
+
+        let adc = Adc::ideal_for(m, &config.cell);
+        Ok(Self {
+            config,
+            row_index,
+            col_index,
+            orig_rows: rows,
+            orig_cols: cols,
+            step,
+            signs,
+            fragments_per_col,
+            crossbars,
+            xb_cols,
+            adc,
+            slicer,
+        })
+    }
+
+    /// The mapping configuration.
+    pub fn config(&self) -> &MappingConfig {
+        &self.config
+    }
+
+    /// The weight quantization step.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Number of physical crossbars used.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Number of fragments per weight column.
+    pub fn fragments_per_col(&self) -> usize {
+        self.fragments_per_col
+    }
+
+    /// Number of sign-indicator bits (one per fragment per column).
+    pub fn sign_bits(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Mutable access to the physical crossbars, for variation and fault
+    /// injection.
+    pub fn crossbars_mut(&mut self) -> &mut [Crossbar] {
+        &mut self.crossbars
+    }
+
+    /// Read access to the physical crossbars.
+    pub fn crossbars(&self) -> &[Crossbar] {
+        &self.crossbars
+    }
+
+    /// Reconstructs the (quantized) weight matrix this mapping represents,
+    /// in original `[rows, cols]` indexing — the digital reference for the
+    /// analog path.
+    pub fn dequantized_matrix(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.orig_rows, self.orig_cols]);
+        let cpw = self.config.cells_per_weight();
+        let dim = self.config.crossbar_dim;
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            for (ri, &r) in self.row_index.iter().enumerate() {
+                let (xr, row_in_xb) = (ri / dim, ri % dim);
+                let mut slices = Vec::with_capacity(cpw);
+                for k in 0..cpw {
+                    let cell_col = ci * cpw + k;
+                    let (xc, col_in_xb) = (cell_col / dim, cell_col % dim);
+                    slices.push(
+                        self.crossbars[xr * self.xb_cols + xc].read_cell(row_in_xb, col_in_xb)
+                            as u64,
+                    );
+                }
+                let code = self.slicer.recombine(&slices);
+                let frag = ri / self.config.fragment_size;
+                let sign = if self.signs[ci * self.fragments_per_col + frag] {
+                    1.0
+                } else {
+                    -1.0
+                };
+                out.data_mut()[r * self.orig_cols + c] = sign * code as f32 * self.step;
+            }
+        }
+        out
+    }
+
+    /// Executes the mixed-signal matrix-vector product on quantized input
+    /// codes (length = original rows; codes of pruned rows are ignored).
+    ///
+    /// `input_scale` is the value of input code 1; the result is in real
+    /// units (`scale × step × integer dot product`), length = original
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_codes.len()` differs from the original row count or
+    /// any code exceeds `input_bits`.
+    pub fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, MvmStats) {
+        self.matvec_impl(input_codes, input_scale, |c| c)
+    }
+
+    /// Like [`matvec`](Self::matvec) but with additive read noise on every
+    /// column current before ADC conversion (paper refs. \[31, 32\]; the
+    /// fine-vs-coarse susceptibility argument of §II-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does.
+    pub fn matvec_noisy<R: Rng + ?Sized>(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        noise: &CurrentNoise,
+        rng: &mut R,
+    ) -> (Vec<f32>, MvmStats) {
+        self.matvec_impl(input_codes, input_scale, |c| noise.perturb(c, rng))
+    }
+
+    fn matvec_impl(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        mut perturb: impl FnMut(f64) -> f64,
+    ) -> (Vec<f32>, MvmStats) {
+        assert_eq!(
+            input_codes.len(),
+            self.orig_rows,
+            "need one input code per original row"
+        );
+        let m = self.config.fragment_size;
+        let dim = self.config.crossbar_dim;
+        let cpw = self.config.cells_per_weight();
+        let cell_bits = self.config.cell.bits();
+        let mut stats = MvmStats::default();
+        let mut out = vec![0.0f32; self.orig_cols];
+        let mut accs = vec![0i64; self.col_index.len()];
+
+        // Fragment-major order mirrors the hardware: one shift-register
+        // bank feeds every column of the sub-array simultaneously, so input
+        // cycles are paid once per fragment, not once per column.
+        for frag in 0..self.fragments_per_col {
+            let lo = frag * m;
+            let hi = ((frag + 1) * m).min(self.row_index.len());
+            let codes: Vec<u32> = (lo..hi)
+                .map(|i| {
+                    let code = input_codes[self.row_index[i]];
+                    assert!(
+                        u64::from(code) < (1u64 << self.config.input_bits),
+                        "input code exceeds {} bits",
+                        self.config.input_bits
+                    );
+                    code
+                })
+                .collect();
+            stats.fragments_total += 1;
+            stats.cycles_without_skip += u64::from(self.config.input_bits);
+
+            // Bit planes driven this fragment (LSB first).
+            let planes: Vec<Vec<bool>> = if self.config.zero_skipping {
+                ShiftRegisterBank::load(&codes).drain()
+            } else {
+                (0..self.config.input_bits)
+                    .map(|cycle| codes.iter().map(|&c| (c >> cycle) & 1 == 1).collect())
+                    .collect()
+            };
+            stats.cycles += planes.len() as u64;
+            if planes.is_empty() {
+                stats.fragments_skipped += 1;
+                continue;
+            }
+            let drives: Vec<Vec<f64>> = planes
+                .iter()
+                .map(|bits| bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+                .collect();
+            let (xr, row_lo) = (lo / dim, lo % dim);
+            let window = row_lo..row_lo + codes.len();
+
+            for (ci, acc) in accs.iter_mut().enumerate() {
+                // Per-slice accumulation over bit planes, then shift-&-add
+                // across slices (MSB slice first).
+                let mut slice_acc = vec![0u64; cpw];
+                for (cycle, drive) in drives.iter().enumerate() {
+                    for (k, acc_k) in slice_acc.iter_mut().enumerate() {
+                        let cell_col = ci * cpw + k;
+                        let (xc, col_in_xb) = (cell_col / dim, cell_col % dim);
+                        let current =
+                            perturb(self.crossbars[xr * self.xb_cols + xc].column_current(
+                                col_in_xb,
+                                drive,
+                                window.clone(),
+                            ));
+                        let code = self.adc.convert(current, &self.config.cell);
+                        stats.adc_conversions += 1;
+                        *acc_k += u64::from(code) << cycle;
+                    }
+                }
+                let mut frag_total = 0u64;
+                for &s in &slice_acc {
+                    frag_total = (frag_total << cell_bits) + s;
+                }
+                // The sign indicator steers the accumulator add/subtract.
+                let positive = self.signs[ci * self.fragments_per_col + frag];
+                *acc += if positive {
+                    frag_total as i64
+                } else {
+                    -(frag_total as i64)
+                };
+            }
+        }
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            out[c] = accs[ci] as f32 * self.step * input_scale;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_tensor::QuantizedTensor;
+
+    /// A small polarized matrix: fragments of 4 rows, alternating sign per
+    /// column fragment.
+    fn polarized_matrix(rows: usize, cols: usize, m: usize) -> Tensor {
+        Tensor::from_fn(&[rows, cols], |i| {
+            let (r, c) = (i / cols, i % cols);
+            let frag = r / m;
+            let sign = if (frag + c) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * ((i % 7) as f32 + 1.0) / 8.0
+        })
+    }
+
+    fn small_config(m: usize) -> MappingConfig {
+        MappingConfig {
+            crossbar_dim: 16,
+            fragment_size: m,
+            weight_bits: 8,
+            cell: CellSpec::paper_2bit(),
+            input_bits: 8,
+            zero_skipping: true,
+        }
+    }
+
+    #[test]
+    fn rejects_unpolarized_matrix() {
+        let w = Tensor::from_vec(vec![1.0, -1.0, 2.0, 1.0], &[4, 1]);
+        let err = MappedLayer::map(&w, small_config(4)).unwrap_err();
+        assert!(matches!(err, MapError::NotPolarized { violations: 1 }));
+    }
+
+    #[test]
+    fn rejects_all_zero_matrix() {
+        let w = Tensor::zeros(&[4, 2]);
+        assert_eq!(
+            MappedLayer::map(&w, small_config(4)).unwrap_err(),
+            MapError::AllZero
+        );
+    }
+
+    #[test]
+    fn dequantized_matrix_round_trips_within_step() {
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let back = mapped.dequantized_matrix();
+        assert!(
+            w.max_abs_diff(&back) <= mapped.step() / 2.0 + 1e-6,
+            "round-trip error {} vs step {}",
+            w.max_abs_diff(&back),
+            mapped.step()
+        );
+    }
+
+    #[test]
+    fn matvec_matches_digital_reference_exactly() {
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let x = Tensor::from_fn(&[16], |i| (i as f32 * 0.13).fract());
+        let q = QuantizedTensor::quantize(&x, 8);
+        let (got, _) = mapped.matvec(q.codes(), q.spec().scale());
+        // Digital reference: dequantized weights × dequantized inputs.
+        let reference = mapped
+            .dequantized_matrix()
+            .transpose()
+            .matvec(q.dequantize().data());
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 1e-3, "analog {g} vs digital {r}");
+        }
+    }
+
+    #[test]
+    fn zero_skipping_does_not_change_results() {
+        let w = polarized_matrix(16, 4, 4);
+        let mut cfg = small_config(4);
+        let x = Tensor::from_fn(&[16], |i| if i % 3 == 0 { 0.0 } else { 0.01 * i as f32 });
+        let q = QuantizedTensor::quantize(&x, 8);
+
+        cfg.zero_skipping = true;
+        let skipping = MappedLayer::map(&w, cfg).unwrap();
+        let (with_skip, s1) = skipping.matvec(q.codes(), q.spec().scale());
+
+        cfg.zero_skipping = false;
+        let plain = MappedLayer::map(&w, cfg).unwrap();
+        let (without, s2) = plain.matvec(q.codes(), q.spec().scale());
+
+        assert_eq!(with_skip, without);
+        assert!(s1.cycles < s2.cycles, "no cycles saved: {s1:?} vs {s2:?}");
+        assert_eq!(s2.cycles, s2.cycles_without_skip);
+    }
+
+    #[test]
+    fn pruned_rows_and_cols_are_compacted() {
+        // Zero out half the rows and one column.
+        let mut w = polarized_matrix(16, 4, 4);
+        let cols = 4;
+        for r in 8..16 {
+            for c in 0..cols {
+                w.data_mut()[r * cols + c] = 0.0;
+            }
+        }
+        for r in 0..16 {
+            w.data_mut()[r * cols + 2] = 0.0;
+        }
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        // 8 surviving rows × 3 surviving cols × 4 cells = 12 cell columns →
+        // one 16×16 crossbar.
+        assert_eq!(mapped.crossbar_count(), 1);
+        // Output for the pruned column must be exactly zero.
+        let q_codes = vec![5u32; 16];
+        let (out, _) = mapped.matvec(&q_codes, 1.0);
+        assert_eq!(out[2], 0.0);
+    }
+
+    #[test]
+    fn all_zero_input_fragments_are_skipped() {
+        let w = polarized_matrix(8, 2, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let codes = vec![0u32; 8];
+        let (out, stats) = mapped.matvec(&codes, 1.0);
+        assert!(out.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.fragments_skipped, stats.fragments_total);
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn sign_bits_count_matches_fragments() {
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        assert_eq!(mapped.fragments_per_col(), 4);
+        assert_eq!(mapped.sign_bits(), 16);
+    }
+
+    #[test]
+    fn stats_cycle_accounting_is_consistent() {
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let x = Tensor::from_fn(&[16], |i| 0.002 * (i as f32 + 1.0));
+        let q = QuantizedTensor::quantize(&x, 8);
+        let (_, stats) = mapped.matvec(q.codes(), q.spec().scale());
+        assert!(stats.cycles <= stats.cycles_without_skip);
+        assert!(stats.cycles_saved_fraction() >= 0.0);
+        // Conversions = cycles × slices × active columns (every column
+        // converts every slice each shift cycle).
+        assert_eq!(
+            stats.adc_conversions,
+            stats.cycles * mapped.config().cells_per_weight() as u64 * 4
+        );
+    }
+
+    #[test]
+    fn zero_skipping_saves_energy_not_just_cycles() {
+        let w = polarized_matrix(16, 4, 4);
+        let mut cfg = small_config(4);
+        // Fragment 0 holds the large values; fragments 1–3 are tiny and
+        // skip most of their bits.
+        let x = Tensor::from_fn(&[16], |i| if i < 4 { 0.2 } else { 0.001 });
+        let q = QuantizedTensor::quantize(&x, 8);
+        cfg.zero_skipping = true;
+        let (_, s_on) = MappedLayer::map(&w, cfg)
+            .unwrap()
+            .matvec(q.codes(), q.spec().scale());
+        cfg.zero_skipping = false;
+        let (_, s_off) = MappedLayer::map(&w, cfg)
+            .unwrap()
+            .matvec(q.codes(), q.spec().scale());
+        let mcu = forms_hwmodel::McuConfig::forms(4);
+        assert!(
+            s_on.energy_pj(&cfg, &mcu) < s_off.energy_pj(&cfg, &mcu),
+            "zero-skipping must reduce dynamic energy"
+        );
+    }
+
+    #[test]
+    fn noiseless_noise_model_is_exact() {
+        use rand::SeedableRng;
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let codes = vec![9u32; 16];
+        let (clean, _) = mapped.matvec(&codes, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let (noisy, _) =
+            mapped.matvec_noisy(&codes, 1.0, &forms_reram::CurrentNoise::none(), &mut rng);
+        assert_eq!(clean, noisy);
+    }
+
+    #[test]
+    fn read_noise_perturbs_results() {
+        use rand::SeedableRng;
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let codes = vec![9u32; 16];
+        let (clean, _) = mapped.matvec(&codes, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let noise = forms_reram::CurrentNoise::new(1.0, 0.0);
+        let (noisy, _) = mapped.matvec_noisy(&codes, 1.0, &noise, &mut rng);
+        assert_ne!(clean, noisy, "strong noise must move some outputs");
+    }
+
+    #[test]
+    fn large_fragment_spanning_multiple_crossbars() {
+        // 40 rows at crossbar dim 16 → 3 crossbar rows.
+        let w = polarized_matrix(40, 2, 8);
+        let cfg = MappingConfig {
+            fragment_size: 8,
+            ..small_config(8)
+        };
+        let mapped = MappedLayer::map(&w, cfg).unwrap();
+        assert!(mapped.crossbar_count() >= 3);
+        let x = Tensor::from_fn(&[40], |i| (i as f32 * 0.07).fract());
+        let q = QuantizedTensor::quantize(&x, 8);
+        let (got, _) = mapped.matvec(q.codes(), q.spec().scale());
+        let reference = mapped
+            .dequantized_matrix()
+            .transpose()
+            .matvec(q.dequantize().data());
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 1e-3, "analog {g} vs digital {r}");
+        }
+    }
+}

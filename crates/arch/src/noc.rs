@@ -1,0 +1,254 @@
+//! Tile allocation and the mesh network-on-chip (paper §IV-C, Fig. 10).
+//!
+//! "The FORMS system is organized into multiple nodes/tiles … tiles are
+//! connected together in a mesh-based network while the data flow between
+//! different layers (tiles) in a pipelined manner." This module assigns a
+//! model's mapped layers to MCUs and tiles, places the tiles on the mesh,
+//! and estimates the inter-layer communication the mesh must carry.
+
+use forms_hwmodel::{McuConfig, CHIP_TILES, MCUS_PER_TILE};
+
+/// One layer's placement request: how many crossbars it needs and how many
+/// activation bytes it sends to the next layer per inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerPlacement {
+    /// Physical crossbars the layer occupies.
+    pub crossbars: usize,
+    /// Bytes of activations this layer produces per inference.
+    pub output_bytes: usize,
+}
+
+/// A layer's assigned tile range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileAssignment {
+    /// First tile index used by the layer.
+    pub first_tile: usize,
+    /// Number of tiles used (≥ 1).
+    pub tiles: usize,
+    /// MCUs used in total.
+    pub mcus: usize,
+}
+
+impl TileAssignment {
+    /// The tile that forwards this layer's outputs (its last tile).
+    pub fn egress_tile(&self) -> usize {
+        self.first_tile + self.tiles - 1
+    }
+}
+
+/// Result of placing a whole model on the chip.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChipPlacement {
+    assignments: Vec<TileAssignment>,
+    mesh_side: usize,
+    total_tiles: usize,
+}
+
+/// Error placing a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The model needs more tiles than the chip has; carries the shortfall.
+    DoesNotFit {
+        /// Tiles required.
+        required: usize,
+        /// Tiles available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::DoesNotFit {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} tiles but the chip has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl ChipPlacement {
+    /// Places layers onto tiles greedily in layer order (each layer gets
+    /// whole tiles; layers never share a tile, as in ISAAC/FORMS where a
+    /// layer is mapped to one or multiple tiles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::DoesNotFit`] if the model exceeds the
+    /// chip's 168 tiles.
+    pub fn place(mcu: &McuConfig, layers: &[LayerPlacement]) -> Result<Self, PlacementError> {
+        let xbars_per_tile = mcu.crossbars * MCUS_PER_TILE;
+        let mut assignments = Vec::with_capacity(layers.len());
+        let mut next_tile = 0usize;
+        for layer in layers {
+            let mcus = layer.crossbars.div_ceil(mcu.crossbars).max(1);
+            let tiles = layer.crossbars.div_ceil(xbars_per_tile).max(1);
+            assignments.push(TileAssignment {
+                first_tile: next_tile,
+                tiles,
+                mcus,
+            });
+            next_tile += tiles;
+        }
+        if next_tile > CHIP_TILES {
+            return Err(PlacementError::DoesNotFit {
+                required: next_tile,
+                available: CHIP_TILES,
+            });
+        }
+        // Smallest square mesh that covers the used tiles (the physical
+        // chip is a fixed 13×13 = 169 ≥ 168 mesh; a smaller model occupies
+        // a corner of it).
+        let mesh_side = (1..=13).find(|s| s * s >= next_tile.max(1)).unwrap_or(13);
+        Ok(Self {
+            assignments,
+            mesh_side,
+            total_tiles: next_tile,
+        })
+    }
+
+    /// Per-layer assignments, in layer order.
+    pub fn assignments(&self) -> &[TileAssignment] {
+        &self.assignments
+    }
+
+    /// Tiles used in total.
+    pub fn total_tiles(&self) -> usize {
+        self.total_tiles
+    }
+
+    /// Side length of the occupied mesh region.
+    pub fn mesh_side(&self) -> usize {
+        self.mesh_side
+    }
+
+    /// Mesh coordinates of a tile (row-major snake order, the common
+    /// layout that keeps consecutive tiles adjacent).
+    pub fn tile_coords(&self, tile: usize) -> (usize, usize) {
+        let row = tile / self.mesh_side;
+        let col = tile % self.mesh_side;
+        if row.is_multiple_of(2) {
+            (row, col)
+        } else {
+            (row, self.mesh_side - 1 - col)
+        }
+    }
+
+    /// Manhattan hop count between two tiles on the mesh.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        let (r1, c1) = self.tile_coords(from);
+        let (r2, c2) = self.tile_coords(to);
+        r1.abs_diff(r2) + c1.abs_diff(c2)
+    }
+
+    /// Total hop·bytes of inter-layer traffic per inference: each layer's
+    /// output travels from its egress tile to the next layer's first tile.
+    #[allow(clippy::needless_range_loop)] // several arrays are co-indexed
+    pub fn traffic_hop_bytes(&self, layers: &[LayerPlacement]) -> u64 {
+        assert_eq!(layers.len(), self.assignments.len(), "layer count mismatch");
+        let mut total = 0u64;
+        for i in 0..self.assignments.len().saturating_sub(1) {
+            let hops = self.hops(
+                self.assignments[i].egress_tile(),
+                self.assignments[i + 1].first_tile,
+            ) as u64;
+            total += hops * layers[i].output_bytes as u64;
+        }
+        total
+    }
+
+    /// Mesh transfer time per inference at `bytes_per_hop_ns` (bytes a link
+    /// moves per nanosecond), assuming transfers pipeline with compute and
+    /// only the bottleneck link matters — returns the *worst single
+    /// transfer* latency in ns.
+    #[allow(clippy::needless_range_loop)] // several arrays are co-indexed
+    pub fn worst_transfer_ns(&self, layers: &[LayerPlacement], bytes_per_ns: f64) -> f64 {
+        assert!(bytes_per_ns > 0.0, "bandwidth must be positive");
+        let mut worst: f64 = 0.0;
+        for i in 0..self.assignments.len().saturating_sub(1) {
+            let hops = self.hops(
+                self.assignments[i].egress_tile(),
+                self.assignments[i + 1].first_tile,
+            ) as f64;
+            let t = layers[i].output_bytes as f64 / bytes_per_ns + hops;
+            worst = worst.max(t);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(crossbars: usize, output_bytes: usize) -> LayerPlacement {
+        LayerPlacement {
+            crossbars,
+            output_bytes,
+        }
+    }
+
+    #[test]
+    fn small_model_uses_few_tiles() {
+        let mcu = McuConfig::forms(8);
+        let p = ChipPlacement::place(&mcu, &[layer(8, 100), layer(96, 100)]).unwrap();
+        // 8 crossbars = 1 MCU = 1 tile; 96 crossbars = 12 MCUs = 1 tile.
+        assert_eq!(p.total_tiles(), 2);
+        assert_eq!(p.assignments()[0].tiles, 1);
+        assert_eq!(p.assignments()[1].mcus, 12);
+    }
+
+    #[test]
+    fn large_layer_spans_tiles() {
+        let mcu = McuConfig::forms(8);
+        let p = ChipPlacement::place(&mcu, &[layer(200, 0)]).unwrap();
+        // 200 crossbars / (8×12 per tile) = 3 tiles.
+        assert_eq!(p.assignments()[0].tiles, 3);
+    }
+
+    #[test]
+    fn oversized_model_is_rejected() {
+        let mcu = McuConfig::forms(8);
+        let layers = vec![layer(96 * 2, 0); 100]; // 200 tiles
+        let err = ChipPlacement::place(&mcu, &layers).unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::DoesNotFit { required: 200, .. }
+        ));
+    }
+
+    #[test]
+    fn snake_order_keeps_consecutive_tiles_adjacent() {
+        let mcu = McuConfig::forms(8);
+        let layers = vec![layer(96, 64); 9]; // one tile each, 3×3 mesh
+        let p = ChipPlacement::place(&mcu, &layers).unwrap();
+        assert_eq!(p.mesh_side(), 3);
+        for t in 0..8 {
+            assert_eq!(p.hops(t, t + 1), 1, "tiles {t}->{} not adjacent", t + 1);
+        }
+    }
+
+    #[test]
+    fn traffic_counts_hop_bytes() {
+        let mcu = McuConfig::forms(8);
+        let layers = vec![layer(96, 128), layer(96, 64), layer(96, 32)];
+        let p = ChipPlacement::place(&mcu, &layers).unwrap();
+        // Adjacent tiles: 1 hop each → 128 + 64 hop·bytes.
+        assert_eq!(p.traffic_hop_bytes(&layers), 128 + 64);
+    }
+
+    #[test]
+    fn worst_transfer_latency_reflects_bandwidth() {
+        let mcu = McuConfig::forms(8);
+        let layers = vec![layer(96, 1000), layer(96, 10)];
+        let p = ChipPlacement::place(&mcu, &layers).unwrap();
+        let fast = p.worst_transfer_ns(&layers, 100.0);
+        let slow = p.worst_transfer_ns(&layers, 10.0);
+        assert!(slow > fast);
+    }
+}

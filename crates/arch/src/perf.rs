@@ -1,0 +1,177 @@
+//! Frame-processing-rate model (paper §V-D, Figs. 13–14).
+//!
+//! The FORMS/ISAAC pipeline overlaps layers, so the frame rate is set by
+//! the slowest layer. One crossbar processes its `crossbar_dim /
+//! fragment_size` row groups sequentially, spending the layer's average
+//! effective input cycles per group at the MCU's conversion cycle time;
+//! different crossbars (and the crossbars of different layers) run in
+//! parallel. Spare chip capacity replicates layers, which is how model
+//! compression (needing fewer crossbars per model copy) turns into frame
+//! rate.
+
+use forms_hwmodel::{McuConfig, CHIP_TILES, MCUS_PER_TILE};
+
+/// Per-layer inputs to the FPS model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerPerf {
+    /// Matrix-vector activations per image (conv: `out_h × out_w`;
+    /// linear: 1).
+    pub positions: usize,
+    /// Physical crossbars the layer's weights occupy.
+    pub crossbars: usize,
+    /// Average input cycles per fragment activation (16 without
+    /// zero-skipping; the measured mean EIC with it).
+    pub input_cycles: f64,
+}
+
+/// Whole-model frame-rate model on a given MCU configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FpsModel {
+    mcu: McuConfig,
+    layers: Vec<LayerPerf>,
+}
+
+impl FpsModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or any layer has zero positions or
+    /// crossbars.
+    pub fn new(mcu: McuConfig, layers: Vec<LayerPerf>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        assert!(
+            layers.iter().all(|l| l.positions > 0 && l.crossbars > 0),
+            "layers must have positive positions and crossbars"
+        );
+        Self { mcu, layers }
+    }
+
+    /// The MCU configuration.
+    pub fn mcu(&self) -> &McuConfig {
+        &self.mcu
+    }
+
+    /// Crossbars available on the chip.
+    pub fn chip_crossbars(&self) -> usize {
+        self.mcu.crossbars * MCUS_PER_TILE * CHIP_TILES
+    }
+
+    /// Crossbars one copy of the model occupies.
+    pub fn model_crossbars(&self) -> usize {
+        self.layers.iter().map(|l| l.crossbars).sum()
+    }
+
+    /// How many copies of the model fit on the chip (≥ 1; fractional
+    /// replication is allowed for layer-granular duplication, as in
+    /// ISAAC's layer-balanced allocation).
+    pub fn replication(&self) -> f64 {
+        (self.chip_crossbars() as f64 / self.model_crossbars() as f64).max(1.0)
+    }
+
+    /// Latency of layer `i` per image in nanoseconds, after replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_latency_ns(&self, i: usize) -> f64 {
+        let l = &self.layers[i];
+        let groups = (self.mcu.crossbar_dim / self.mcu.fragment_size) as f64;
+        l.positions as f64 * groups * l.input_cycles * self.mcu.conversion_cycle_ns()
+            / self.replication()
+    }
+
+    /// The pipeline bottleneck: the slowest layer's latency in ns.
+    pub fn bottleneck_ns(&self) -> f64 {
+        (0..self.layers.len())
+            .map(|i| self.layer_latency_ns(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// Frames per second (pipelined: throughput = 1 / bottleneck).
+    pub fn fps(&self) -> f64 {
+        1e9 / self.bottleneck_ns()
+    }
+
+    /// Frame-rate speedup over a baseline model.
+    pub fn speedup_over(&self, baseline: &FpsModel) -> f64 {
+        self.fps() / baseline.fps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(positions: usize, crossbars: usize, input_cycles: f64) -> LayerPerf {
+        LayerPerf {
+            positions,
+            crossbars,
+            input_cycles,
+        }
+    }
+
+    fn isaac_model(layers: Vec<LayerPerf>) -> FpsModel {
+        FpsModel::new(McuConfig::isaac(), layers)
+    }
+
+    fn forms_model(fragment: usize, layers: Vec<LayerPerf>) -> FpsModel {
+        FpsModel::new(McuConfig::forms(fragment), layers)
+    }
+
+    #[test]
+    fn bottleneck_is_slowest_layer() {
+        let m = isaac_model(vec![layer(1024, 4, 16.0), layer(64, 4, 16.0)]);
+        assert!((m.bottleneck_ns() - m.layer_latency_ns(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_scales_fps_linearly() {
+        // A model using half the chip gets 2× replication headroom over one
+        // using the whole chip.
+        let small = isaac_model(vec![layer(256, 8064, 16.0)]);
+        let large = isaac_model(vec![layer(256, 16128, 16.0)]);
+        assert!((small.fps() / large.fps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_never_below_one() {
+        // A model bigger than the chip still runs (time-multiplexed), just
+        // without replication.
+        let m = isaac_model(vec![layer(16, 100_000, 16.0)]);
+        assert_eq!(m.replication(), 1.0);
+    }
+
+    #[test]
+    fn zero_skipping_improves_fps_by_eic_ratio() {
+        let without = forms_model(8, vec![layer(256, 64, 16.0)]);
+        let with = forms_model(8, vec![layer(256, 64, 10.7)]);
+        assert!((with.speedup_over(&without) - 16.0 / 10.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_improves_fps_via_replication() {
+        // Pruning to 1/4 of the crossbars quadruples replication (chip
+        // has 16128 crossbars).
+        let dense = isaac_model(vec![layer(256, 8064, 16.0)]);
+        let pruned = isaac_model(vec![layer(256, 2016, 16.0)]);
+        assert!((pruned.speedup_over(&dense) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_grained_forms_loses_raw_fps_to_isaac() {
+        // Without zero-skipping or compression, FORMS at fragment 8 is
+        // slower per crossbar than ISAAC (16 sequential row groups), which
+        // is the paper's motivation for zero-skipping.
+        let layers = vec![layer(256, 1000, 16.0)];
+        let isaac = isaac_model(layers.clone());
+        let forms = forms_model(8, layers);
+        assert!(forms.fps() < isaac.fps());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        FpsModel::new(McuConfig::isaac(), vec![]);
+    }
+}

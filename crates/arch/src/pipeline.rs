@@ -1,0 +1,238 @@
+//! The FORMS execution pipeline (paper Fig. 12).
+//!
+//! Like ISAAC, the pipeline has 22 stages — 26 for layers that need
+//! pooling, where eDRAM is re-read in cycles 23–26 to compute the max of 4
+//! values. The distinguishing FORMS feature is that the input-shift section
+//! has *variable* occupancy: the skipping logic ends it after the
+//! fragment's effective input cycles instead of always burning the full 16.
+//!
+//! The stage plan modelled here follows Fig. 12's structure:
+//!
+//! | cycles | section |
+//! |--------|---------|
+//! | 1–2    | eDRAM read (input registers) |
+//! | 3–18   | input shift + in-situ MAC + ADC (variable, ≤ 16) |
+//! | 19     | shift-&-add accumulation |
+//! | 20     | activation function |
+//! | 21–22  | eDRAM write |
+//! | 23–26  | max-pooling read/compare/write (optional) |
+
+/// One pipeline section with its residency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineStage {
+    /// Section name.
+    pub name: &'static str,
+    /// Base residency in cycles (the input-shift section's residency is
+    /// overridden per operation).
+    pub cycles: u32,
+    /// Whether this section's residency is the per-operation variable
+    /// input-shift time.
+    pub variable: bool,
+}
+
+/// An operation flowing through the pipeline: one fragment-group activation
+/// with its input-shift cycle count (EIC under zero-skipping, the full bit
+/// width without).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineOp {
+    /// Input-shift cycles this operation needs (0 = fully skipped; it still
+    /// occupies one cycle to be recognized).
+    pub shift_cycles: u32,
+}
+
+/// The FORMS/ISAAC 22-stage (26 with pooling) pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pipeline {
+    stages: Vec<PipelineStage>,
+    input_bits: u32,
+}
+
+impl Pipeline {
+    /// Builds the pipeline for `input_bits`-bit activations, optionally
+    /// with the 4 pooling stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits` is zero.
+    pub fn new(input_bits: u32, with_pooling: bool) -> Self {
+        assert!(input_bits > 0, "input bits must be positive");
+        let mut stages = vec![
+            PipelineStage {
+                name: "eDRAM read",
+                cycles: 2,
+                variable: false,
+            },
+            PipelineStage {
+                name: "input shift + MAC + ADC",
+                cycles: input_bits,
+                variable: true,
+            },
+            PipelineStage {
+                name: "shift-&-add",
+                cycles: 1,
+                variable: false,
+            },
+            PipelineStage {
+                name: "activation",
+                cycles: 1,
+                variable: false,
+            },
+            PipelineStage {
+                name: "eDRAM write",
+                cycles: 2,
+                variable: false,
+            },
+        ];
+        if with_pooling {
+            stages.push(PipelineStage {
+                name: "max-pool",
+                cycles: 4,
+                variable: false,
+            });
+        }
+        Self { stages, input_bits }
+    }
+
+    /// The stage sections.
+    pub fn stages(&self) -> &[PipelineStage] {
+        &self.stages
+    }
+
+    /// Total cycle depth for a full (non-skipped) operation — 22 for the
+    /// paper's 16-bit configuration, 26 with pooling.
+    pub fn depth_cycles(&self) -> u32 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Simulates a stream of operations through the pipeline (each section
+    /// holds one operation at a time; an operation advances when the next
+    /// section is free). Returns the total cycles until the last operation
+    /// drains.
+    pub fn run(&self, ops: &[PipelineOp]) -> u64 {
+        if ops.is_empty() {
+            return 0;
+        }
+        // end[g] = cycle when section g becomes free.
+        let mut end = vec![0u64; self.stages.len()];
+        let mut finish = 0u64;
+        for op in ops {
+            let mut t = 0u64; // cycle when this op may enter section 0
+            for (g, stage) in self.stages.iter().enumerate() {
+                let residency = if stage.variable {
+                    // A fully skipped fragment still takes one cycle for the
+                    // skip signal to be recognized.
+                    op.shift_cycles.clamp(1, self.input_bits) as u64
+                } else {
+                    stage.cycles as u64
+                };
+                let start = t.max(end[g]);
+                t = start + residency;
+                end[g] = t;
+            }
+            finish = t;
+        }
+        finish
+    }
+
+    /// Steady-state cycles per operation for a uniform stream: the
+    /// bottleneck section's residency.
+    pub fn steady_state_cycles(&self, shift_cycles: u32) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| {
+                if s.variable {
+                    shift_cycles.clamp(1, self.input_bits) as u64
+                } else {
+                    s.cycles as u64
+                }
+            })
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_matches_paper_stage_counts() {
+        assert_eq!(Pipeline::new(16, false).depth_cycles(), 22);
+        assert_eq!(Pipeline::new(16, true).depth_cycles(), 26);
+    }
+
+    #[test]
+    fn single_op_takes_full_depth() {
+        let p = Pipeline::new(16, false);
+        let t = p.run(&[PipelineOp { shift_cycles: 16 }]);
+        assert_eq!(t, 22);
+    }
+
+    #[test]
+    fn skipped_op_is_faster() {
+        let p = Pipeline::new(16, false);
+        let fast = p.run(&[PipelineOp { shift_cycles: 5 }]);
+        assert_eq!(fast, 22 - 11);
+    }
+
+    #[test]
+    fn steady_state_is_bottlenecked_by_shift_section() {
+        let p = Pipeline::new(16, false);
+        assert_eq!(p.steady_state_cycles(16), 16);
+        assert_eq!(p.steady_state_cycles(10), 10);
+        // Below the fixed sections' 2-cycle eDRAM, those dominate.
+        assert_eq!(p.steady_state_cycles(1), 2);
+    }
+
+    #[test]
+    fn pipelined_stream_amortizes_depth() {
+        let p = Pipeline::new(16, false);
+        let ops = vec![PipelineOp { shift_cycles: 16 }; 100];
+        let total = p.run(&ops);
+        // fill + (n−1) × bottleneck.
+        assert_eq!(total, 22 + 99 * 16);
+    }
+
+    #[test]
+    fn zero_skipping_speeds_up_streams() {
+        let p = Pipeline::new(16, false);
+        let full = p.run(&vec![PipelineOp { shift_cycles: 16 }; 50]);
+        let skipped = p.run(&vec![PipelineOp { shift_cycles: 10 }; 50]);
+        assert!(skipped < full);
+        // Ratio approaches 16/10 for long streams.
+        let ratio = full as f64 / skipped as f64;
+        assert!(ratio > 1.45 && ratio < 1.65, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mixed_eic_stream_is_order_insensitive_in_total_work() {
+        let p = Pipeline::new(16, false);
+        let a = p.run(&[
+            PipelineOp { shift_cycles: 16 },
+            PipelineOp { shift_cycles: 2 },
+            PipelineOp { shift_cycles: 9 },
+        ]);
+        let b = p.run(&[
+            PipelineOp { shift_cycles: 9 },
+            PipelineOp { shift_cycles: 16 },
+            PipelineOp { shift_cycles: 2 },
+        ]);
+        // Totals differ only through pipeline scheduling, not work; both
+        // are bounded by fill + Σ shift.
+        for t in [a, b] {
+            assert!(t >= 22 && t <= 22 + 27);
+        }
+    }
+
+    #[test]
+    fn empty_stream_takes_no_time() {
+        assert_eq!(Pipeline::new(16, true).run(&[]), 0);
+    }
+
+    #[test]
+    fn fully_skipped_op_still_costs_a_recognition_cycle() {
+        let p = Pipeline::new(16, false);
+        let t = p.run(&[PipelineOp { shift_cycles: 0 }]);
+        assert_eq!(t, 7); // 2 + 1 + 1 + 1 + 2
+    }
+}

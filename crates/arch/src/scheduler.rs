@@ -1,0 +1,179 @@
+//! MCU-level fragment scheduling (paper Fig. 11).
+//!
+//! An MCU owns eight crossbars, each with its own ADC group; a layer's
+//! fragment activations are distributed over the crossbars and processed in
+//! parallel, each activation occupying its crossbar for its effective input
+//! cycles. Because EIC varies per fragment (that is the whole point of
+//! zero-skipping), naive round-robin assignment leaves crossbars idle while
+//! one drains a long queue; the classic longest-processing-time heuristic
+//! rebalances it. This module models both and reports makespan and
+//! utilization.
+
+use forms_hwmodel::McuConfig;
+
+/// One fragment activation to schedule: the input cycles it occupies a
+/// crossbar for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentJob {
+    /// Effective input cycles (1..=input_bits).
+    pub cycles: u32,
+}
+
+/// How jobs are distributed over the MCU's crossbars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignmentPolicy {
+    /// Jobs dealt to crossbars in rotation (the hardware default: fragments
+    /// arrive in address order).
+    RoundRobin,
+    /// Longest-processing-time-first greedy balancing (an idealized
+    /// scheduler with global knowledge; the lower-bound comparator).
+    LongestFirst,
+}
+
+/// Outcome of scheduling a job set on one MCU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleReport {
+    /// Cycles until the last crossbar finishes.
+    pub makespan: u64,
+    /// Total busy cycles per crossbar.
+    pub busy: Vec<u64>,
+    /// Mean crossbar utilization over the makespan, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl ScheduleReport {
+    /// The theoretical minimum makespan (perfectly divisible work).
+    pub fn lower_bound(&self) -> u64 {
+        let total: u64 = self.busy.iter().sum();
+        total.div_ceil(self.busy.len() as u64)
+    }
+}
+
+/// Schedules fragment jobs on an MCU's crossbars under a policy.
+///
+/// # Panics
+///
+/// Panics if the MCU has no crossbars or any job has zero cycles.
+pub fn schedule(mcu: &McuConfig, jobs: &[FragmentJob], policy: AssignmentPolicy) -> ScheduleReport {
+    assert!(mcu.crossbars > 0, "MCU must have crossbars");
+    assert!(
+        jobs.iter().all(|j| j.cycles > 0),
+        "jobs must take at least one cycle"
+    );
+    let n = mcu.crossbars;
+    let mut busy = vec![0u64; n];
+    match policy {
+        AssignmentPolicy::RoundRobin => {
+            for (i, job) in jobs.iter().enumerate() {
+                busy[i % n] += u64::from(job.cycles);
+            }
+        }
+        AssignmentPolicy::LongestFirst => {
+            let mut sorted: Vec<u32> = jobs.iter().map(|j| j.cycles).collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for cycles in sorted {
+                // Place on the least-loaded crossbar.
+                let min = busy
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                busy[min] += u64::from(cycles);
+            }
+        }
+    }
+    let makespan = busy.iter().copied().max().unwrap_or(0);
+    let utilization = if makespan == 0 {
+        0.0
+    } else {
+        busy.iter().sum::<u64>() as f64 / (makespan * n as u64) as f64
+    };
+    ScheduleReport {
+        makespan,
+        busy,
+        utilization,
+    }
+}
+
+/// Builds the job set of one layer activation from per-fragment EICs.
+pub fn jobs_from_eics(eics: &[u32]) -> Vec<FragmentJob> {
+    eics.iter()
+        .map(|&e| FragmentJob {
+            cycles: e.max(1), // a fully skipped fragment still costs the
+                              // skip-recognition cycle
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mcu() -> McuConfig {
+        McuConfig::forms(8)
+    }
+
+    #[test]
+    fn uniform_jobs_balance_perfectly_either_way() {
+        let jobs = vec![FragmentJob { cycles: 10 }; 16];
+        let rr = schedule(&mcu(), &jobs, AssignmentPolicy::RoundRobin);
+        let lf = schedule(&mcu(), &jobs, AssignmentPolicy::LongestFirst);
+        assert_eq!(rr.makespan, 20);
+        assert_eq!(lf.makespan, 20);
+        assert!((rr.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_first_never_loses_to_round_robin() {
+        // Skewed EICs: one long job per 8 short ones.
+        let mut jobs = Vec::new();
+        for i in 0..64 {
+            jobs.push(FragmentJob {
+                cycles: if i % 9 == 0 { 16 } else { 2 },
+            });
+        }
+        let rr = schedule(&mcu(), &jobs, AssignmentPolicy::RoundRobin);
+        let lf = schedule(&mcu(), &jobs, AssignmentPolicy::LongestFirst);
+        assert!(lf.makespan <= rr.makespan);
+        assert!(lf.makespan >= lf.lower_bound());
+    }
+
+    #[test]
+    fn lpt_is_within_4_3_of_lower_bound() {
+        // Graham's bound for LPT: makespan ≤ (4/3 − 1/3m) · OPT.
+        let jobs: Vec<FragmentJob> = (1..=40)
+            .map(|i| FragmentJob {
+                cycles: (i * 7 % 16) as u32 + 1,
+            })
+            .collect();
+        let lf = schedule(&mcu(), &jobs, AssignmentPolicy::LongestFirst);
+        let bound = (lf.lower_bound() as f64 * 4.0 / 3.0).ceil() as u64 + 16;
+        assert!(lf.makespan <= bound, "{} > {}", lf.makespan, bound);
+    }
+
+    #[test]
+    fn empty_job_set_is_free() {
+        let r = schedule(&mcu(), &[], AssignmentPolicy::RoundRobin);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.utilization, 0.0);
+    }
+
+    #[test]
+    fn jobs_from_eics_charges_skip_recognition() {
+        let jobs = jobs_from_eics(&[0, 3, 16]);
+        assert_eq!(jobs[0].cycles, 1);
+        assert_eq!(jobs[1].cycles, 3);
+        assert_eq!(jobs[2].cycles, 16);
+    }
+
+    #[test]
+    fn utilization_reflects_imbalance() {
+        // One giant job starves the other crossbars.
+        let mut jobs = vec![FragmentJob { cycles: 100 }];
+        jobs.extend(vec![FragmentJob { cycles: 1 }; 7]);
+        let r = schedule(&mcu(), &jobs, AssignmentPolicy::RoundRobin);
+        assert_eq!(r.makespan, 100);
+        assert!(r.utilization < 0.2);
+    }
+}

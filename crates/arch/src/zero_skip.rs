@@ -1,0 +1,263 @@
+//! Effective input cycles and the zero-skipping logic (paper §IV-B, Fig. 7
+//! and Fig. 9).
+//!
+//! Inputs are fed to the crossbar bit-serially, least-significant bit
+//! first, from parallel-in/serial-out shift registers. Every cycle the
+//! remaining register contents are NOR-ed per input and AND-ed across the
+//! fragment; the moment every register is empty the skip signal fires and
+//! the remaining (all-zero, most-significant) cycles are skipped. The
+//! number of cycles actually spent equals the fragment's *effective input
+//! cycles* (EIC): the maximum effective bit count over the fragment's
+//! inputs.
+
+/// Number of *effective bits* of an input code: its bit length after
+/// stripping leading zeros (paper Fig. 7). Zero has 0 effective bits.
+///
+/// # Example
+///
+/// ```
+/// use forms_arch::effective_bits;
+///
+/// assert_eq!(effective_bits(0), 0);
+/// assert_eq!(effective_bits(0b0000_1011), 4);
+/// assert_eq!(effective_bits(0b0100_0000), 7);
+/// ```
+pub fn effective_bits(code: u32) -> u32 {
+    32 - code.leading_zeros()
+}
+
+/// The *effective input cycles* a fragment needs: the maximum effective
+/// bits over all of the fragment's inputs (paper Fig. 7 — `inp₂` with 7
+/// effective bits forces EIC 7 even though `inp₁` only has 6).
+///
+/// Returns 0 for an all-zero fragment (its computation can be skipped
+/// outright).
+pub fn fragment_eic(codes: &[u32]) -> u32 {
+    codes.iter().copied().map(effective_bits).max().unwrap_or(0)
+}
+
+/// Cycles saved by zero-skipping relative to feeding all `input_bits` bits.
+///
+/// # Panics
+///
+/// Panics if any code needs more than `input_bits` bits.
+pub fn cycles_saved(codes: &[u32], input_bits: u32) -> u32 {
+    let eic = fragment_eic(codes);
+    assert!(
+        eic <= input_bits,
+        "input code exceeds {input_bits}-bit representation (EIC {eic})"
+    );
+    input_bits - eic
+}
+
+/// The bank of parallel-in/serial-out shift registers feeding one fragment,
+/// with the NOR/AND zero-skip detector of paper Fig. 9.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShiftRegisterBank {
+    registers: Vec<u32>,
+    cycles: u32,
+}
+
+impl ShiftRegisterBank {
+    /// Loads the fragment's input codes in parallel.
+    pub fn load(codes: &[u32]) -> Self {
+        Self {
+            registers: codes.to_vec(),
+            cycles: 0,
+        }
+    }
+
+    /// The skip signal: AND over the per-register NORs — true when every
+    /// remaining register content is zero and shifting can stop.
+    pub fn all_zero(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// Shifts one cycle, returning the current LSB of every register — the
+    /// bits driven onto the DACs this cycle — or `None` if the skip signal
+    /// has fired and the cycle is saved.
+    pub fn step(&mut self) -> Option<Vec<bool>> {
+        if self.all_zero() {
+            return None;
+        }
+        self.cycles += 1;
+        let bits = self.registers.iter().map(|&r| r & 1 == 1).collect();
+        for r in &mut self.registers {
+            *r >>= 1;
+        }
+        Some(bits)
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// Drains the bank, returning all bit vectors (cycle by cycle, LSB
+    /// first) — exactly `fragment_eic` of them.
+    pub fn drain(mut self) -> Vec<Vec<bool>> {
+        let mut planes = Vec::new();
+        while let Some(bits) = self.step() {
+            planes.push(bits);
+        }
+        planes
+    }
+}
+
+/// Statistics of EIC over many fragments (backs paper Fig. 8).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EicStats {
+    /// Histogram: `histogram[e]` = number of fragments with EIC `e`
+    /// (index 0..=input_bits).
+    pub histogram: Vec<usize>,
+    /// Mean EIC over all fragments.
+    pub mean: f64,
+    /// Number of fragments measured.
+    pub fragments: usize,
+}
+
+/// Measures EIC over consecutive fragments of `fragment_size` inputs
+/// (the last fragment may be partial).
+///
+/// # Panics
+///
+/// Panics if `fragment_size` is zero or any code exceeds `input_bits` bits.
+pub fn eic_stats(codes: &[u32], fragment_size: usize, input_bits: u32) -> EicStats {
+    assert!(fragment_size > 0, "fragment size must be positive");
+    let mut histogram = vec![0usize; input_bits as usize + 1];
+    let mut total = 0u64;
+    let mut fragments = 0usize;
+    for chunk in codes.chunks(fragment_size) {
+        let eic = fragment_eic(chunk);
+        assert!(
+            eic <= input_bits,
+            "code exceeds {input_bits}-bit representation"
+        );
+        histogram[eic as usize] += 1;
+        total += eic as u64;
+        fragments += 1;
+    }
+    EicStats {
+        histogram,
+        mean: if fragments == 0 {
+            0.0
+        } else {
+            total as f64 / fragments as f64
+        },
+        fragments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bits_examples_from_fig7() {
+        // Fig. 7: a 16-bit input 0000000000101101 has 6 effective bits;
+        // 0000000001001011 has 7.
+        assert_eq!(effective_bits(0b101101), 6);
+        assert_eq!(effective_bits(0b1001011), 7);
+    }
+
+    #[test]
+    fn fragment_eic_is_max_over_inputs() {
+        // Fig. 7's fragment: inp1 (6 bits) and inp2 (7 bits) → EIC 7.
+        assert_eq!(fragment_eic(&[0b101101, 0b1001011]), 7);
+        assert_eq!(fragment_eic(&[]), 0);
+        assert_eq!(fragment_eic(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn shift_bank_stops_after_eic_cycles() {
+        let codes = [0b101101u32, 0b1001011, 0, 3];
+        let mut bank = ShiftRegisterBank::load(&codes);
+        let mut cycles = 0;
+        while bank.step().is_some() {
+            cycles += 1;
+        }
+        assert_eq!(cycles, fragment_eic(&codes));
+        assert_eq!(bank.cycles(), 7);
+    }
+
+    #[test]
+    fn shift_bank_bits_reconstruct_codes() {
+        let codes = [0b1011u32, 0b0110, 0b0001];
+        let planes = ShiftRegisterBank::load(&codes).drain();
+        let mut rebuilt = vec![0u32; codes.len()];
+        for (cycle, bits) in planes.iter().enumerate() {
+            for (r, &b) in rebuilt.iter_mut().zip(bits) {
+                *r |= (b as u32) << cycle;
+            }
+        }
+        assert_eq!(rebuilt, codes);
+    }
+
+    #[test]
+    fn all_zero_fragment_is_skipped_entirely() {
+        let mut bank = ShiftRegisterBank::load(&[0, 0, 0, 0]);
+        assert!(bank.all_zero());
+        assert_eq!(bank.step(), None);
+        assert_eq!(bank.cycles(), 0);
+    }
+
+    #[test]
+    fn zero_skip_never_changes_the_dot_product() {
+        // Feeding only EIC cycles must yield the same weighted sum as
+        // feeding all 16: the skipped planes are all-zero.
+        let codes = [37u32, 1200, 0, 15];
+        let weights = [3u64, 1, 2, 3];
+        let full: u64 = codes
+            .iter()
+            .zip(&weights)
+            .map(|(&c, &w)| c as u64 * w)
+            .sum();
+        let mut acc = 0u64;
+        for (cycle, bits) in ShiftRegisterBank::load(&codes).drain().iter().enumerate() {
+            let plane: u64 = bits
+                .iter()
+                .zip(&weights)
+                .map(|(&b, &w)| (b as u64) * w)
+                .sum();
+            acc += plane << cycle;
+        }
+        assert_eq!(acc, full);
+    }
+
+    #[test]
+    fn cycles_saved_matches_paper_arithmetic() {
+        // Average EIC 10.7 over 16 bits saves 33% of cycles (paper §IV-B).
+        assert_eq!(cycles_saved(&[0b101101], 16), 10);
+        assert_eq!(cycles_saved(&[0], 16), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_code_rejected_in_cycles_saved() {
+        cycles_saved(&[1 << 17], 16);
+    }
+
+    #[test]
+    fn eic_stats_histogram_and_mean() {
+        // Fragments of 2: [3, 0] → EIC 2; [1, 1] → 1; [0, 0] → 0.
+        let stats = eic_stats(&[3, 0, 1, 1, 0, 0], 2, 16);
+        assert_eq!(stats.fragments, 3);
+        assert_eq!(stats.histogram[2], 1);
+        assert_eq!(stats.histogram[1], 1);
+        assert_eq!(stats.histogram[0], 1);
+        assert!((stats.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_fragments_never_decrease_eic() {
+        // Monotonicity: the max over a superset is ≥ the max over a subset,
+        // so mean EIC grows with fragment size (the paper's Fig. 8 trend).
+        let codes: Vec<u32> = (0..256).map(|i| (i * 37) % 4096).collect();
+        let mut last = 0.0;
+        for frag in [4usize, 8, 16, 32, 64, 128] {
+            let mean = eic_stats(&codes, frag, 16).mean;
+            assert!(mean >= last, "EIC decreased at fragment {frag}");
+            last = mean;
+        }
+    }
+}

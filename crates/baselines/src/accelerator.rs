@@ -1,0 +1,298 @@
+//! End-to-end ISAAC accelerator simulation: a whole DNN executed through
+//! offset-encoded crossbars — the apples-to-apples counterpart of
+//! `forms_arch::Accelerator`, used by the comparative experiments.
+//!
+//! Unlike FORMS, ISAAC needs no polarization: any trained network maps
+//! directly. The price is the per-input-bit ones-counting and offset
+//! subtraction, which the statistics expose.
+
+use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
+
+use crate::isaac::{IsaacLayer, IsaacStats};
+
+/// Configuration of the ISAAC executor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsaacConfig {
+    /// Crossbar dimension (128 in the paper).
+    pub crossbar_dim: usize,
+    /// ReRAM cell spec.
+    pub cell: forms_reram::CellSpec,
+    /// Weight bits (offset-encoded).
+    pub weight_bits: u32,
+    /// Activation bits.
+    pub input_bits: u32,
+}
+
+impl IsaacConfig {
+    /// The paper's ISAAC configuration (128×128, 2-bit cells, 16-bit
+    /// inputs, 8-bit weights for the quantized variant).
+    pub fn paper() -> Self {
+        Self {
+            crossbar_dim: 128,
+            cell: forms_reram::CellSpec::paper_2bit(),
+            weight_bits: 8,
+            input_bits: 16,
+        }
+    }
+}
+
+/// A DNN mapped onto offset-encoded ISAAC crossbars.
+#[derive(Clone, Debug)]
+pub struct IsaacAccelerator {
+    net: Network,
+    mapped: Vec<IsaacLayer>,
+    config: IsaacConfig,
+    stats: IsaacStats,
+}
+
+impl IsaacAccelerator {
+    /// Maps any trained network — signed weights are fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight layer is entirely zero.
+    pub fn map_network(net: &Network, config: IsaacConfig) -> Self {
+        let mut net = net.clone();
+        let mut mapped = Vec::new();
+        net.for_each_weight_layer(&mut |wl| {
+            let m = match wl {
+                WeightLayerMut::Conv(c) => c.weight_matrix(),
+                WeightLayerMut::Linear(l) => l.weight_matrix(),
+            };
+            mapped.push(IsaacLayer::map_with(
+                &m,
+                config.weight_bits,
+                config.input_bits,
+                config.crossbar_dim,
+                config.cell,
+            ));
+        });
+        Self {
+            net,
+            mapped,
+            config,
+            stats: IsaacStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IsaacConfig {
+        &self.config
+    }
+
+    /// Total crossbars used.
+    pub fn total_crossbars(&self) -> usize {
+        self.mapped.iter().map(IsaacLayer::crossbar_count).sum()
+    }
+
+    /// Accumulated statistics since the last reset.
+    pub fn stats(&self) -> IsaacStats {
+        self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = IsaacStats::default();
+    }
+
+    fn merge(&mut self, s: IsaacStats) {
+        self.stats.cycles += s.cycles;
+        self.stats.adc_conversions += s.adc_conversions;
+        self.stats.ones_counted += s.ones_counted;
+        self.stats.offset_subtractions += s.offset_subtractions;
+    }
+
+    /// Runs inference on a `[N, ...]` batch through the offset-encoded
+    /// analog path.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut layers = std::mem::take(&mut self.net).into_layers();
+        let mut widx = 0;
+        let mut y = x.clone();
+        for layer in &mut layers {
+            y = self.forward_layer(layer, &y, &mut widx);
+        }
+        self.net = Network::new(layers);
+        y
+    }
+
+    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
+        match layer {
+            Layer::Conv2d(conv) => {
+                let idx = *widx;
+                *widx += 1;
+                let geom = Conv2dGeometry::new(
+                    conv.in_channels(),
+                    x.dims()[2],
+                    x.dims()[3],
+                    conv.kernel(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.padding(),
+                );
+                let bias = conv.bias().value.clone();
+                self.conv_forward(idx, x, &geom, &bias)
+            }
+            Layer::Linear(lin) => {
+                let idx = *widx;
+                *widx += 1;
+                let bias = lin.bias().value.clone();
+                self.linear_forward(idx, x, &bias)
+            }
+            Layer::Residual(block) => {
+                let mut y = x.clone();
+                for l in block.body_mut() {
+                    y = self.forward_layer(l, &y, widx);
+                }
+                let shortcut = match block.projection_mut() {
+                    Some(p) => self.forward_layer(p, x, widx),
+                    None => x.clone(),
+                };
+                y.zip(&shortcut, |a, b| (a + b).max(0.0))
+            }
+            other => other.forward(x, false),
+        }
+    }
+
+    fn quantize(&self, t: &Tensor) -> QuantizedTensor {
+        let spec = FixedSpec::for_max_value(self.config.input_bits, t.max());
+        QuantizedTensor::quantize_with(t, spec)
+    }
+
+    fn conv_forward(
+        &mut self,
+        idx: usize,
+        x: &Tensor,
+        geom: &Conv2dGeometry,
+        bias: &Tensor,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let f = bias.len();
+        let positions = geom.out_positions();
+        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+        for s in 0..n {
+            let sample = Tensor::from_vec(
+                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
+                &[c, h, w],
+            );
+            let cols = im2col(&sample, geom);
+            let q = self.quantize(&cols);
+            let patch = geom.patch_len();
+            for p in 0..positions {
+                let codes: Vec<u32> = (0..patch).map(|r| q.codes()[r * positions + p]).collect();
+                let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
+                self.merge(stats);
+                for (fi, v) in vals.iter().enumerate() {
+                    out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        let (n, in_features) = (x.dims()[0], x.dims()[1]);
+        let o = bias.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        for s in 0..n {
+            let row = Tensor::from_vec(
+                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
+                &[in_features],
+            );
+            let q = self.quantize(&row);
+            let (vals, stats) = self.mapped[idx].matvec(q.codes(), q.spec().scale());
+            self.merge(stats);
+            for (j, v) in vals.iter().enumerate() {
+                out.data_mut()[s * o + j] = v + bias.data()[j];
+            }
+        }
+        out
+    }
+
+    /// Classification accuracy of the mapped model on a dataset.
+    pub fn evaluate(&mut self, data: &forms_dnn::data::Dataset, batch_size: usize) -> f32 {
+        assert!(batch_size > 0, "batch size must be positive");
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0.0;
+        for (x, labels) in data.batches(batch_size) {
+            let logits = self.forward(&x);
+            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+        }
+        correct / data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_dnn::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> IsaacConfig {
+        IsaacConfig {
+            crossbar_dim: 16,
+            cell: forms_reram::CellSpec::paper_2bit(),
+            weight_bits: 8,
+            input_bits: 12,
+        }
+    }
+
+    #[test]
+    fn unpolarized_network_runs_and_tracks_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 4, 3, 1, 1),
+            Layer::relu(),
+            Layer::max_pool(2),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 4 * 4 * 4, 3),
+        ]);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 7) as f32 / 8.0);
+        let digital = net.clone().forward(&x);
+        let analog = isaac.forward(&x);
+        let err = analog.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
+        assert!(err < 0.05, "relative error {err}");
+        assert!(isaac.stats().offset_subtractions > 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Network::new(vec![Layer::flatten(), Layer::linear(&mut rng, 16, 2)]);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        isaac.forward(&Tensor::ones(&[1, 1, 4, 4]));
+        assert!(isaac.stats().cycles > 0);
+        isaac.reset_stats();
+        assert_eq!(isaac.stats(), IsaacStats::default());
+    }
+
+    #[test]
+    fn residual_network_runs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = forms_dnn::ResidualBlock::new(
+            vec![
+                Layer::conv2d(&mut rng, 2, 2, 3, 1, 1),
+                Layer::relu(),
+                Layer::conv2d(&mut rng, 2, 2, 3, 1, 1),
+            ],
+            None,
+        );
+        let net = Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 2, 3, 1, 1),
+            Layer::relu(),
+            Layer::Residual(block),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 2 * 4 * 4, 2),
+        ]);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32 / 16.0);
+        let digital = net.clone().forward(&x);
+        let analog = isaac.forward(&x);
+        let err = analog.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
+        assert!(err < 0.08, "relative error {err}");
+    }
+}

@@ -1,0 +1,337 @@
+//! The ISAAC offset-encoding crossbar model (paper §II-B and ref. \[18\]).
+
+use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar};
+use forms_tensor::Tensor;
+
+/// Statistics of one ISAAC matrix-vector multiplication.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IsaacStats {
+    /// Input shift cycles spent (always `input_bits` per row block — ISAAC
+    /// has no zero-skipping).
+    pub cycles: u64,
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Input `1`s counted by the offset-correction circuitry.
+    pub ones_counted: u64,
+    /// Offset subtractions performed (one per counted `1`, as the paper
+    /// describes the overhead).
+    pub offset_subtractions: u64,
+}
+
+/// A signed weight matrix mapped with ISAAC's offset encoding.
+///
+/// Every quantized weight code `k ∈ [−(2^(b−1)−1), 2^(b−1)−1]` is stored as
+/// the non-negative `k + 2^(b−1)`; the analog result is corrected digitally
+/// by subtracting `2^(b−1) × (number of 1 input bits)` per bit plane.
+#[derive(Clone, Debug)]
+pub struct IsaacLayer {
+    crossbar_dim: usize,
+    input_bits: u32,
+    bias: u64,
+    step: f32,
+    row_index: Vec<usize>,
+    col_index: Vec<usize>,
+    orig_rows: usize,
+    orig_cols: usize,
+    crossbars: Vec<Crossbar>,
+    xb_cols: usize,
+    adc: Adc,
+    slicer: BitSlicer,
+}
+
+impl IsaacLayer {
+    /// Maps a signed matrix with the paper's 128×128 / 2-bit-cell
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not rank-2 or entirely zero.
+    pub fn map(matrix: &Tensor, weight_bits: u32, input_bits: u32) -> Self {
+        Self::map_with(matrix, weight_bits, input_bits, 128, CellSpec::paper_2bit())
+    }
+
+    /// Maps with explicit crossbar dimension and cell spec (small arrays
+    /// for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not rank-2 or entirely zero, or if
+    /// `weight_bits < 2`.
+    pub fn map_with(
+        matrix: &Tensor,
+        weight_bits: u32,
+        input_bits: u32,
+        crossbar_dim: usize,
+        cell: CellSpec,
+    ) -> Self {
+        assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
+        assert!(weight_bits >= 2, "need at least 2 weight bits");
+        let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
+        let nz = |r: usize, c: usize| matrix.data()[r * cols + c] != 0.0;
+        let row_index: Vec<usize> = (0..rows).filter(|&r| (0..cols).any(|c| nz(r, c))).collect();
+        let col_index: Vec<usize> = (0..cols).filter(|&c| (0..rows).any(|r| nz(r, c))).collect();
+        assert!(
+            !row_index.is_empty() && !col_index.is_empty(),
+            "cannot map an all-zero matrix"
+        );
+
+        let levels = ((1u64 << (weight_bits - 1)) - 1) as f32;
+        let abs_max = matrix.abs_max();
+        let step = if abs_max > 0.0 { abs_max / levels } else { 1.0 };
+        let bias = 1u64 << (weight_bits - 1);
+        let slicer = BitSlicer::new(weight_bits, cell.bits());
+        let cpw = slicer.cells_per_weight();
+
+        let xb_rows = row_index.len().div_ceil(crossbar_dim);
+        let xb_cols = (col_index.len() * cpw).div_ceil(crossbar_dim);
+        let mut crossbars =
+            vec![Crossbar::new(crossbar_dim, crossbar_dim, cell); xb_rows * xb_cols];
+
+        for (ci, &c) in col_index.iter().enumerate() {
+            for (ri, &r) in row_index.iter().enumerate() {
+                let w = matrix.data()[r * cols + c];
+                let k = (w / step).round().clamp(-levels, levels) as i64;
+                let encoded = (k + bias as i64) as u32;
+                let (xr, row_in_xb) = (ri / crossbar_dim, ri % crossbar_dim);
+                for (slice, &s) in slicer.slice(encoded).iter().enumerate() {
+                    let cell_col = ci * cpw + slice;
+                    let (xc, col_in_xb) = (cell_col / crossbar_dim, cell_col % crossbar_dim);
+                    crossbars[xr * xb_cols + xc].program_cell(row_in_xb, col_in_xb, s);
+                }
+            }
+        }
+
+        let adc = Adc::ideal_for(crossbar_dim, &cell);
+        Self {
+            crossbar_dim,
+            input_bits,
+            bias,
+            step,
+            row_index,
+            col_index,
+            orig_rows: rows,
+            orig_cols: cols,
+            crossbars,
+            xb_cols,
+            adc,
+            slicer,
+        }
+    }
+
+    /// Weight quantization step.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Physical crossbars used.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Mutable access to the crossbars (variation injection).
+    pub fn crossbars_mut(&mut self) -> &mut [Crossbar] {
+        &mut self.crossbars
+    }
+
+    /// Reconstructs the (quantized, signed) weight matrix this mapping
+    /// represents, in original indexing.
+    pub fn dequantized_matrix(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.orig_rows, self.orig_cols]);
+        let cpw = self.slicer.cells_per_weight();
+        let dim = self.crossbar_dim;
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            for (ri, &r) in self.row_index.iter().enumerate() {
+                let (xr, row_in_xb) = (ri / dim, ri % dim);
+                let slices: Vec<u64> = (0..cpw)
+                    .map(|k| {
+                        let cell_col = ci * cpw + k;
+                        let (xc, col_in_xb) = (cell_col / dim, cell_col % dim);
+                        self.crossbars[xr * self.xb_cols + xc].read_cell(row_in_xb, col_in_xb)
+                            as u64
+                    })
+                    .collect();
+                let encoded = self.slicer.recombine(&slices) as i64;
+                let k = encoded - self.bias as i64;
+                out.data_mut()[r * self.orig_cols + c] = k as f32 * self.step;
+            }
+        }
+        out
+    }
+
+    /// Executes the coarse-grained offset-encoded MVM: all rows of each
+    /// crossbar block activate together, every input bit plane is fed (no
+    /// zero-skipping), and the counted-ones offset is subtracted digitally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_codes.len()` differs from the original row count or
+    /// any code exceeds `input_bits`.
+    pub fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
+        assert_eq!(
+            input_codes.len(),
+            self.orig_rows,
+            "need one input code per original row"
+        );
+        let dim = self.crossbar_dim;
+        let cpw = self.slicer.cells_per_weight();
+        let cell_bits = self.slicer.cell_bits();
+        let mut stats = IsaacStats::default();
+        let mut accs = vec![0i64; self.col_index.len()];
+
+        for (block, rows) in self.row_index.chunks(dim).enumerate() {
+            let codes: Vec<u32> = rows
+                .iter()
+                .map(|&r| {
+                    let code = input_codes[r];
+                    assert!(
+                        u64::from(code) < (1u64 << self.input_bits),
+                        "input code exceeds {} bits",
+                        self.input_bits
+                    );
+                    code
+                })
+                .collect();
+            stats.cycles += u64::from(self.input_bits);
+            let window = 0..codes.len();
+
+            // Offset term shared by every column of the block:
+            // bias × Σ_planes ones(plane) << plane.
+            let mut offset = 0u64;
+            for plane in 0..self.input_bits {
+                let ones = codes.iter().filter(|&&c| (c >> plane) & 1 == 1).count() as u64;
+                stats.ones_counted += ones;
+                stats.offset_subtractions += ones;
+                offset += (self.bias * ones) << plane;
+            }
+
+            for (ci, acc) in accs.iter_mut().enumerate() {
+                let mut slice_acc = vec![0u64; cpw];
+                for plane in 0..self.input_bits {
+                    let drives: Vec<f64> = codes
+                        .iter()
+                        .map(|&c| if (c >> plane) & 1 == 1 { 1.0 } else { 0.0 })
+                        .collect();
+                    for (k, acc_k) in slice_acc.iter_mut().enumerate() {
+                        let cell_col = ci * cpw + k;
+                        let (xc, col_in_xb) = (cell_col / dim, cell_col % dim);
+                        let current = self.crossbars[block * self.xb_cols + xc].column_current(
+                            col_in_xb,
+                            &drives,
+                            window.clone(),
+                        );
+                        let code = self.adc.convert(current, self.crossbars[0].spec());
+                        stats.adc_conversions += 1;
+                        *acc_k += u64::from(code) << plane;
+                    }
+                }
+                let mut encoded_total = 0u64;
+                for &s in &slice_acc {
+                    encoded_total = (encoded_total << cell_bits) + s;
+                }
+                *acc += encoded_total as i64 - offset as i64;
+            }
+        }
+
+        let mut out = vec![0.0f32; self.orig_cols];
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            out[c] = accs[ci] as f32 * self.step * input_scale;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_tensor::QuantizedTensor;
+
+    fn signed_matrix(rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(&[rows, cols], |i| {
+            let v = ((i * 37 % 17) as f32 / 8.0) - 1.0;
+            if v.abs() < 0.05 {
+                0.1
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn matvec_matches_signed_reference() {
+        let w = signed_matrix(12, 3);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        let x = Tensor::from_fn(&[12], |i| (i as f32 * 0.21).fract());
+        let q = QuantizedTensor::quantize(&x, 8);
+        let (got, _) = layer.matvec(q.codes(), q.spec().scale());
+        let reference = layer
+            .dequantized_matrix()
+            .transpose()
+            .matvec(q.dequantize().data());
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 1e-3, "offset-encoded {g} vs signed {r}");
+        }
+    }
+
+    #[test]
+    fn encoding_stores_only_nonnegative_codes() {
+        let w = signed_matrix(8, 2);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        // All conductances are valid by construction; decode a negative
+        // weight and verify the stored code was biased.
+        let back = layer.dequantized_matrix();
+        assert!(back.min() < 0.0, "test matrix should have negatives");
+    }
+
+    #[test]
+    fn dequantized_round_trip_within_step() {
+        let w = signed_matrix(16, 4);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        let err = w.max_abs_diff(&layer.dequantized_matrix());
+        assert!(err <= layer.step() / 2.0 + 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn no_zero_skipping_means_full_cycles() {
+        let w = signed_matrix(8, 2);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        // Tiny inputs whose effective bits are 1 — ISAAC still pays 8
+        // cycles.
+        let (_, stats) = layer.matvec(&[1; 8], 1.0);
+        assert_eq!(stats.cycles, 8);
+    }
+
+    #[test]
+    fn offset_work_scales_with_input_ones() {
+        let w = signed_matrix(8, 2);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        let (_, sparse) = layer.matvec(&[1; 8], 1.0); // 8 ones total
+        let (_, dense) = layer.matvec(&[255; 8], 1.0); // 64 ones total
+        assert_eq!(sparse.ones_counted, 8);
+        assert_eq!(dense.ones_counted, 64);
+        assert!(dense.offset_subtractions > sparse.offset_subtractions);
+    }
+
+    #[test]
+    fn multi_block_layers_accumulate_correctly() {
+        // More rows than the crossbar dimension → several blocks.
+        let w = signed_matrix(40, 2);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        assert!(layer.crossbar_count() >= 3);
+        let x = Tensor::from_fn(&[40], |i| (i as f32 * 0.037).fract());
+        let q = QuantizedTensor::quantize(&x, 8);
+        let (got, _) = layer.matvec(q.codes(), q.spec().scale());
+        let reference = layer
+            .dequantized_matrix()
+            .transpose()
+            .matvec(q.dequantize().data());
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 2e-3, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn all_zero_matrix_rejected() {
+        IsaacLayer::map(&Tensor::zeros(&[4, 4]), 8, 8);
+    }
+}

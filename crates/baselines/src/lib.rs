@@ -1,0 +1,43 @@
+//! # forms-baselines
+//!
+//! Baseline accelerator models the FORMS paper compares against.
+//!
+//! The principal comparator is **ISAAC** (paper ref. \[18\]), which handles
+//! signed weights by *offset encoding*: every `b`-bit two's-complement
+//! weight is biased by `2^(b-1)` so all stored values are non-negative, and
+//! the result is corrected by counting the `1`s in each input bit plane and
+//! subtracting `count × 2^(b-1)` — the overhead FORMS' polarization
+//! eliminates. [`IsaacLayer`] implements that mechanism functionally on the
+//! same `forms-reram` crossbar substrate the FORMS mapping uses, so the two
+//! designs are compared apples-to-apples.
+//!
+//! [`SplitLayer`] implements the other prior approach (PRIME-style
+//! positive/negative crossbar pairs), and [`PumaModel`] carries PUMA's
+//! published relative efficiency.
+//!
+//! # Example
+//!
+//! ```
+//! use forms_baselines::IsaacLayer;
+//! use forms_tensor::Tensor;
+//!
+//! // Signed weights — no polarization required.
+//! let w = Tensor::from_vec(vec![0.5, -0.25, -1.0, 0.75], &[2, 2]);
+//! let layer = IsaacLayer::map(&w, 8, 8);
+//! let (y, _) = layer.matvec(&[3, 1], 1.0);
+//! let reference = layer.dequantized_matrix().transpose().matvec(&[3.0, 1.0]);
+//! assert!((y[0] - reference[0]).abs() < 1e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod accelerator;
+mod isaac;
+mod puma;
+mod split;
+
+pub use accelerator::{IsaacAccelerator, IsaacConfig};
+pub use isaac::{IsaacLayer, IsaacStats};
+pub use puma::PumaModel;
+pub use split::SplitLayer;

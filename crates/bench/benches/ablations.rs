@@ -1,0 +1,182 @@
+//! Ablation benches over the paper's design choices (DESIGN.md §5): each
+//! group sweeps one axis the paper calls out — fragment size, cell bits,
+//! ADC sharing, zero-skipping, ADMM sign-update period — timing the real
+//! simulator at that design point and printing the derived design metric
+//! once per point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forms_arch::{MappedLayer, MappingConfig};
+use forms_hwmodel::{McuConfig, ThroughputModel};
+use forms_reram::CellSpec;
+use forms_tensor::Tensor;
+
+fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        let (r, c) = (i / cols, i % cols);
+        let sign = if ((r / fragment) + c) % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * (0.05 + ((i * 13) % 11) as f32 / 16.0)
+    })
+}
+
+fn sparse_codes(n: usize) -> Vec<u32> {
+    // Post-ReLU-like: half zero, the rest small.
+    (0..n)
+        .map(|i| if i % 2 == 0 { 0 } else { ((i * 7) % 64) as u32 })
+        .collect()
+}
+
+/// Fragment-size ablation: smaller fragments → more row groups but lower
+/// EIC. The printed metric is the cycles actually spent.
+fn ablation_fragment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fragment");
+    for fragment in [4usize, 8, 16, 32] {
+        let w = polarized_matrix(128, 8, fragment);
+        let config = MappingConfig {
+            crossbar_dim: 128,
+            fragment_size: fragment,
+            weight_bits: 8,
+            cell: CellSpec::paper_2bit(),
+            input_bits: 16,
+            zero_skipping: true,
+        };
+        let mapped = MappedLayer::map(&w, config).unwrap();
+        let codes = sparse_codes(128);
+        let (_, stats) = mapped.matvec(&codes, 1.0);
+        eprintln!(
+            "[ablation_fragment {fragment}] cycles {} / {} (saved {:.1}%), adc bits {}",
+            stats.cycles,
+            stats.cycles_without_skip,
+            100.0 * stats.cycles_saved_fraction(),
+            McuConfig::forms(fragment.min(16)).adc_bits
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(fragment), &fragment, |b, _| {
+            b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+/// Bits-per-cell ablation: the paper settles on 2-bit cells.
+fn ablation_cell_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cell_bits");
+    for cell_bits in [1u32, 2, 4] {
+        let cell = CellSpec::new(cell_bits, 1.0, 61.0);
+        let w = polarized_matrix(64, 8, 8);
+        let config = MappingConfig {
+            crossbar_dim: 64,
+            fragment_size: 8,
+            weight_bits: 8,
+            cell,
+            input_bits: 16,
+            zero_skipping: true,
+        };
+        let mapped = MappedLayer::map(&w, config).unwrap();
+        let codes = sparse_codes(64);
+        eprintln!(
+            "[ablation_cell_bits {cell_bits}] cells/weight {} crossbars {}",
+            config.cells_per_weight(),
+            mapped.crossbar_count()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cell_bits),
+            &cell_bits,
+            |b, _| b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0))),
+        );
+    }
+    group.finish();
+}
+
+/// ADC-sharing ablation: 1–8 ADCs per crossbar (iso-area cycle-time trade).
+fn ablation_adc_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_adc_share");
+    let isaac = ThroughputModel::baseline(McuConfig::isaac()).peak_gops();
+    for adcs in [1usize, 2, 4, 8] {
+        let mcu = McuConfig {
+            adcs_per_crossbar: adcs,
+            ..McuConfig::forms(8)
+        };
+        let model = ThroughputModel::baseline(mcu);
+        eprintln!(
+            "[ablation_adc_share {adcs}] cycle {:.2} ns, rel. peak {:.2}, MCU {:.2} mW",
+            mcu.conversion_cycle_ns(),
+            model.peak_gops() / isaac,
+            mcu.cost().power_mw
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(adcs), &adcs, |b, _| {
+            b.iter(|| std::hint::black_box(ThroughputModel::baseline(mcu).throughput()))
+        });
+    }
+    group.finish();
+}
+
+/// Zero-skipping on/off at sparse inputs — the wall-clock of the simulated
+/// MVM tracks the simulated cycles.
+fn ablation_zeroskip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_zeroskip");
+    for skip in [false, true] {
+        let w = polarized_matrix(128, 8, 8);
+        let config = MappingConfig {
+            crossbar_dim: 128,
+            fragment_size: 8,
+            weight_bits: 8,
+            cell: CellSpec::paper_2bit(),
+            input_bits: 16,
+            zero_skipping: skip,
+        };
+        let mapped = MappedLayer::map(&w, config).unwrap();
+        let codes = sparse_codes(128);
+        let (_, stats) = mapped.matvec(&codes, 1.0);
+        eprintln!("[ablation_zeroskip {skip}] cycles {}", stats.cycles);
+        group.bench_with_input(BenchmarkId::from_parameter(skip), &skip, |b, _| {
+            b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+/// ADMM sign-update period (the paper's `M`): projection work per epoch at
+/// different cadences.
+fn ablation_sign_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sign_update");
+    group.sample_size(10);
+    let w = Tensor::from_fn(&[128, 32], |i| ((i * 31 % 97) as f32 / 48.0) - 1.0);
+    for period in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter(|| {
+                // Simulate 8 "epochs": signs refresh every p, projection
+                // every epoch.
+                let mut z = w.clone();
+                let mut signs = forms_admm::fragment_signs(&z, 8);
+                for epoch in 0..8 {
+                    if epoch % p == 0 {
+                        signs = forms_admm::fragment_signs(&z, 8);
+                    }
+                    if signs.len()
+                        == z.dims()[1] * forms_admm::active_rows(&z).len().div_ceil(8).max(1)
+                    {
+                        z = forms_admm::project_polarization(&z, 8, &signs);
+                    } else {
+                        signs = forms_admm::fragment_signs(&z, 8);
+                        z = forms_admm::project_polarization(&z, 8, &signs);
+                    }
+                }
+                std::hint::black_box(z)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_fragment,
+    ablation_cell_bits,
+    ablation_adc_share,
+    ablation_zeroskip,
+    ablation_sign_update
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benches over the simulator kernels: the inner loops every
+//! experiment binary exercises.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use forms_arch::{eic_stats, MappedLayer, MappingConfig, ShiftRegisterBank};
+use forms_baselines::IsaacLayer;
+use forms_reram::CellSpec;
+use forms_tensor::Tensor;
+
+fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        let (r, c) = (i / cols, i % cols);
+        let sign = if ((r / fragment) + c) % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * (0.05 + ((i * 13) % 11) as f32 / 16.0)
+    })
+}
+
+fn mapping_config(fragment: usize) -> MappingConfig {
+    MappingConfig {
+        crossbar_dim: 128,
+        fragment_size: fragment,
+        weight_bits: 8,
+        cell: CellSpec::paper_2bit(),
+        input_bits: 16,
+        zero_skipping: true,
+    }
+}
+
+fn input_codes(n: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i * 37) % 1024) as u32).collect()
+}
+
+fn bench_mapped_matvec(c: &mut Criterion) {
+    let w = polarized_matrix(128, 16, 8);
+    let mapped = MappedLayer::map(&w, mapping_config(8)).unwrap();
+    let codes = input_codes(128);
+    c.bench_function("forms_matvec_128x16_frag8", |b| {
+        b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
+    });
+}
+
+fn bench_isaac_matvec(c: &mut Criterion) {
+    let w = polarized_matrix(128, 16, 8);
+    let isaac = IsaacLayer::map(&w, 8, 16);
+    let codes = input_codes(128);
+    c.bench_function("isaac_matvec_128x16", |b| {
+        b.iter(|| std::hint::black_box(isaac.matvec(&codes, 1.0)))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let w = polarized_matrix(128, 64, 8);
+    c.bench_function("map_layer_128x64", |b| {
+        b.iter(|| std::hint::black_box(MappedLayer::map(&w, mapping_config(8)).unwrap()))
+    });
+}
+
+fn bench_shift_bank(c: &mut Criterion) {
+    let codes = input_codes(128);
+    c.bench_function("shift_bank_drain_128", |b| {
+        b.iter_batched(
+            || ShiftRegisterBank::load(&codes),
+            |bank| std::hint::black_box(bank.drain()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_eic_stats(c: &mut Criterion) {
+    let codes = input_codes(1 << 14);
+    c.bench_function("eic_stats_16k_frag8", |b| {
+        b.iter(|| std::hint::black_box(eic_stats(&codes, 8, 16)))
+    });
+}
+
+fn bench_projections(c: &mut Criterion) {
+    let w = Tensor::from_fn(&[256, 64], |i| ((i * 31 % 97) as f32 / 48.0) - 1.0);
+    let constraints =
+        forms_admm::LayerConstraints::full(0.5, 0.5, 8, forms_admm::PolarizationPolicy::WMajor, 8);
+    c.bench_function("project_all_256x64", |b| {
+        b.iter(|| std::hint::black_box(forms_admm::project_all(&w, &constraints, None)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let p = forms_arch::Pipeline::new(16, true);
+    let ops: Vec<forms_arch::PipelineOp> = (0..1000)
+        .map(|i| forms_arch::PipelineOp {
+            shift_cycles: (i % 16) as u32 + 1,
+        })
+        .collect();
+    c.bench_function("pipeline_run_1000_ops", |b| {
+        b.iter(|| std::hint::black_box(p.run(&ops)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mapped_matvec,
+    bench_isaac_matvec,
+    bench_mapping,
+    bench_shift_bank,
+    bench_eic_stats,
+    bench_projections,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Fig. 13 (fps speedups, CIFAR-10) — see DESIGN.md §4.
+
+use std::path::Path;
+
+fn main() {
+    let e = forms_bench::experiments::fig13::run();
+    e.print();
+    if let Err(err) = e.save_json(Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results"
+    ))) {
+        eprintln!("could not save results: {err}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 8 (both panels; see DESIGN.md §4).
+
+use std::path::Path;
+
+fn main() {
+    for e in forms_bench::experiments::fig8::run() {
+        e.print();
+        if let Err(err) = e.save_json(Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results"
+        ))) {
+            eprintln!("could not save results: {err}");
+        }
+    }
+}

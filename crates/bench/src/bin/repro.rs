@@ -1,0 +1,37 @@
+//! Runs every experiment of the evaluation section in order and saves the
+//! results under `results/` (DESIGN.md §4 maps each to the paper).
+
+use std::path::Path;
+
+use forms_bench::experiments;
+use forms_bench::report::Experiment;
+
+fn main() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let mut all: Vec<Experiment> = Vec::new();
+    println!("FORMS reproduction — full evaluation sweep\n");
+    all.push(experiments::fig7::run());
+    all.extend(experiments::fig8::run());
+    all.push(experiments::fig6::run());
+    all.push(experiments::table1::run());
+    all.push(experiments::table2::run());
+    all.push(experiments::table3::run());
+    all.push(experiments::table4::run());
+    all.push(experiments::table5::run());
+    all.push(experiments::fig13::run());
+    all.push(experiments::fig14::run());
+    all.push(experiments::table6::run());
+    all.push(experiments::noise::run());
+    all.push(experiments::energy::run());
+    for e in &all {
+        e.print();
+        if let Err(err) = e.save_json(dir) {
+            eprintln!("could not save {}: {err}", e.id);
+        }
+    }
+    println!(
+        "{} experiments regenerated; JSON written to {}/",
+        all.len(),
+        dir.display()
+    );
+}

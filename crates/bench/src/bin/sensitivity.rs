@@ -1,0 +1,34 @@
+//! Per-layer pruning sensitivity sweep (paper §III-A: choosing per-layer
+//! pruning ratios). Prints, for each weight layer of a trained LeNet-5
+//! stand-in, the accuracy at several one-shot keep fractions and the
+//! recommended per-layer keep for a 2% tolerance.
+
+use forms_admm::{recommend_keeps, sensitivity_sweep};
+use forms_bench::suite::{train_baseline, DatasetKind, ModelKind};
+
+fn main() {
+    let baseline = train_baseline(ModelKind::LeNet5, DatasetKind::Mnist, 3001);
+    println!(
+        "baseline LeNet-5 accuracy: {:.1}%\n",
+        100.0 * baseline.accuracy
+    );
+    let keeps = [0.25f32, 0.5, 0.75, 1.0];
+    let sweep = sensitivity_sweep(&baseline.net, &baseline.test, &keeps, 32);
+    print!("layer |");
+    for k in keeps {
+        print!(" keep {k:4} |");
+    }
+    println!(" recommended");
+    for s in &sweep {
+        print!("{:5} |", s.layer);
+        for (_, acc) in &s.accuracy_at_keep {
+            print!("   {:5.1}%  |", 100.0 * acc);
+        }
+        println!("   {:.2}", s.smallest_safe_keep(baseline.accuracy, 0.02));
+    }
+    let rec = recommend_keeps(&sweep, baseline.accuracy, 0.02);
+    println!(
+        "\nper-layer keeps at 2% tolerance: {rec:?}\n(the paper's crossbar-aware step then \
+         rounds each keep to an array boundary — see forms_admm::crossbar_aware_keep)"
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table I (compression, MNIST & CIFAR-10) — see DESIGN.md §4.
+
+use std::path::Path;
+
+fn main() {
+    let e = forms_bench::experiments::table1::run();
+    e.print();
+    if let Err(err) = e.save_json(Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results"
+    ))) {
+        eprintln!("could not save results: {err}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table II (compression, CIFAR-100 & ImageNet) — see DESIGN.md §4.
+
+use std::path::Path;
+
+fn main() {
+    let e = forms_bench::experiments::table2::run();
+    e.print();
+    if let Err(err) = e.save_json(Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results"
+    ))) {
+        eprintln!("could not save results: {err}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 14: frame-per-second speedups on CIFAR-100 and ImageNet,
+//! normalized to non-pruned 32-bit ISAAC — same configuration ladder as
+//! Fig. 13, with the Table II pruning keeps (harder datasets prune less,
+//! so every speedup band sits lower).
+
+use forms_workloads::{resnet18_cifar, resnet18_imagenet, resnet50_imagenet};
+
+use crate::experiments::fig13::run_networks;
+use crate::report::Experiment;
+
+/// Runs the experiment.
+pub fn run() -> Experiment {
+    // Table II keep fractions: CIFAR-100 ~ keep 0.39² (6.65× prune),
+    // ImageNet ~ keep 0.52–0.71 (2–3.67× prune).
+    let nets = vec![
+        ("ResNet18/CIFAR-100", resnet18_cifar(), (0.39f32, 0.39f32)),
+        ("ResNet18/ImageNet", resnet18_imagenet(), (0.71f32, 0.71f32)),
+        ("ResNet50/ImageNet", resnet50_imagenet(), (0.52f32, 0.52f32)),
+    ];
+    run_networks(
+        "Fig. 14",
+        "fps speedup on CIFAR-100 & ImageNet, normalized to non-pruned 32-bit ISAAC",
+        &nets,
+        "paper: speedups on the harder datasets sit at the low end of the Fig. 13 bands \
+         (pruning contributes less); ordering — optimized ISAAC > FORMS model-opt, then \
+         FORMS+zero-skip overtakes — must be preserved",
+    )
+}

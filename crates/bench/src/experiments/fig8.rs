@@ -1,0 +1,105 @@
+//! Fig. 8: (a) distribution of effective input cycles per fragment size;
+//! (b) average EIC per layer for various fragment sizes.
+//!
+//! Both panels are measured on the genuine activations of a trained
+//! LeNet-5 (quantized to 16 bits with per-layer scales, exactly as the
+//! accelerator front-end does). Panel (a) histograms the EIC of one CONV
+//! layer's input fragments; panel (b) averages over all layers.
+
+use forms_arch::eic_stats;
+use forms_tensor::{FixedSpec, QuantizedTensor};
+use forms_workloads::capture_weight_layer_inputs;
+
+use crate::report::{f2, pct, Experiment};
+use crate::suite::{
+    measured_eic, measured_eic_with_headroom, train_baseline, Baseline, DatasetKind, ModelKind,
+};
+
+/// Fragment sizes swept by the paper's figure.
+pub const FRAGMENT_SIZES: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+fn conv2_input_codes(baseline: &Baseline) -> Vec<u32> {
+    let samples = baseline.test.len().min(8);
+    let (x, _) = baseline.test.batch(0, samples);
+    let captured = capture_weight_layer_inputs(&baseline.net, &x);
+    // Weight-layer 1 of LeNet-5 = conv2: a real post-ReLU/pool input.
+    let layer_input = &captured[1];
+    let spec = FixedSpec::for_max_value(16, layer_input.max());
+    QuantizedTensor::quantize_with(layer_input, spec)
+        .codes()
+        .to_vec()
+}
+
+fn run_a(baseline: &Baseline) -> Experiment {
+    let mut e = Experiment::new(
+        "Fig. 8a",
+        "share of conv2-input fragments per EIC band (16-bit inputs, trained LeNet-5)",
+        &[
+            "fragment size",
+            "EIC ≤ 8",
+            "EIC 9–12",
+            "EIC 13–16",
+            "mean EIC",
+        ],
+    );
+    let codes = conv2_input_codes(baseline);
+    for &fragment in &FRAGMENT_SIZES {
+        let stats = eic_stats(&codes, fragment, 16);
+        let total = stats.fragments as f64;
+        let bucket = |lo: usize, hi: usize| -> f64 {
+            stats.histogram[lo..=hi].iter().sum::<usize>() as f64 / total
+        };
+        e.row(&[
+            fragment.to_string(),
+            pct(bucket(0, 8)),
+            pct(bucket(9, 12)),
+            pct(bucket(13, 16)),
+            f2(stats.mean),
+        ]);
+    }
+    e.note("paper: larger fragments shift the distribution toward higher EIC");
+    e
+}
+
+fn run_b(baseline: &Baseline) -> Experiment {
+    let mut e = Experiment::new(
+        "Fig. 8b",
+        "average effective input cycles vs fragment size (trained LeNet-5, all layers)",
+        &[
+            "fragment size",
+            "EIC (exact-max scale)",
+            "EIC (3-bit headroom)",
+            "cycles saved (headroom)",
+        ],
+    );
+    let mut means = Vec::new();
+    for &fragment in &FRAGMENT_SIZES {
+        let tight = measured_eic(&baseline.net, &baseline.test, fragment, 16);
+        let headroom = measured_eic_with_headroom(&baseline.net, &baseline.test, fragment, 16, 3);
+        means.push(headroom);
+        e.row(&[
+            fragment.to_string(),
+            f2(tight),
+            f2(headroom),
+            pct(1.0 - headroom / 16.0),
+        ]);
+    }
+    e.note(&format!(
+        "paper: mean EIC ≈ 10.7 at fragment 4 (33% saved) rising to ≈ 15 at fragment 128 \
+         (6% saved); measured headroom-scaled ratio frag128/frag4 = {}",
+        f2(means[5] / means[0].max(1e-9))
+    ));
+    e.note(
+        "the exact-max column calibrates each layer's 16-bit scale to the observed maximum \
+         (zero margin — the conservative bound); the headroom column adds the 3 bits of \
+         fixed-point margin a deployed pipeline carries for worst-case activations, which is \
+         the regime the paper's 10.7-cycle average reflects",
+    );
+    e
+}
+
+/// Runs both panels (one shared trained model).
+pub fn run() -> Vec<Experiment> {
+    let baseline = train_baseline(ModelKind::LeNet5, DatasetKind::Mnist, 802);
+    vec![run_a(&baseline), run_b(&baseline)]
+}

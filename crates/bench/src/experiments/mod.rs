@@ -1,0 +1,15 @@
+//! One module per regenerated table/figure (see `DESIGN.md` §4).
+
+pub mod energy;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod noise;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

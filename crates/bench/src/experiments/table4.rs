@@ -1,0 +1,71 @@
+//! Table IV: chip-level power/area of FORMS, ISAAC and DaDianNao.
+
+use forms_hwmodel::{ChipCost, DadiannaoModel, McuConfig, TileCost};
+
+use crate::report::{f2, Experiment};
+
+/// Runs the experiment.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new(
+        "Table IV",
+        "chip-level comparison (FORMS fragment 8, ISAAC, DaDianNao)",
+        &[
+            "level",
+            "FORMS",
+            "ISAAC",
+            "DaDianNao",
+            "paper (FORMS / ISAAC / DaDianNao)",
+        ],
+    );
+    let forms_mcu = McuConfig::forms(8);
+    let isaac_mcu = McuConfig::isaac();
+    let (ft, it) = (TileCost::for_mcu(&forms_mcu), TileCost::for_mcu(&isaac_mcu));
+    let (fc, ic) = (ChipCost::for_mcu(&forms_mcu), ChipCost::for_mcu(&isaac_mcu));
+    let dd = DadiannaoModel::default();
+
+    e.row(&[
+        "12 MCUs power (mW)".to_string(),
+        f2(ft.mcus.power_mw),
+        f2(it.mcus.power_mw),
+        "—".to_string(),
+        "280.05 / 288.96 / —".to_string(),
+    ]);
+    e.row(&[
+        "tile power (mW)".to_string(),
+        f2(ft.total.power_mw),
+        f2(it.total.power_mw),
+        "—".to_string(),
+        "333.1 / 329.81 / —".to_string(),
+    ]);
+    e.row(&[
+        "tile area (mm²)".to_string(),
+        format!("{:.4}", ft.total.area_mm2),
+        format!("{:.4}", it.total.area_mm2),
+        "—".to_string(),
+        "0.39 / 0.370 / —".to_string(),
+    ]);
+    e.row(&[
+        "chip power (W)".to_string(),
+        f2(fc.total.power_mw / 1000.0),
+        f2(ic.total.power_mw / 1000.0),
+        f2(dd.total().power_mw / 1000.0),
+        "66.36 / 65.81 / 19.86".to_string(),
+    ]);
+    e.row(&[
+        "chip area (mm²)".to_string(),
+        f2(fc.total.area_mm2),
+        f2(ic.total.area_mm2),
+        f2(dd.total().area_mm2),
+        "89.15 / 85.09 / 86.2".to_string(),
+    ]);
+    let dp = fc.total.power_mw / ic.total.power_mw - 1.0;
+    let da = fc.total.area_mm2 / ic.total.area_mm2 - 1.0;
+    e.note(&format!(
+        "FORMS vs ISAAC: {:+.2}% power, {:+.2}% area (paper: +0.08% power, +4.5% area — the \
+         iso-cost design point)",
+        dp * 100.0,
+        da * 100.0
+    ));
+    e.note("DaDianNao items are carried as published (NFU 4886 mW, eDRAM 4760 mW, bus 12.8 mW, HT 10400 mW); the paper's own 19.86 W total differs slightly from its itemized sum of 20.06 W");
+    e
+}

@@ -1,0 +1,265 @@
+//! Model checkpointing.
+//!
+//! The evaluation harness trains the same baselines for several
+//! experiments; checkpoints let a trained model be saved once and reloaded
+//! (and let users ship compressed models). The format is a self-describing
+//! little-endian binary: magic, version, parameter count, then per
+//! parameter its rank, dims and `f32` data.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use forms_tensor::Tensor;
+
+use crate::Network;
+
+const MAGIC: &[u8; 8] = b"FORMSCKP";
+const VERSION: u32 = 1;
+
+/// Serializes all parameter values of a network (in visit order) to bytes.
+pub fn to_bytes(net: &mut Network) -> Vec<u8> {
+    let params = net.param_values();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in &params {
+        out.extend_from_slice(&(p.dims().len() as u32).to_le_bytes());
+        for &d in p.dims() {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in p.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Errors loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The bytes are not a FORMS checkpoint or are truncated/corrupt.
+    Format(String),
+    /// The checkpoint's parameter shapes do not match the target network.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+            CheckpointError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CheckpointError::Format(format!(
+                "truncated at byte {} (needed {n} more)",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Parses checkpoint bytes into parameter tensors.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] for malformed bytes.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.take(8)? != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = cur.u32()? as usize;
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = cur.u32()? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format(format!("absurd rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(cur.u64()? as usize);
+        }
+        let len: usize = dims.iter().product();
+        if len > (1 << 30) {
+            return Err(CheckpointError::Format("tensor too large".into()));
+        }
+        let raw = cur.take(len * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("len 4")))
+            .collect();
+        params.push(Tensor::from_vec(data, &dims));
+    }
+    Ok(params)
+}
+
+/// Restores a network's parameters from checkpoint bytes.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::ShapeMismatch`] if the checkpoint does not
+/// fit the network's parameter shapes.
+pub fn from_bytes(net: &mut Network, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let params = parse_bytes(bytes)?;
+    let current = net.param_values();
+    if params.len() != current.len() {
+        return Err(CheckpointError::ShapeMismatch(format!(
+            "checkpoint has {} parameters, network has {}",
+            params.len(),
+            current.len()
+        )));
+    }
+    for (i, (p, c)) in params.iter().zip(&current).enumerate() {
+        if p.dims() != c.dims() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "parameter {i}: checkpoint {:?} vs network {:?}",
+                p.dims(),
+                c.dims()
+            )));
+        }
+    }
+    net.set_param_values(&params);
+    Ok(())
+}
+
+/// Saves a network's parameters to a file.
+///
+/// # Errors
+///
+/// Returns any I/O error from the write.
+pub fn save(net: &mut Network, path: &Path) -> Result<(), CheckpointError> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(&to_bytes(net))?;
+    Ok(())
+}
+
+/// Loads a network's parameters from a file.
+///
+/// # Errors
+///
+/// Returns I/O, format or shape errors.
+pub fn load(net: &mut Network, path: &Path) -> Result<(), CheckpointError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(net, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, Layer};
+    use forms_tensor::Tensor as T;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        models::lenet5(&mut rng, 1, 16, 10)
+    }
+
+    #[test]
+    fn byte_round_trip_restores_outputs() {
+        let mut a = net(1);
+        let bytes = to_bytes(&mut a);
+        let mut b = net(2);
+        from_bytes(&mut b, &bytes).unwrap();
+        let x = T::ones(&[1, 1, 16, 16]);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut a = net(3);
+        let path = std::env::temp_dir().join("forms_ckpt_test.bin");
+        save(&mut a, &path).unwrap();
+        let mut b = net(4);
+        load(&mut b, &path).unwrap();
+        assert_eq!(a.param_values(), b.param_values());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut n = net(5);
+        let mut bytes = to_bytes(&mut n);
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(&mut n, &bytes),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let mut n = net(6);
+        let bytes = to_bytes(&mut n);
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            from_bytes(&mut n, cut),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = net(7);
+        let bytes = to_bytes(&mut a);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut other = Network::new(vec![Layer::linear(&mut rng, 4, 2)]);
+        assert!(matches!(
+            from_bytes(&mut other, &bytes),
+            Err(CheckpointError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut n = net(9);
+        let mut bytes = to_bytes(&mut n);
+        bytes[8] = 99; // version little-endian low byte
+        assert!(matches!(
+            from_bytes(&mut n, &bytes),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+}

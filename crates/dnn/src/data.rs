@@ -1,0 +1,386 @@
+//! Synthetic image-classification datasets.
+//!
+//! The paper evaluates on MNIST, CIFAR-10/100 and ImageNet. None of those
+//! can be shipped here, so this module generates *synthetic* classification
+//! tasks with matching structure: each class has a smooth random prototype
+//! image, and samples are noisy observations of their class prototype. Task
+//! difficulty is controlled by the noise level and class count, which lets
+//! the compression experiments show the same qualitative accuracy behaviour
+//! the paper reports (see `DESIGN.md` §2).
+
+use forms_tensor::Tensor;
+use rand::Rng;
+
+/// A labelled dataset of `[N, C, H, W]` images.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a batched input tensor and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not rank-4, the batch size disagrees with
+    /// `labels.len()`, or any label is `>= classes`.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(inputs.shape().rank(), 4, "inputs must be [N, C, H, W]");
+        assert_eq!(inputs.dims()[0], labels.len(), "batch size mismatch");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        Self {
+            inputs,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-sample shape `[C, H, W]`.
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.inputs.dims()[1..]
+    }
+
+    /// All inputs as one `[N, C, H, W]` tensor.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Extracts the batch covering samples `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn batch(&self, start: usize, len: usize) -> (Tensor, &[usize]) {
+        assert!(start + len <= self.len(), "batch range out of bounds");
+        let sample = self.inputs.len() / self.len().max(1);
+        let data = self.inputs.data()[start * sample..(start + len) * sample].to_vec();
+        let mut dims = vec![len];
+        dims.extend_from_slice(self.sample_dims());
+        (
+            Tensor::from_vec(data, &dims),
+            &self.labels[start..start + len],
+        )
+    }
+
+    /// Iterates over consecutive batches of at most `batch_size` samples.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Tensor, &[usize])> + '_ {
+        let bs = batch_size.max(1);
+        (0..self.len().div_ceil(bs)).map(move |b| {
+            let start = b * bs;
+            let len = bs.min(self.len() - start);
+            self.batch(start, len)
+        })
+    }
+
+    /// Shuffles samples in place.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.len();
+        let sample = self.inputs.len() / n.max(1);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            self.labels.swap(i, j);
+            if i != j {
+                for k in 0..sample {
+                    self.inputs.data_mut().swap(i * sample + k, j * sample + k);
+                }
+            }
+        }
+    }
+}
+
+/// Recipe for a synthetic classification task.
+///
+/// # Example
+///
+/// ```
+/// use forms_dnn::data::SyntheticSpec;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let (train, test) = SyntheticSpec::mnist_like().generate(&mut rng);
+/// assert_eq!(train.classes(), 10);
+/// assert_eq!(test.sample_dims(), &[1, 16, 16]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Standard deviation of the additive Gaussian observation noise.
+    pub noise: f32,
+}
+
+impl SyntheticSpec {
+    /// MNIST stand-in: 1×16×16 grayscale, 10 classes (spatially scaled from
+    /// 28×28 to keep CPU training fast; see `DESIGN.md` §2).
+    pub fn mnist_like() -> Self {
+        Self {
+            classes: 10,
+            channels: 1,
+            height: 16,
+            width: 16,
+            train_per_class: 48,
+            test_per_class: 16,
+            noise: 0.25,
+        }
+    }
+
+    /// CIFAR-10 stand-in: 3×16×16 colour, 10 classes.
+    pub fn cifar10_like() -> Self {
+        Self {
+            classes: 10,
+            channels: 3,
+            height: 16,
+            width: 16,
+            train_per_class: 48,
+            test_per_class: 16,
+            noise: 0.35,
+        }
+    }
+
+    /// CIFAR-100 stand-in: 3×16×16 colour, 40 classes (class count scaled
+    /// from 100 to bound generation cost; still a markedly harder task than
+    /// the CIFAR-10 stand-in, which is the property Table II relies on).
+    pub fn cifar100_like() -> Self {
+        Self {
+            classes: 40,
+            channels: 3,
+            height: 16,
+            width: 16,
+            train_per_class: 24,
+            test_per_class: 8,
+            noise: 0.35,
+        }
+    }
+
+    /// ImageNet stand-in: 3×24×24 colour, 50 classes with higher noise — the
+    /// hardest task of the set, mirroring ImageNet's position in the paper.
+    pub fn imagenet_like() -> Self {
+        Self {
+            classes: 50,
+            channels: 3,
+            height: 24,
+            width: 24,
+            train_per_class: 20,
+            test_per_class: 8,
+            noise: 0.45,
+        }
+    }
+
+    /// Generates (train, test) datasets.
+    ///
+    /// Class prototypes are smooth random fields (sums of random sinusoids),
+    /// and each sample is its prototype plus i.i.d. Gaussian noise, clamped
+    /// to `[0, 1]` like a normalized image.
+    #[allow(clippy::needless_range_loop)] // several arrays are co-indexed
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> (Dataset, Dataset) {
+        let sample_len = self.channels * self.height * self.width;
+        let mut prototypes = Vec::with_capacity(self.classes);
+        for _ in 0..self.classes {
+            prototypes.push(self.prototype(rng));
+        }
+        let make = |rng: &mut R, per_class: usize, prototypes: &[Vec<f32>]| {
+            let n = per_class * self.classes;
+            let mut data = Vec::with_capacity(n * sample_len);
+            let mut labels = Vec::with_capacity(n);
+            for class in 0..self.classes {
+                for _ in 0..per_class {
+                    for &p in &prototypes[class] {
+                        let v = p + self.noise * gaussian(rng);
+                        data.push(v.clamp(0.0, 1.0));
+                    }
+                    labels.push(class);
+                }
+            }
+            let mut ds = Dataset::new(
+                Tensor::from_vec(data, &[n, self.channels, self.height, self.width]),
+                labels,
+                self.classes,
+            );
+            ds.shuffle(rng);
+            ds
+        };
+        let train = make(rng, self.train_per_class, &prototypes);
+        let test = make(rng, self.test_per_class, &prototypes);
+        (train, test)
+    }
+
+    /// A smooth random prototype image in `[0, 1]`.
+    fn prototype<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f32> {
+        let mut img = vec![0.0f32; self.channels * self.height * self.width];
+        // Sum of a few random low-frequency sinusoids per channel.
+        for c in 0..self.channels {
+            let waves: Vec<(f32, f32, f32, f32)> = (0..4)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.5..2.5),                   // fy
+                        rng.gen_range(0.5..2.5),                   // fx
+                        rng.gen_range(0.0..std::f32::consts::TAU), // phase
+                        rng.gen_range(0.3..1.0),                   // amplitude
+                    )
+                })
+                .collect();
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let mut v = 0.0;
+                    for &(fy, fx, phase, amp) in &waves {
+                        v += amp
+                            * (std::f32::consts::TAU
+                                * (fy * y as f32 / self.height as f32
+                                    + fx * x as f32 / self.width as f32)
+                                + phase)
+                                .sin();
+                    }
+                    img[(c * self.height + y) * self.width + x] = 0.5 + 0.2 * v;
+                }
+            }
+        }
+        for v in &mut img {
+            *v = v.clamp(0.0, 1.0);
+        }
+        img
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps `rand_distr` out of this
+/// crate's dependencies).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_counts_and_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = SyntheticSpec {
+            classes: 3,
+            channels: 2,
+            height: 4,
+            width: 4,
+            train_per_class: 5,
+            test_per_class: 2,
+            noise: 0.1,
+        };
+        let (train, test) = spec.generate(&mut rng);
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.len(), 6);
+        assert_eq!(train.sample_dims(), &[2, 4, 4]);
+        assert_eq!(train.classes(), 3);
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, _) = SyntheticSpec::mnist_like().generate(&mut rng);
+        assert!(train.inputs().min() >= 0.0);
+        assert!(train.inputs().max() <= 1.0);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SyntheticSpec {
+            classes: 2,
+            channels: 1,
+            height: 2,
+            width: 2,
+            train_per_class: 5,
+            test_per_class: 1,
+            noise: 0.1,
+        };
+        let (train, _) = spec.generate(&mut rng);
+        let mut total = 0;
+        for (x, labels) in train.batches(4) {
+            assert_eq!(x.dims()[0], labels.len());
+            total += labels.len();
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn shuffle_keeps_input_label_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Encode the label into the image so we can verify pairing.
+        let n = 8;
+        let inputs = Tensor::from_fn(&[n, 1, 1, 1], |i| i as f32);
+        let labels: Vec<usize> = (0..n).collect();
+        let mut ds = Dataset::new(inputs, labels, n);
+        ds.shuffle(&mut rng);
+        for i in 0..n {
+            let (x, l) = ds.batch(i, 1);
+            assert_eq!(x.data()[0] as usize, l[0], "pairing broken at {i}");
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Prototype distance between classes should comfortably exceed the
+        // intra-class noise floor, else the task is unlearnable.
+        let mut rng = StdRng::seed_from_u64(4);
+        let (train, _) = SyntheticSpec::cifar10_like().generate(&mut rng);
+        // Average pairwise distance between first samples of two classes.
+        let mut first: Vec<Option<Tensor>> = vec![None; train.classes()];
+        for i in 0..train.len() {
+            let (x, l) = train.batch(i, 1);
+            if first[l[0]].is_none() {
+                first[l[0]] = Some(x);
+            }
+        }
+        let a = first[0].as_ref().unwrap();
+        let b = first[1].as_ref().unwrap();
+        assert!(a.max_abs_diff(b) > 0.05, "classes look identical");
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Classification losses and metrics.
+
+use forms_tensor::Tensor;
+
+/// Result of a loss evaluation: the scalar loss and the gradient with
+/// respect to the logits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits (`[N, classes]`).
+    pub grad: Tensor,
+}
+
+/// Row-wise softmax of a `[N, classes]` logit matrix.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax expects [N, classes]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    for s in 0..n {
+        let row = &mut out.data_mut()[s * c..(s + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy loss over a batch of logits with integer labels.
+///
+/// Returns the mean loss and its gradient with respect to the logits — the
+/// starting point of every backward pass in the training loops.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().rank(), 2, "loss expects [N, classes] logits");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (s, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.data()[s * c + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[s * c + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    LossOutput {
+        loss: loss * inv_n,
+        grad,
+    }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "accuracy expects [N, classes]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0;
+    for (s, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+/// Fraction of rows whose label is among the `k` largest logits (top-k
+/// accuracy; the paper reports top-5 for ImageNet).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `k` is zero.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "accuracy expects [N, classes]");
+    assert!(k > 0, "k must be positive");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.min(c);
+    let mut correct = 0;
+    for (s, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let target = row[label];
+        // Rank of the label = number of strictly larger logits.
+        let larger = row.iter().filter(|&&v| v > target).count();
+        if larger < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for s in 0..2 {
+            let sum: f32 = p.data()[s * 3..(s + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        assert!(softmax(&a).allclose(&softmax(&b), 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_diff() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1], &[2, 2]);
+        let labels = [1usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_accuracy_ranks_correctly() {
+        // Row 0: label 2 is ranked 2nd; row 1: label 0 is ranked 3rd.
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.9, 0.5], &[2, 3]);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 2), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn top_1_matches_accuracy() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        let labels = [0usize, 1, 1];
+        assert_eq!(top_k_accuracy(&logits, &labels, 1), accuracy(&logits, &labels));
+    }
+
+    #[test]
+    fn top_k_saturates_at_class_count() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert_eq!(top_k_accuracy(&logits, &[0, 2], 99), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Learning-rate schedules.
+//!
+//! The training loops in the harness use simple step decay inline; these
+//! schedulers make the policy explicit and reusable (the ADMM paper-style
+//! runs typically use step decay; cosine is the common modern alternative).
+
+use crate::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the
+/// base rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch` (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_learning_rate(base_lr * self.factor(epoch));
+    }
+}
+
+/// Constant learning rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step` epochs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepLr {
+    /// Epochs between decays.
+    pub step: usize,
+    /// Decay factor per step.
+    pub gamma: f32,
+}
+
+impl StepLr {
+    /// Creates a step schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `gamma` is not in `(0, 1]`.
+    pub fn new(step: usize, gamma: f32) -> Self {
+        assert!(step > 0, "step must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Self { step, gamma }
+    }
+}
+
+impl LrSchedule for StepLr {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `floor` over `total_epochs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CosineLr {
+    /// Schedule length in epochs.
+    pub total_epochs: usize,
+    /// Final multiplier.
+    pub floor: f32,
+}
+
+impl CosineLr {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs` is zero or `floor` is outside `[0, 1]`.
+    pub fn new(total_epochs: usize, floor: f32) -> Self {
+        assert!(total_epochs > 0, "total epochs must be positive");
+        assert!((0.0..=1.0).contains(&floor), "floor must be in [0, 1]");
+        Self {
+            total_epochs,
+            floor,
+        }
+    }
+}
+
+impl LrSchedule for CosineLr {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = ConstantLr;
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = StepLr::new(3, 0.1);
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(2), 1.0);
+        assert!((s.factor(3) - 0.1).abs() < 1e-7);
+        assert!((s.factor(6) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_starts_high_ends_at_floor() {
+        let s = CosineLr::new(10, 0.05);
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(10) - 0.05).abs() < 1e-6);
+        assert!(s.factor(5) < s.factor(2));
+        // Past the end it clamps.
+        assert!((s.factor(50) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_sets_the_optimizer_rate() {
+        let mut opt = Sgd::new(0.2);
+        StepLr::new(2, 0.5).apply(&mut opt, 0.2, 4);
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = CosineLr::new(20, 0.0);
+        for e in 0..20 {
+            assert!(s.factor(e + 1) <= s.factor(e) + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Tile- and chip-level cost roll-ups — paper Table IV.
+
+use crate::components::{ComponentCost, DigitalUnitModel, HyperTransportModel};
+use crate::mcu::McuConfig;
+
+/// MCUs per tile in both FORMS and ISAAC.
+pub const MCUS_PER_TILE: usize = 12;
+
+/// Tiles per chip in both FORMS and ISAAC.
+pub const CHIP_TILES: usize = 168;
+
+/// Cost of one tile: 12 MCUs plus the digital unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TileCost {
+    /// Cost of the 12 MCUs.
+    pub mcus: ComponentCost,
+    /// Cost of the digital unit (incl. eDRAM).
+    pub digital: ComponentCost,
+    /// Tile total.
+    pub total: ComponentCost,
+}
+
+impl TileCost {
+    /// Rolls up one tile for an MCU configuration. FORMS tiles carry 128 KB
+    /// of eDRAM (they finish more results per unit time), ISAAC tiles 64 KB
+    /// (paper §V-B).
+    pub fn for_mcu(config: &McuConfig) -> Self {
+        let edram_kb = if config.zero_skipping { 128 } else { 64 };
+        let mcus = {
+            let c = config.cost();
+            ComponentCost::new(c.power_mw, c.area_mm2).times(MCUS_PER_TILE as f64)
+        };
+        let digital = DigitalUnitModel::default().cost(edram_kb);
+        TileCost {
+            mcus,
+            digital,
+            total: mcus.plus(digital),
+        }
+    }
+}
+
+/// Cost of one chip: 168 tiles plus the HyperTransport link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChipCost {
+    /// All tiles.
+    pub tiles: ComponentCost,
+    /// Off-chip link.
+    pub hyper_transport: ComponentCost,
+    /// Chip total.
+    pub total: ComponentCost,
+}
+
+impl ChipCost {
+    /// Rolls up a full chip for an MCU configuration.
+    pub fn for_mcu(config: &McuConfig) -> Self {
+        let tile = TileCost::for_mcu(config);
+        let tiles = tile.total.times(CHIP_TILES as f64);
+        let hyper_transport = HyperTransportModel::default().cost();
+        ChipCost {
+            tiles,
+            hyper_transport,
+            total: tiles.plus(hyper_transport),
+        }
+    }
+}
+
+/// The fully digital DaDianNao comparator (paper Table IV, scaled from
+/// 28 nm to 32 nm by the authors). Constants are carried as published.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DadiannaoModel {
+    /// Neural functional units (16).
+    pub nfu: ComponentCost,
+    /// 36 MB of eDRAM (4 per tile).
+    pub edram: ComponentCost,
+    /// 128-bit global bus.
+    pub global_bus: ComponentCost,
+    /// HyperTransport link.
+    pub hyper_transport: ComponentCost,
+}
+
+impl Default for DadiannaoModel {
+    fn default() -> Self {
+        Self {
+            nfu: ComponentCost::new(4886.0, 16.09),
+            edram: ComponentCost::new(4760.0, 33.12),
+            global_bus: ComponentCost::new(12.8, 15.66),
+            hyper_transport: HyperTransportModel::default().cost(),
+        }
+    }
+}
+
+impl DadiannaoModel {
+    /// Chip total.
+    pub fn total(&self) -> ComponentCost {
+        self.nfu
+            .plus(self.edram)
+            .plus(self.global_bus)
+            .plus(self.hyper_transport)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isaac_chip_matches_table_iv() {
+        // Paper Table IV: ISAAC chip ≈ 65.8 W, 85.1 mm².
+        let chip = ChipCost::for_mcu(&McuConfig::isaac());
+        assert!(
+            (chip.total.power_mw - 65808.0).abs() / 65808.0 < 0.03,
+            "power {}",
+            chip.total.power_mw
+        );
+        assert!(
+            (chip.total.area_mm2 - 85.09).abs() / 85.09 < 0.05,
+            "area {}",
+            chip.total.area_mm2
+        );
+    }
+
+    #[test]
+    fn forms_chip_matches_table_iv() {
+        // Paper Table IV: FORMS chip ≈ 66.4 W, 89.2 mm² — within ~0.1% power
+        // and ~4.5% area of ISAAC.
+        let forms = ChipCost::for_mcu(&McuConfig::forms(8));
+        let isaac = ChipCost::for_mcu(&McuConfig::isaac());
+        let dp = (forms.total.power_mw / isaac.total.power_mw - 1.0).abs();
+        let da = (forms.total.area_mm2 / isaac.total.area_mm2 - 1.0).abs();
+        // (Table IV's own tile area entries do not sum exactly — 0.152 +
+        // 0.25 ≠ 0.39 — so we allow a slightly wider band on area.)
+        assert!(dp < 0.02, "power delta {dp}");
+        assert!(da < 0.08, "area delta {da}");
+    }
+
+    #[test]
+    fn dadiannao_totals_match_table_iv() {
+        let d = DadiannaoModel::default().total();
+        assert!((d.power_mw - 20_058.8).abs() < 1.0, "power {}", d.power_mw);
+        assert!((d.area_mm2 - 87.75).abs() < 0.1, "area {}", d.area_mm2);
+    }
+
+    #[test]
+    fn forms_tile_near_isaac_tile() {
+        let f = TileCost::for_mcu(&McuConfig::forms(8));
+        let i = TileCost::for_mcu(&McuConfig::isaac());
+        assert!((f.total.power_mw / i.total.power_mw - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn reram_chips_burn_more_power_than_dadiannao() {
+        // Paper: "in return for consuming more area and power compared with
+        // DaDianNao, the throughput of FORMS is increased significantly".
+        let forms = ChipCost::for_mcu(&McuConfig::forms(8));
+        let dd = DadiannaoModel::default().total();
+        assert!(forms.total.power_mw > dd.power_mw);
+    }
+}

@@ -1,0 +1,442 @@
+//! Analytical cost models for the mixed-signal components.
+//!
+//! Each model is anchored to the two published design points of paper
+//! Table III (the FORMS fragment-8 MCU and the ISAAC MCU) and interpolates
+//! with the scaling law the paper states for that component. Power is in
+//! milliwatts, area in mm² (32 nm, as in the paper).
+
+/// Power and area of one component (or group of components).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ComponentCost {
+    /// Power in milliwatts.
+    pub power_mw: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+impl ComponentCost {
+    /// Creates a cost.
+    pub fn new(power_mw: f64, area_mm2: f64) -> Self {
+        Self { power_mw, area_mm2 }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: ComponentCost) -> ComponentCost {
+        ComponentCost {
+            power_mw: self.power_mw + other.power_mw,
+            area_mm2: self.area_mm2 + other.area_mm2,
+        }
+    }
+
+    /// Scales both power and area by `n` instances.
+    pub fn times(self, n: f64) -> ComponentCost {
+        ComponentCost {
+            power_mw: self.power_mw * n,
+            area_mm2: self.area_mm2 * n,
+        }
+    }
+}
+
+/// Solves the 2×2 system `[a1 b1; a2 b2]·[x y]ᵀ = [c1 c2]ᵀ`, used to fit
+/// two-parameter scaling laws through the paper's two published design
+/// points.
+fn solve2(a1: f64, b1: f64, c1: f64, a2: f64, b2: f64, c2: f64) -> (f64, f64) {
+    let det = a1 * b2 - a2 * b1;
+    assert!(det.abs() > 1e-12, "singular calibration system");
+    ((c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det)
+}
+
+/// SAR ADC cost model.
+///
+/// The paper scales "the memory, clock and vref buffer linearly and the
+/// capacitive DAC exponentially" with resolution, and power linearly with
+/// sampling rate. We therefore model per-ADC cost as
+/// `(linear·bits + exp·2^bits) · f_GHz` for power and
+/// `(linear·bits + exp·2^bits)` for area, calibrated so that the ISAAC
+/// point (8-bit, 1.2 GHz: 2.0 mW, 1.2e-3 mm² each) and the FORMS point
+/// (4-bit, 2.1 GHz: 0.475 mW, 2.84e-4 mm² each) from Table III are hit
+/// exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdcModel {
+    power_linear: f64,
+    power_exp: f64,
+    area_linear: f64,
+    area_exp: f64,
+}
+
+impl Default for AdcModel {
+    fn default() -> Self {
+        // Table III anchors, per ADC: ISAAC has 8 ADCs totalling 16 mW /
+        // 0.0096 mm²; FORMS has 32 totalling 15.2 mW / 0.0091 mm².
+        let isaac_power = 16.0 / 8.0; // mW at 8-bit, 1.2 GHz
+        let forms_power = 15.2 / 32.0; // mW at 4-bit, 2.1 GHz
+        let (pl, pe) = solve2(8.0, 256.0, isaac_power / 1.2, 4.0, 16.0, forms_power / 2.1);
+        let isaac_area = 0.0096 / 8.0;
+        let forms_area = 0.0091 / 32.0;
+        let (al, ae) = solve2(8.0, 256.0, isaac_area, 4.0, 16.0, forms_area);
+        Self {
+            power_linear: pl,
+            power_exp: pe,
+            area_linear: al,
+            area_exp: ae,
+        }
+    }
+}
+
+impl AdcModel {
+    /// Power of one ADC in mW at the given resolution and sampling rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `freq_ghz` is not positive.
+    pub fn power_mw(&self, bits: u32, freq_ghz: f64) -> f64 {
+        assert!(bits > 0, "ADC resolution must be positive");
+        assert!(freq_ghz > 0.0, "ADC frequency must be positive");
+        (self.power_linear * bits as f64 + self.power_exp * (1u64 << bits) as f64) * freq_ghz
+    }
+
+    /// Area of one ADC in mm² at the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn area_mm2(&self, bits: u32) -> f64 {
+        assert!(bits > 0, "ADC resolution must be positive");
+        self.area_linear * bits as f64 + self.area_exp * (1u64 << bits) as f64
+    }
+
+    /// Cost of `count` ADCs.
+    pub fn cost(&self, bits: u32, freq_ghz: f64, count: usize) -> ComponentCost {
+        ComponentCost::new(self.power_mw(bits, freq_ghz), self.area_mm2(bits)).times(count as f64)
+    }
+}
+
+/// 1-bit DAC (an inverter driving the word line, ref. \[60\] in the paper):
+/// constant per-unit cost from Table III (1024 DACs → 4 mW, 1.7e-4 mm²).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DacModel {
+    per_unit: ComponentCost,
+}
+
+impl Default for DacModel {
+    fn default() -> Self {
+        Self {
+            per_unit: ComponentCost::new(4.0 / 1024.0, 0.00017 / 1024.0),
+        }
+    }
+}
+
+impl DacModel {
+    /// Cost of `count` 1-bit DACs.
+    pub fn cost(&self, count: usize) -> ComponentCost {
+        self.per_unit.times(count as f64)
+    }
+}
+
+/// Sample-&-hold cost model: the paper notes the FORMS S&H is "almost 2×
+/// smaller" because its ADC resolves 16 levels instead of 256, so cost
+/// scales linearly with the *bits* of resolved levels. Calibrated to Table
+/// III: 1024 units at 8-bit → 0.01 mW / 4.0e-5 mm²; at 4-bit → 0.0055 mW /
+/// 2.3e-5 mm².
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleHoldModel {
+    power_base: f64,
+    power_per_bit: f64,
+    area_base: f64,
+    area_per_bit: f64,
+}
+
+impl Default for SampleHoldModel {
+    fn default() -> Self {
+        let (pb, pp) = solve2(1.0, 8.0, 0.01, 1.0, 4.0, 0.0055);
+        let (ab, ap) = solve2(1.0, 8.0, 4.0e-5, 1.0, 4.0, 2.3e-5);
+        Self {
+            power_base: pb,
+            power_per_bit: pp,
+            area_base: ab,
+            area_per_bit: ap,
+        }
+    }
+}
+
+impl SampleHoldModel {
+    /// Cost of a group of `count` S&H circuits resolving `level_bits` bits,
+    /// where the Table III anchors describe the whole 1024-unit group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level_bits` is zero.
+    pub fn cost(&self, level_bits: u32, count: usize) -> ComponentCost {
+        assert!(level_bits > 0, "level bits must be positive");
+        let b = level_bits as f64;
+        ComponentCost::new(
+            self.power_base + self.power_per_bit * b,
+            self.area_base + self.area_per_bit * b,
+        )
+        .times(count as f64 / 1024.0)
+    }
+}
+
+/// ReRAM crossbar array cost: per-cell constants from Table III
+/// (8 × 128×128 arrays → 2.43 mW / 2.3e-4 mm² for ISAAC).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossbarModel {
+    power_per_cell: f64,
+    area_per_cell: f64,
+}
+
+impl Default for CrossbarModel {
+    fn default() -> Self {
+        let cells = 8.0 * 128.0 * 128.0;
+        Self {
+            power_per_cell: 2.43 / cells,
+            area_per_cell: 0.00023 / cells,
+        }
+    }
+}
+
+impl CrossbarModel {
+    /// Cost of `count` crossbar arrays of `rows`×`cols` cells.
+    pub fn cost(&self, rows: usize, cols: usize, count: usize) -> ComponentCost {
+        let cells = (rows * cols * count) as f64;
+        ComponentCost::new(self.power_per_cell * cells, self.area_per_cell * cells)
+    }
+}
+
+/// Shift-&-add units: constants from Table III (4 units → 0.2 mW /
+/// 2.4e-5 mm²).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShiftAddModel {
+    per_unit: ComponentCost,
+}
+
+impl Default for ShiftAddModel {
+    fn default() -> Self {
+        Self {
+            per_unit: ComponentCost::new(0.2 / 4.0, 0.000024 / 4.0),
+        }
+    }
+}
+
+impl ShiftAddModel {
+    /// Cost of `count` shift-&-add units.
+    pub fn cost(&self, count: usize) -> ComponentCost {
+        self.per_unit.times(count as f64)
+    }
+}
+
+/// The FORMS zero-skipping logic (NOR trees over the input shift registers
+/// plus the fragment AND): synthesized cost from Table III, 0.01 mW /
+/// 1e-7 mm² per MCU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkippingLogicModel {
+    per_mcu: ComponentCost,
+}
+
+impl Default for SkippingLogicModel {
+    fn default() -> Self {
+        Self {
+            per_mcu: ComponentCost::new(0.01, 0.0000001),
+        }
+    }
+}
+
+impl SkippingLogicModel {
+    /// Cost per MCU.
+    pub fn cost(&self) -> ComponentCost {
+        self.per_mcu
+    }
+}
+
+/// The FORMS 1R sign-indicator array storing one sign bit per fragment:
+/// Table III, 0.012 mW / 3.1e-6 mm² per MCU at fragment size 8. Cost scales
+/// with the number of fragments (halving the fragment size doubles the sign
+/// bits).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SignIndicatorModel {
+    per_mcu_frag8: ComponentCost,
+}
+
+impl Default for SignIndicatorModel {
+    fn default() -> Self {
+        Self {
+            per_mcu_frag8: ComponentCost::new(0.012, 0.0000031),
+        }
+    }
+}
+
+impl SignIndicatorModel {
+    /// Cost per MCU for a given fragment size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment_size` is zero.
+    pub fn cost(&self, fragment_size: usize) -> ComponentCost {
+        assert!(fragment_size > 0, "fragment size must be positive");
+        self.per_mcu_frag8.times(8.0 / fragment_size as f64)
+    }
+}
+
+/// Per-MCU output registers and ADC-to-fragment interconnect. Table III
+/// itemizes the converters and arrays only; the per-MCU totals implied by
+/// Table IV (288.96 mW / 12 MCUs for ISAAC) include this extra ~1.45 mW /
+/// 0.003 mm² of registers and routing, which we carry as a constant for
+/// both designs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegistersModel {
+    per_mcu: ComponentCost,
+}
+
+impl Default for RegistersModel {
+    fn default() -> Self {
+        Self {
+            per_mcu: ComponentCost::new(1.45, 0.0030),
+        }
+    }
+}
+
+impl RegistersModel {
+    /// Cost per MCU.
+    pub fn cost(&self) -> ComponentCost {
+        self.per_mcu
+    }
+}
+
+/// The per-tile digital unit (shift-and-add tree, activation function,
+/// output registers and eDRAM): Table IV anchors — FORMS 53.05 mW /
+/// 0.25 mm² (128 KB eDRAM, 512-bit bus), ISAAC 40.85 mW / 0.213 mm²
+/// (64 KB eDRAM, 256-bit bus).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DigitalUnitModel {
+    base: ComponentCost,
+    per_kb_edram: ComponentCost,
+}
+
+impl Default for DigitalUnitModel {
+    fn default() -> Self {
+        // Fit base + per-KB·edram_kb through the two anchors.
+        let (pb, pk) = solve2(1.0, 64.0, 40.85, 1.0, 128.0, 53.05);
+        let (ab, ak) = solve2(1.0, 64.0, 0.213, 1.0, 128.0, 0.25);
+        Self {
+            base: ComponentCost::new(pb, ab),
+            per_kb_edram: ComponentCost::new(pk, ak),
+        }
+    }
+}
+
+impl DigitalUnitModel {
+    /// Cost of one tile's digital unit with `edram_kb` of eDRAM.
+    pub fn cost(&self, edram_kb: usize) -> ComponentCost {
+        self.base.plus(self.per_kb_edram.times(edram_kb as f64))
+    }
+}
+
+/// The off-chip HyperTransport serial link (shared by FORMS, ISAAC and
+/// DaDianNao): Table IV, 10 400 mW / 22.88 mm² per chip.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HyperTransportModel {
+    per_chip: ComponentCost,
+}
+
+impl Default for HyperTransportModel {
+    fn default() -> Self {
+        Self {
+            per_chip: ComponentCost::new(10_400.0, 22.88),
+        }
+    }
+}
+
+impl HyperTransportModel {
+    /// Cost per chip.
+    pub fn cost(&self) -> ComponentCost {
+        self.per_chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_hits_published_anchors() {
+        let adc = AdcModel::default();
+        assert!((adc.cost(8, 1.2, 8).power_mw - 16.0).abs() < 1e-6);
+        assert!((adc.cost(8, 1.2, 8).area_mm2 - 0.0096).abs() < 1e-9);
+        assert!((adc.cost(4, 2.1, 32).power_mw - 15.2).abs() < 1e-6);
+        assert!((adc.cost(4, 2.1, 32).area_mm2 - 0.0091).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adc_cost_grows_superlinearly_with_bits() {
+        let adc = AdcModel::default();
+        let p4 = adc.power_mw(4, 1.0);
+        let p8 = adc.power_mw(8, 1.0);
+        let p10 = adc.power_mw(10, 1.0);
+        assert!(p8 / p4 > 2.0, "8-bit should cost >2× a 4-bit");
+        assert!(
+            p10 / p8 > 2.0,
+            "exponential term should dominate at high bits"
+        );
+    }
+
+    #[test]
+    fn adc_power_linear_in_frequency() {
+        let adc = AdcModel::default();
+        let r = adc.power_mw(6, 2.0) / adc.power_mw(6, 1.0);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_hold_hits_anchors() {
+        let sh = SampleHoldModel::default();
+        let isaac = sh.cost(8, 1024);
+        assert!((isaac.power_mw - 0.01).abs() < 1e-9);
+        assert!((isaac.area_mm2 - 4.0e-5).abs() < 1e-12);
+        let forms = sh.cost(4, 1024);
+        assert!((forms.power_mw - 0.0055).abs() < 1e-9);
+        assert!((forms.area_mm2 - 2.3e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossbar_cost_scales_with_cells() {
+        let xb = CrossbarModel::default();
+        let one = xb.cost(128, 128, 1);
+        let eight = xb.cost(128, 128, 8);
+        assert!((eight.power_mw / one.power_mw - 8.0).abs() < 1e-9);
+        assert!((eight.power_mw - 2.43).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_indicator_scales_inverse_with_fragment_size() {
+        let si = SignIndicatorModel::default();
+        let f8 = si.cost(8);
+        let f4 = si.cost(4);
+        assert!((f4.power_mw / f8.power_mw - 2.0).abs() < 1e-9);
+        assert!((f8.power_mw - 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digital_unit_hits_anchors() {
+        let du = DigitalUnitModel::default();
+        let isaac = du.cost(64);
+        let forms = du.cost(128);
+        assert!((isaac.power_mw - 40.85).abs() < 1e-6);
+        assert!((forms.power_mw - 53.05).abs() < 1e-6);
+        assert!((isaac.area_mm2 - 0.213).abs() < 1e-9);
+        assert!((forms.area_mm2 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_cost_arithmetic() {
+        let a = ComponentCost::new(1.0, 2.0);
+        let b = ComponentCost::new(3.0, 4.0);
+        let c = a.plus(b).times(2.0);
+        assert_eq!(c, ComponentCost::new(8.0, 12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn adc_rejects_zero_bits() {
+        AdcModel::default().power_mw(0, 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! eDRAM buffer sizing (paper §V-B: FORMS uses 128 KB of eDRAM and a
+//! 512-bit bus against ISAAC's 64 KB / 256-bit, because it finishes more
+//! results per unit time; §IV-C: "due to the small fragment size, the
+//! buffer size required for storing intermediate results between layers is
+//! decreased").
+//!
+//! The model computes the working set a tile must buffer — the input rows a
+//! layer still needs plus the partial output rows it has produced — and
+//! checks it against a capacity, reproducing the sizing arithmetic behind
+//! the paper's 64/128 KB choices.
+
+/// One layer's buffering requirement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferRequirement {
+    /// Bytes of input activations that must stay resident (the sliding
+    /// window of rows the convolution still reads).
+    pub input_bytes: usize,
+    /// Bytes of output activations buffered before the next layer consumes
+    /// them.
+    pub output_bytes: usize,
+}
+
+impl BufferRequirement {
+    /// Working set for a conv layer on `width × width` feature maps with
+    /// `in_channels`/`out_channels`, `kernel` rows of input lookahead and
+    /// `bytes_per_value` activations.
+    ///
+    /// The input side needs `kernel` rows of every input channel (the rows
+    /// the next output row reads); the output side buffers one row of every
+    /// output channel until the next layer's stride consumes it.
+    pub fn conv(
+        width: usize,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        bytes_per_value: usize,
+    ) -> Self {
+        Self {
+            input_bytes: kernel * width * in_channels * bytes_per_value,
+            output_bytes: width * out_channels * bytes_per_value,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.input_bytes + self.output_bytes
+    }
+
+    /// Whether the requirement fits a capacity in KB.
+    pub fn fits_kb(&self, kb: usize) -> bool {
+        self.total() <= kb * 1024
+    }
+}
+
+/// Sizes the per-tile eDRAM for a set of layer requirements: the maximum
+/// working set, rounded up to the next power-of-two KB (how memories are
+/// actually provisioned).
+pub fn required_edram_kb(requirements: &[BufferRequirement]) -> usize {
+    let worst = requirements
+        .iter()
+        .map(BufferRequirement::total)
+        .max()
+        .unwrap_or(0);
+    let kb = worst.div_ceil(1024).max(1);
+    kb.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_requirement_arithmetic() {
+        // 32-wide maps, 64→128 channels, 3×3 kernel, 2-byte activations:
+        // input 3·32·64·2 = 12288 B, output 32·128·2 = 8192 B.
+        let r = BufferRequirement::conv(32, 64, 128, 3, 2);
+        assert_eq!(r.input_bytes, 12_288);
+        assert_eq!(r.output_bytes, 8_192);
+        assert_eq!(r.total(), 20_480);
+        assert!(r.fits_kb(64));
+        assert!(!r.fits_kb(16));
+    }
+
+    #[test]
+    fn sizing_rounds_to_power_of_two() {
+        let reqs = [
+            BufferRequirement::conv(32, 64, 128, 3, 2),
+            BufferRequirement::conv(16, 128, 256, 3, 2),
+        ];
+        let kb = required_edram_kb(&reqs);
+        assert!(kb.is_power_of_two());
+        assert!(kb * 1024 >= reqs.iter().map(BufferRequirement::total).max().unwrap());
+    }
+
+    #[test]
+    fn isaac_class_layers_fit_the_paper_capacities() {
+        // A heavy CIFAR VGG stage (conv4: 512→512 at 4×4) fits 64 KB; the
+        // doubled-throughput FORMS tile budget of 128 KB covers twice the
+        // in-flight rows.
+        let isaac = BufferRequirement::conv(4, 512, 512, 3, 2);
+        assert!(isaac.fits_kb(64));
+        let forms_double = BufferRequirement {
+            input_bytes: isaac.input_bytes * 2,
+            output_bytes: isaac.output_bytes * 2,
+        };
+        assert!(forms_double.fits_kb(128));
+    }
+
+    #[test]
+    fn empty_requirements_need_minimal_memory() {
+        assert_eq!(required_edram_kb(&[]), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Activity-based energy accounting.
+//!
+//! The power numbers of Tables III/IV are *peak* figures; what zero-skipping
+//! actually saves is *dynamic energy* — every skipped input cycle is a DAC
+//! drive, a crossbar read and an ADC conversion that never happen. This
+//! model converts the calibrated component powers into per-event energies
+//! (energy = power / event rate) and charges them against an activity
+//! record, so the simulator's cycle statistics translate directly into
+//! joules.
+
+use crate::components::{AdcModel, CrossbarModel, DacModel, SampleHoldModel, ShiftAddModel};
+use crate::mcu::McuConfig;
+
+/// Dynamic activity of a workload, in simulator-countable events.
+///
+/// `forms-arch`'s `MvmStats` converts into this (cycles → DAC drives and
+/// crossbar row activations; conversions → ADC events).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Input shift cycles (each drives the fragment's DACs and activates
+    /// its crossbar rows once).
+    pub shift_cycles: u64,
+    /// ADC conversions.
+    pub adc_conversions: u64,
+    /// Rows active per shift cycle (the fragment size).
+    pub rows_per_cycle: u64,
+    /// Columns read per conversion group (cells per weight × columns).
+    pub cells_per_conversion: u64,
+    /// Shift-&-add operations (≈ one per conversion).
+    pub shift_add_ops: u64,
+}
+
+/// Per-event energies in picojoules, derived from a [`McuConfig`]'s
+/// calibrated component powers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    adc_pj_per_conversion: f64,
+    dac_pj_per_drive: f64,
+    cell_pj_per_read: f64,
+    sh_pj_per_sample: f64,
+    sa_pj_per_op: f64,
+}
+
+impl EnergyModel {
+    /// Derives per-event energies from an MCU configuration: each
+    /// component's power divided by its event rate at full activity.
+    pub fn from_mcu(config: &McuConfig) -> Self {
+        let adc = AdcModel::default();
+        // One conversion per ADC clock.
+        let adc_pj_per_conversion =
+            adc.power_mw(config.adc_bits, config.adc_freq_ghz) / config.adc_freq_ghz;
+        // DACs toggle once per conversion cycle.
+        let cycle_ns = config.conversion_cycle_ns();
+        let dac_group = DacModel::default().cost(1024);
+        let dac_pj_per_drive = dac_group.power_mw / 1024.0 * cycle_ns;
+        // Crossbar read power is per cell; a cell is read for one cycle.
+        let xbar = CrossbarModel::default().cost(1, 1, 1);
+        let cell_pj_per_read = xbar.power_mw * cycle_ns;
+        let sh_group = SampleHoldModel::default().cost(config.adc_bits, 1024);
+        let sh_pj_per_sample = sh_group.power_mw / 1024.0 * cycle_ns;
+        let sa = ShiftAddModel::default().cost(1);
+        let sa_pj_per_op = sa.power_mw * cycle_ns;
+        Self {
+            adc_pj_per_conversion,
+            dac_pj_per_drive,
+            cell_pj_per_read,
+            sh_pj_per_sample,
+            sa_pj_per_op,
+        }
+    }
+
+    /// Energy per ADC conversion in pJ.
+    pub fn adc_pj_per_conversion(&self) -> f64 {
+        self.adc_pj_per_conversion
+    }
+
+    /// Total dynamic energy of an activity record, in picojoules.
+    pub fn energy_pj(&self, activity: &Activity) -> f64 {
+        let dac =
+            activity.shift_cycles as f64 * activity.rows_per_cycle as f64 * self.dac_pj_per_drive;
+        let cells = activity.shift_cycles as f64
+            * activity.rows_per_cycle as f64
+            * activity.cells_per_conversion as f64
+            * self.cell_pj_per_read;
+        let adc =
+            activity.adc_conversions as f64 * (self.adc_pj_per_conversion + self.sh_pj_per_sample);
+        let sa = activity.shift_add_ops as f64 * self.sa_pj_per_op;
+        dac + cells + adc + sa
+    }
+
+    /// Energy in microjoules.
+    pub fn energy_uj(&self, activity: &Activity) -> f64 {
+        self.energy_pj(activity) * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(cycles: u64, conversions: u64) -> Activity {
+        Activity {
+            shift_cycles: cycles,
+            adc_conversions: conversions,
+            rows_per_cycle: 8,
+            cells_per_conversion: 4,
+            shift_add_ops: conversions,
+        }
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_activity() {
+        let m = EnergyModel::from_mcu(&McuConfig::forms(8));
+        let e1 = m.energy_pj(&activity(100, 400));
+        let e2 = m.energy_pj(&activity(200, 800));
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_activity_is_free() {
+        let m = EnergyModel::from_mcu(&McuConfig::forms(8));
+        assert_eq!(m.energy_pj(&Activity::default()), 0.0);
+    }
+
+    #[test]
+    fn skipped_cycles_save_energy() {
+        // Zero-skipping at mean EIC 10.7/16 must save roughly the same
+        // fraction of the cycle-proportional energy.
+        let m = EnergyModel::from_mcu(&McuConfig::forms(8));
+        let full = m.energy_pj(&activity(1600, 6400));
+        let skipped = m.energy_pj(&activity(1070, 4280));
+        let ratio = skipped / full;
+        assert!((ratio - 10.7 / 16.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn forms_adc_event_cheaper_than_isaac() {
+        // 4-bit conversions cost less energy than 8-bit ones — the
+        // iso-area argument in energy form.
+        let forms = EnergyModel::from_mcu(&McuConfig::forms(8));
+        let isaac = EnergyModel::from_mcu(&McuConfig::isaac());
+        assert!(forms.adc_pj_per_conversion() < isaac.adc_pj_per_conversion());
+    }
+
+    #[test]
+    fn adc_dominates_per_conversion_costs() {
+        // Consistent with the paper's power breakdown: the ADC is the
+        // dominant per-event consumer.
+        let m = EnergyModel::from_mcu(&McuConfig::isaac());
+        let adc_only = m.energy_pj(&Activity {
+            adc_conversions: 1,
+            ..Default::default()
+        });
+        let one_cycle = m.energy_pj(&Activity {
+            shift_cycles: 1,
+            rows_per_cycle: 1,
+            cells_per_conversion: 1,
+            ..Default::default()
+        });
+        assert!(adc_only > one_cycle);
+    }
+}

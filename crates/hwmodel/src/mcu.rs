@@ -1,0 +1,229 @@
+//! MCU (in-situ multiply-accumulate unit) configuration and cost roll-up —
+//! paper Table III and Fig. 11.
+
+use crate::components::{
+    AdcModel, ComponentCost, CrossbarModel, DacModel, RegistersModel, SampleHoldModel,
+    ShiftAddModel, SignIndicatorModel, SkippingLogicModel,
+};
+
+/// Configuration of one MCU: eight crossbars plus converters and the FORMS
+/// additions (zero-skipping logic, sign indicator).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McuConfig {
+    /// Crossbar arrays per MCU (8 in both FORMS and ISAAC).
+    pub crossbars: usize,
+    /// Crossbar rows (= columns), 128.
+    pub crossbar_dim: usize,
+    /// Bits per ReRAM cell (2 in the paper's chosen design point).
+    pub cell_bits: u32,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// ADC sampling rate in GHz.
+    pub adc_freq_ghz: f64,
+    /// ADCs per crossbar (1 in ISAAC, 4 in FORMS).
+    pub adcs_per_crossbar: usize,
+    /// Crossbar sub-array rows (fragment size); `crossbar_dim` means
+    /// coarse-grained whole-column operation (ISAAC).
+    pub fragment_size: usize,
+    /// Whether the MCU carries the FORMS zero-skipping logic.
+    pub zero_skipping: bool,
+    /// Whether the MCU carries the FORMS 1R sign-indicator array.
+    pub sign_indicator: bool,
+}
+
+impl McuConfig {
+    /// The FORMS MCU at a given fragment size. Per paper §IV-C the ADC
+    /// resolution follows the fragment size: 3-bit for fragments of 4,
+    /// 4-bit for 8, 5-bit for 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment_size` is not a positive divisor of 128.
+    pub fn forms(fragment_size: usize) -> Self {
+        assert!(
+            fragment_size > 0 && 128 % fragment_size == 0,
+            "fragment size must divide the crossbar dimension"
+        );
+        // ADC must resolve fragment_size rows × (2^cell_bits - 1) levels:
+        // ceil(log2(fragment_size)) + cell_bits − 1 bits ≈ the paper's
+        // 3/4/5-bit ladder for fragments of 4/8/16.
+        let adc_bits = (usize::BITS - (fragment_size - 1).leading_zeros()) + 1;
+        // Iso-area frequency ladder through the two published SAR points
+        // (8-bit @ 1.2 GHz, 4-bit @ 2.1 GHz): smaller ADCs run faster.
+        let adc_freq_ghz = 3.0 - 0.225 * adc_bits as f64;
+        Self {
+            crossbars: 8,
+            crossbar_dim: 128,
+            cell_bits: 2,
+            adc_bits,
+            adc_freq_ghz,
+            adcs_per_crossbar: 4,
+            fragment_size,
+            zero_skipping: true,
+            sign_indicator: true,
+        }
+    }
+
+    /// The ISAAC MCU (paper Table III right half): one shared 8-bit
+    /// 1.2 GHz ADC per crossbar, coarse-grained 128-row operation.
+    pub fn isaac() -> Self {
+        Self {
+            crossbars: 8,
+            crossbar_dim: 128,
+            cell_bits: 2,
+            adc_bits: 8,
+            adc_freq_ghz: 1.2,
+            adcs_per_crossbar: 1,
+            fragment_size: 128,
+            zero_skipping: false,
+            sign_indicator: false,
+        }
+    }
+
+    /// Total ADCs in the MCU.
+    pub fn adc_count(&self) -> usize {
+        self.crossbars * self.adcs_per_crossbar
+    }
+
+    /// Total 1-bit DACs (one per crossbar row).
+    pub fn dac_count(&self) -> usize {
+        self.crossbars * self.crossbar_dim
+    }
+
+    /// Time for the ADCs of one crossbar to convert all of its columns once
+    /// (the architecture's cycle time), in nanoseconds — paper §IV-C:
+    /// ISAAC 128 / 1.2 GHz ≈ 106.6 ns; FORMS (128/4) / 2.1 GHz ≈ 15 ns.
+    pub fn conversion_cycle_ns(&self) -> f64 {
+        let cols_per_adc = self.crossbar_dim as f64 / self.adcs_per_crossbar as f64;
+        cols_per_adc / self.adc_freq_ghz
+    }
+
+    /// Cost of one MCU with this configuration, including the itemized
+    /// breakdown of Table III.
+    pub fn cost(&self) -> McuCost {
+        let adc = AdcModel::default();
+        let dac = DacModel::default();
+        let sh = SampleHoldModel::default();
+        let xbar = CrossbarModel::default();
+        let sa = ShiftAddModel::default();
+        let skip = SkippingLogicModel::default();
+        let sign = SignIndicatorModel::default();
+
+        let mut items = vec![
+            (
+                "ADC",
+                adc.cost(self.adc_bits, self.adc_freq_ghz, self.adc_count()),
+            ),
+            ("DAC", dac.cost(self.dac_count())),
+            ("S&H", sh.cost(self.adc_bits, self.dac_count())),
+            (
+                "crossbar array",
+                xbar.cost(self.crossbar_dim, self.crossbar_dim, self.crossbars),
+            ),
+            ("S+A", sa.cost(4)),
+            ("registers & routing", RegistersModel::default().cost()),
+        ];
+        if self.zero_skipping {
+            items.push(("skipping logic", skip.cost()));
+        }
+        if self.sign_indicator {
+            items.push(("sign indicator", sign.cost(self.fragment_size)));
+        }
+        let total = items
+            .iter()
+            .fold(ComponentCost::default(), |acc, (_, c)| acc.plus(*c));
+        McuCost {
+            breakdown: items,
+            power_mw: total.power_mw,
+            area_mm2: total.area_mm2,
+        }
+    }
+}
+
+/// Itemized cost of one MCU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McuCost {
+    /// `(component name, cost)` in Table III order.
+    pub breakdown: Vec<(&'static str, ComponentCost)>,
+    /// Total power in mW.
+    pub power_mw: f64,
+    /// Total area in mm².
+    pub area_mm2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forms_adc_ladder_matches_paper() {
+        // §IV-C: fragments of 16, 8, 4 use 5-, 4-, 3-bit ADCs.
+        assert_eq!(McuConfig::forms(4).adc_bits, 3);
+        assert_eq!(McuConfig::forms(8).adc_bits, 4);
+        assert_eq!(McuConfig::forms(16).adc_bits, 5);
+    }
+
+    #[test]
+    fn cycle_times_match_paper() {
+        assert!((McuConfig::isaac().conversion_cycle_ns() - 106.6).abs() < 0.1);
+        assert!((McuConfig::forms(8).conversion_cycle_ns() - 15.24).abs() < 0.1);
+    }
+
+    #[test]
+    fn forms_mcu_near_isaac_cost() {
+        // Table III/IV: FORMS MCU is within a few percent of ISAAC
+        // (iso-area design).
+        let f = McuConfig::forms(8).cost();
+        let i = McuConfig::isaac().cost();
+        assert!(
+            (f.power_mw / i.power_mw - 1.0).abs() < 0.05,
+            "power {} vs {}",
+            f.power_mw,
+            i.power_mw
+        );
+        assert!(
+            (f.area_mm2 / i.area_mm2 - 1.0).abs() < 0.10,
+            "area {} vs {}",
+            f.area_mm2,
+            i.area_mm2
+        );
+    }
+
+    #[test]
+    fn isaac_mcu_matches_table_iii_total() {
+        // Table IV implies 288.96 mW / 12 = 24.08 mW per ISAAC MCU.
+        let i = McuConfig::isaac().cost();
+        assert!((i.power_mw - 24.08).abs() < 0.1, "power {}", i.power_mw);
+    }
+
+    #[test]
+    fn forms_extras_present_only_in_forms() {
+        let f = McuConfig::forms(8).cost();
+        let i = McuConfig::isaac().cost();
+        let names = |c: &McuCost| c.breakdown.iter().map(|(n, _)| *n).collect::<Vec<_>>();
+        assert!(names(&f).contains(&"skipping logic"));
+        assert!(names(&f).contains(&"sign indicator"));
+        assert!(!names(&i).contains(&"skipping logic"));
+        assert!(!names(&i).contains(&"sign indicator"));
+    }
+
+    #[test]
+    fn adc_dominates_isaac_mcu_power() {
+        // The paper's motivation: ADCs are the major power contributor.
+        let i = McuConfig::isaac().cost();
+        let adc = i
+            .breakdown
+            .iter()
+            .find(|(n, _)| *n == "ADC")
+            .unwrap()
+            .1
+            .power_mw;
+        assert!(adc / i.power_mw > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn forms_rejects_non_divisor_fragment() {
+        McuConfig::forms(3);
+    }
+}

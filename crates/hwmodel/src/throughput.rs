@@ -1,0 +1,259 @@
+//! Peak-throughput and efficiency models — paper Table V.
+//!
+//! The model follows the paper's own arithmetic (§IV-C): a crossbar
+//! matrix-vector multiply activates `crossbar_dim / fragment_size` row
+//! groups sequentially, feeds `input_cycles` input bits per group (16
+//! without zero-skipping, the measured average EIC with it), and each bit
+//! takes one ADC conversion cycle. Model-level optimizations (pruning and
+//! quantization) multiply *effective* throughput by the crossbar-reduction
+//! factor, exactly as the paper's "Pruned/Quantized-ISAAC" rows do.
+
+use crate::chip::ChipCost;
+use crate::mcu::McuConfig;
+use crate::{CHIP_TILES, MCUS_PER_TILE};
+
+/// Throughput model for one architecture configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputModel {
+    /// The MCU configuration (fragment size, ADC ladder, cycle time).
+    pub mcu: McuConfig,
+    /// Average input cycles per row-group activation: 16 for 16-bit inputs
+    /// without zero-skipping, the measured mean EIC with it.
+    pub input_cycles: f64,
+    /// Weight precision in bits (16 for the uncompressed models, 8 after
+    /// FORMS quantization).
+    pub weight_bits: u32,
+    /// Model-compression factor from pruning/quantization/polarization
+    /// (crossbar reduction); 1.0 for uncompressed models.
+    pub model_compression: f64,
+}
+
+impl ThroughputModel {
+    /// An uncompressed model on the given MCU with full 16-bit input feeds.
+    pub fn baseline(mcu: McuConfig) -> Self {
+        Self {
+            mcu,
+            input_cycles: 16.0,
+            weight_bits: 16,
+            model_compression: 1.0,
+        }
+    }
+
+    /// ReRAM cells per weight.
+    fn cells_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.mcu.cell_bits) as usize
+    }
+
+    /// Weights stored along one crossbar row.
+    pub fn weights_per_row(&self) -> usize {
+        self.mcu.crossbar_dim / self.cells_per_weight()
+    }
+
+    /// Nanoseconds for one full-crossbar matrix-vector multiply: row groups
+    /// × input cycles × conversion cycle.
+    pub fn mvm_time_ns(&self) -> f64 {
+        let groups = (self.mcu.crossbar_dim / self.mcu.fragment_size) as f64;
+        groups * self.input_cycles * self.mcu.conversion_cycle_ns()
+    }
+
+    /// Operations (multiply + add = 2 ops) performed by one full-crossbar
+    /// MVM.
+    pub fn mvm_ops(&self) -> f64 {
+        (self.mcu.crossbar_dim * self.weights_per_row() * 2) as f64
+    }
+
+    /// Peak chip throughput in GOPS (ops are counted at the stored weight
+    /// precision).
+    pub fn peak_gops(&self) -> f64 {
+        let crossbars = (self.mcu.crossbars * MCUS_PER_TILE * CHIP_TILES) as f64;
+        crossbars * self.mvm_ops() / self.mvm_time_ns()
+    }
+
+    /// Effective throughput including model compression: a pruned/quantized
+    /// model finishes `model_compression×` more *model* operations per
+    /// stored operation.
+    pub fn effective_gops(&self) -> f64 {
+        self.peak_gops() * self.model_compression
+    }
+
+    /// Effective throughput metrics for this configuration's chip.
+    pub fn throughput(&self) -> ArchitectureThroughput {
+        let chip = ChipCost::for_mcu(&self.mcu).total;
+        let gops = self.effective_gops();
+        ArchitectureThroughput {
+            gops,
+            gops_per_mm2: gops / chip.area_mm2,
+            gops_per_watt: gops / (chip.power_mw / 1000.0),
+        }
+    }
+}
+
+/// Absolute throughput/efficiency numbers for one architecture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchitectureThroughput {
+    /// Effective GOPS.
+    pub gops: f64,
+    /// GOPs per second per mm².
+    pub gops_per_mm2: f64,
+    /// GOPs per watt.
+    pub gops_per_watt: f64,
+}
+
+impl ArchitectureThroughput {
+    /// Both efficiency metrics normalized to a reference architecture
+    /// (Table V normalizes to ISAAC). Returns `(area_eff, power_eff)`.
+    pub fn normalized_to(&self, reference: &ArchitectureThroughput) -> (f64, f64) {
+        (
+            self.gops_per_mm2 / reference.gops_per_mm2,
+            self.gops_per_watt / reference.gops_per_watt,
+        )
+    }
+}
+
+/// A comparator whose efficiency the paper carries as a published constant
+/// (normalized to ISAAC): DaDianNao, PUMA, TPU, WAX, SIMBA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PublishedComparator {
+    /// Architecture name.
+    pub name: &'static str,
+    /// GOPs/s·mm² relative to ISAAC.
+    pub area_efficiency: f64,
+    /// GOPs/W relative to ISAAC (midpoint for SIMBA's published range).
+    pub power_efficiency: f64,
+}
+
+/// The published comparator rows of Table V.
+pub fn published_comparators() -> Vec<PublishedComparator> {
+    vec![
+        PublishedComparator {
+            name: "DaDianNao",
+            area_efficiency: 0.13,
+            power_efficiency: 0.45,
+        },
+        PublishedComparator {
+            name: "PUMA",
+            area_efficiency: 0.70,
+            power_efficiency: 0.79,
+        },
+        PublishedComparator {
+            name: "TPU",
+            area_efficiency: 0.08,
+            power_efficiency: 0.48,
+        },
+        PublishedComparator {
+            name: "WAX",
+            area_efficiency: 0.33,
+            power_efficiency: 2.3,
+        },
+        PublishedComparator {
+            name: "SIMBA",
+            area_efficiency: 0.34,
+            power_efficiency: 1.29, // midpoint of the published 0.08–2.5
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isaac() -> ThroughputModel {
+        ThroughputModel::baseline(McuConfig::isaac())
+    }
+
+    fn forms(fragment: usize) -> ThroughputModel {
+        ThroughputModel::baseline(McuConfig::forms(fragment))
+    }
+
+    #[test]
+    fn isaac_mvm_time_matches_paper_arithmetic() {
+        // 1 group × 16 bits × 106.6 ns ≈ 1.7 µs.
+        let t = isaac().mvm_time_ns();
+        assert!((t - 1706.6).abs() < 2.0, "mvm time {t}");
+    }
+
+    #[test]
+    fn polarization_only_forms_is_slower_than_isaac() {
+        // Table V: FORMS (polarization only) at fragment 8 ≈ 0.54× ISAAC,
+        // fragment 16 ≈ 0.77× — fine-grained operation costs raw
+        // throughput; zero-skipping and compression win it back.
+        let i = isaac().throughput();
+        let f8 = forms(8).throughput();
+        let f16 = forms(16).throughput();
+        let (a8, _) = f8.normalized_to(&i);
+        let (a16, _) = f16.normalized_to(&i);
+        assert!(a8 < 1.0, "fragment 8 should lose raw throughput ({a8})");
+        assert!(a16 < 1.0, "fragment 16 should lose raw throughput ({a16})");
+        assert!(
+            a16 > a8,
+            "larger fragments should be faster ({a8} vs {a16})"
+        );
+        assert!(a8 > 0.25 && a8 < 0.85, "fragment 8 out of band: {a8}");
+    }
+
+    #[test]
+    fn zero_skipping_scales_throughput_inversely_with_eic() {
+        let full = forms(8);
+        let skipped = ThroughputModel {
+            input_cycles: 10.7, // paper Fig. 8(b) average for fragment 4-8
+            ..full
+        };
+        let speedup = skipped.throughput().gops / full.throughput().gops;
+        assert!((speedup - 16.0 / 10.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compression_multiplies_effective_throughput() {
+        let base = isaac();
+        let compressed = ThroughputModel {
+            model_compression: 26.4,
+            ..base
+        };
+        let r = compressed.effective_gops() / base.effective_gops();
+        assert!((r - 26.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_weights_double_weights_per_row() {
+        let base = forms(8);
+        let quant = ThroughputModel {
+            weight_bits: 8,
+            ..base
+        };
+        assert_eq!(base.weights_per_row(), 16);
+        assert_eq!(quant.weights_per_row(), 32);
+    }
+
+    #[test]
+    fn full_forms_beats_pruned_isaac() {
+        // Table V ordering: FORMS (full optimization) > Pruned/Quantized
+        // ISAAC > ISAAC.
+        let i = isaac().throughput();
+        let pruned_isaac = ThroughputModel {
+            model_compression: 13.2, // prune×quant reduction
+            weight_bits: 8,
+            ..isaac()
+        }
+        .throughput();
+        let full_forms = ThroughputModel {
+            input_cycles: 10.7,
+            weight_bits: 8,
+            model_compression: 26.4, // prune×quant×polarization
+            ..forms(8)
+        }
+        .throughput();
+        let (pi, _) = pruned_isaac.normalized_to(&i);
+        let (ff, _) = full_forms.normalized_to(&i);
+        assert!(pi > 1.0);
+        assert!(ff > pi, "FORMS full opt {ff} should beat pruned ISAAC {pi}");
+    }
+
+    #[test]
+    fn published_comparators_are_ordered_as_in_table_v() {
+        let c = published_comparators();
+        let get = |n: &str| c.iter().find(|p| p.name == n).unwrap();
+        assert!(get("PUMA").area_efficiency > get("DaDianNao").area_efficiency);
+        assert!(get("DaDianNao").area_efficiency > get("TPU").area_efficiency);
+        assert!(get("WAX").power_efficiency > 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Weight-magnitude bit-slicing across multi-bit cells.
+//!
+//! A `weight_bits`-bit magnitude is spread over
+//! `ceil(weight_bits / cell_bits)` adjacent cells on the same crossbar row
+//! (paper §III-C: "we need four 2-bit ReRAM cells to represent one 8-bit
+//! weight"), most-significant slice first. Column results are recombined by
+//! the shift-&-add units with weights `2^(cell_bits·k)`.
+
+use crate::CellSpec;
+
+/// Splits weight magnitudes into per-cell codes and recombines sliced
+/// column results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BitSlicer {
+    weight_bits: u32,
+    cell_bits: u32,
+}
+
+impl BitSlicer {
+    /// Creates a slicer for `weight_bits`-bit magnitudes on cells of
+    /// `cell_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero or `weight_bits > 32`.
+    pub fn new(weight_bits: u32, cell_bits: u32) -> Self {
+        assert!(
+            weight_bits > 0 && weight_bits <= 32,
+            "weight bits must be in 1..=32"
+        );
+        assert!(cell_bits > 0, "cell bits must be positive");
+        Self {
+            weight_bits,
+            cell_bits,
+        }
+    }
+
+    /// Weight magnitude bits.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Bits per cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Cells (columns) per weight.
+    pub fn cells_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.cell_bits) as usize
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_magnitude(&self) -> u64 {
+        if self.weight_bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.weight_bits) - 1
+        }
+    }
+
+    /// Slices a magnitude into per-cell codes, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude` exceeds [`max_magnitude`](Self::max_magnitude).
+    pub fn slice(&self, magnitude: u32) -> Vec<u32> {
+        assert!(
+            (magnitude as u64) <= self.max_magnitude(),
+            "magnitude {magnitude} exceeds {} bits",
+            self.weight_bits
+        );
+        let n = self.cells_per_weight();
+        let mask = (1u32 << self.cell_bits) - 1;
+        (0..n)
+            .rev()
+            .map(|k| (magnitude >> (k as u32 * self.cell_bits)) & mask)
+            .collect()
+    }
+
+    /// Recombines per-slice column results (most-significant first) into
+    /// the full dot-product value: `Σ slice_k · 2^(cell_bits·(n−1−k))`.
+    pub fn recombine(&self, slice_results: &[u64]) -> u64 {
+        assert_eq!(
+            slice_results.len(),
+            self.cells_per_weight(),
+            "need one result per slice"
+        );
+        slice_results
+            .iter()
+            .fold(0u64, |acc, &r| (acc << self.cell_bits) + r)
+    }
+
+    /// Checks that a slice vector is consistent with the cell spec.
+    pub fn fits(&self, spec: &CellSpec) -> bool {
+        self.cell_bits == spec.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_8bit_on_2bit_cells() {
+        let s = BitSlicer::new(8, 2);
+        assert_eq!(s.cells_per_weight(), 4);
+        assert_eq!(s.slice(0b11_01_10_00), vec![0b11, 0b01, 0b10, 0b00]);
+    }
+
+    #[test]
+    fn paper_example_16bit_on_2bit_cells() {
+        assert_eq!(BitSlicer::new(16, 2).cells_per_weight(), 8);
+    }
+
+    #[test]
+    fn slice_recombine_round_trip() {
+        let s = BitSlicer::new(8, 2);
+        for m in [0u32, 1, 37, 128, 255] {
+            let slices = s.slice(m);
+            let results: Vec<u64> = slices.iter().map(|&c| c as u64).collect();
+            assert_eq!(s.recombine(&results), m as u64);
+        }
+    }
+
+    #[test]
+    fn recombine_is_linear_over_dot_products() {
+        // Slicing weights, computing per-slice dot products with inputs and
+        // recombining equals the direct dot product.
+        let s = BitSlicer::new(8, 2);
+        let weights = [200u32, 5, 77, 130];
+        let inputs = [1u64, 0, 1, 1];
+        let direct: u64 = weights
+            .iter()
+            .zip(&inputs)
+            .map(|(&w, &x)| w as u64 * x)
+            .sum();
+        let mut per_slice = vec![0u64; s.cells_per_weight()];
+        for (&w, &x) in weights.iter().zip(&inputs) {
+            for (k, &c) in s.slice(w).iter().enumerate() {
+                per_slice[k] += c as u64 * x;
+            }
+        }
+        assert_eq!(s.recombine(&per_slice), direct);
+    }
+
+    #[test]
+    fn uneven_division_rounds_up() {
+        let s = BitSlicer::new(7, 2);
+        assert_eq!(s.cells_per_weight(), 4);
+        let slices = s.slice(0b1111111);
+        assert_eq!(slices.len(), 4);
+        assert_eq!(slices[0], 0b01); // top slice holds the odd bit
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_magnitude_rejected() {
+        BitSlicer::new(4, 2).slice(16);
+    }
+
+    #[test]
+    fn fits_checks_cell_spec() {
+        let s = BitSlicer::new(8, 2);
+        assert!(s.fits(&CellSpec::paper_2bit()));
+        assert!(!s.fits(&CellSpec::new(4, 1.0, 61.0)));
+    }
+}

@@ -1,0 +1,356 @@
+//! Multi-bit ReRAM cells and analog crossbar arrays.
+
+use std::ops::Range;
+
+/// Specification of a multi-bit ReRAM cell: `2^bits` linearly spaced
+/// conductance states between `g_min` (code 0) and `g_max` (top code),
+/// in microsiemens.
+///
+/// The unit conductance step `(g_max - g_min) / (2^bits - 1)` is what one
+/// least-significant code contributes to a column current at unit read
+/// voltage; the crossbar and ADC work in these units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSpec {
+    bits: u32,
+    g_min: f64,
+    g_max: f64,
+}
+
+impl CellSpec {
+    /// Creates a cell spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 8, or `g_max <= g_min`, or `g_min < 0`.
+    pub fn new(bits: u32, g_min: f64, g_max: f64) -> Self {
+        assert!((1..=8).contains(&bits), "cell bits must be in 1..=8");
+        assert!(g_min >= 0.0, "conductance cannot be negative");
+        assert!(g_max > g_min, "g_max must exceed g_min");
+        Self { bits, g_min, g_max }
+    }
+
+    /// The paper's design point: 2-bit cells. Conductance range follows the
+    /// commonly used 1–61 µS window of HfO₂ devices.
+    pub fn paper_2bit() -> Self {
+        Self::new(2, 1.0, 61.0)
+    }
+
+    /// Bits per cell.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of programmable states.
+    pub fn states(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Largest storable code.
+    pub fn max_code(&self) -> u32 {
+        self.states() - 1
+    }
+
+    /// Minimum (code 0) conductance in µS.
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+
+    /// Maximum (top code) conductance in µS.
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
+    /// Conductance step per code in µS.
+    pub fn g_step(&self) -> f64 {
+        (self.g_max - self.g_min) / self.max_code() as f64
+    }
+
+    /// Conductance for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds the largest storable code.
+    pub fn conductance(&self, code: u32) -> f64 {
+        assert!(
+            code <= self.max_code(),
+            "code {code} exceeds cell capacity {}",
+            self.max_code()
+        );
+        self.g_min + code as f64 * self.g_step()
+    }
+
+    /// Nearest code for a (possibly perturbed) conductance, saturating at
+    /// the cell's range.
+    pub fn code_for(&self, conductance: f64) -> u32 {
+        let code = ((conductance - self.g_min) / self.g_step()).round();
+        code.clamp(0.0, self.max_code() as f64) as u32
+    }
+}
+
+/// An analog ReRAM crossbar array.
+///
+/// Conductances are stored per cell; [`column_currents`](Self::column_currents)
+/// implements the in-situ multiply-accumulate `i_o = Gᵀ·v` over a row window
+/// so that fine-grained (fragment) activation can be simulated directly.
+///
+/// Currents are reported in *code units*: the common-mode term contributed
+/// by `g_min` is subtracted and the result divided by the conductance step,
+/// so an ideal array yields exactly the integer dot product of codes and
+/// binary inputs. (Real designs cancel the common mode with a reference
+/// column; modelling it as a subtraction is equivalent and keeps the ADC
+/// interface in integer units.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    spec: CellSpec,
+    conductances: Vec<f64>,
+}
+
+impl Crossbar {
+    /// Creates an array with every cell at `g_min` (code 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, spec: CellSpec) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            spec,
+            conductances: vec![spec.g_min(); rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cell specification.
+    pub fn spec(&self) -> &CellSpec {
+        &self.spec
+    }
+
+    /// Raw conductances in row-major order (µS).
+    pub fn conductances(&self) -> &[f64] {
+        &self.conductances
+    }
+
+    /// Mutable raw conductances (for variation/fault injection).
+    pub fn conductances_mut(&mut self) -> &mut [f64] {
+        &mut self.conductances
+    }
+
+    /// Programs every cell from row-major codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != rows * cols` or any code overflows the
+    /// cell.
+    pub fn program_codes(&mut self, codes: &[u32]) {
+        assert_eq!(
+            codes.len(),
+            self.rows * self.cols,
+            "expected {} codes, got {}",
+            self.rows * self.cols,
+            codes.len()
+        );
+        for (g, &code) in self.conductances.iter_mut().zip(codes) {
+            *g = self.spec.conductance(code);
+        }
+    }
+
+    /// Programs one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds or the code overflows.
+    pub fn program_cell(&mut self, row: usize, col: usize, code: u32) {
+        assert!(row < self.rows && col < self.cols, "cell out of bounds");
+        self.conductances[row * self.cols + col] = self.spec.conductance(code);
+    }
+
+    /// Reads back the nearest code of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn read_cell(&self, row: usize, col: usize) -> u32 {
+        assert!(row < self.rows && col < self.cols, "cell out of bounds");
+        self.spec.code_for(self.conductances[row * self.cols + col])
+    }
+
+    /// In-situ analog MVM over a row window: for each column, the summed
+    /// current of `conductance × input`, converted to code units (see type
+    /// docs). `inputs` supplies one read voltage per row in the window,
+    /// normally 0.0 or 1.0 from the 1-bit DACs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of bounds or `inputs.len()` differs from
+    /// the window length.
+    pub fn column_currents(&self, inputs: &[f64], rows: Range<usize>) -> Vec<f64> {
+        assert!(rows.end <= self.rows, "row window out of bounds");
+        assert_eq!(
+            inputs.len(),
+            rows.len(),
+            "need one input per active row ({} vs {})",
+            inputs.len(),
+            rows.len()
+        );
+        let step = self.spec.g_step();
+        let g_min = self.spec.g_min();
+        let mut currents = vec![0.0f64; self.cols];
+        for (i, r) in rows.enumerate() {
+            let v = inputs[i];
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.conductances[r * self.cols..(r + 1) * self.cols];
+            for (c, &g) in row.iter().enumerate() {
+                currents[c] += (g - g_min) / step * v;
+            }
+        }
+        currents
+    }
+
+    /// Current of a single column over a row window, in code units — the
+    /// per-fragment read the FORMS mapping performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or column is out of bounds, or input length
+    /// mismatches.
+    pub fn column_current(&self, col: usize, inputs: &[f64], rows: Range<usize>) -> f64 {
+        assert!(col < self.cols, "column out of bounds");
+        assert!(rows.end <= self.rows, "row window out of bounds");
+        assert_eq!(
+            inputs.len(),
+            rows.len(),
+            "need one input per active row ({} vs {})",
+            inputs.len(),
+            rows.len()
+        );
+        let step = self.spec.g_step();
+        let g_min = self.spec.g_min();
+        rows.enumerate()
+            .map(|(i, r)| {
+                let v = inputs[i];
+                if v == 0.0 {
+                    0.0
+                } else {
+                    (self.conductances[r * self.cols + col] - g_min) / step * v
+                }
+            })
+            .sum()
+    }
+
+    /// Integer dot product of one column's codes against binary inputs over
+    /// a row window — the digital reference the analog path is checked
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or column is out of bounds, or input length
+    /// mismatches.
+    pub fn reference_dot(&self, col: usize, inputs: &[u8], rows: Range<usize>) -> u64 {
+        assert!(col < self.cols, "column out of bounds");
+        assert!(rows.end <= self.rows, "row window out of bounds");
+        assert_eq!(inputs.len(), rows.len(), "input length mismatch");
+        rows.enumerate()
+            .map(|(i, r)| self.read_cell(r, col) as u64 * inputs[i] as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_code_conductance_round_trip() {
+        let spec = CellSpec::paper_2bit();
+        for code in 0..=spec.max_code() {
+            assert_eq!(spec.code_for(spec.conductance(code)), code);
+        }
+    }
+
+    #[test]
+    fn spec_code_for_saturates() {
+        let spec = CellSpec::paper_2bit();
+        assert_eq!(spec.code_for(-5.0), 0);
+        assert_eq!(spec.code_for(1000.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell capacity")]
+    fn overflowing_code_rejected() {
+        CellSpec::paper_2bit().conductance(4);
+    }
+
+    #[test]
+    fn program_and_read_back() {
+        let mut xb = Crossbar::new(2, 3, CellSpec::paper_2bit());
+        xb.program_codes(&[0, 1, 2, 3, 2, 1]);
+        assert_eq!(xb.read_cell(0, 0), 0);
+        assert_eq!(xb.read_cell(1, 0), 3);
+        assert_eq!(xb.read_cell(1, 2), 1);
+    }
+
+    #[test]
+    fn currents_equal_integer_dot_products() {
+        let mut xb = Crossbar::new(4, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[3, 1, 2, 0, 1, 3, 0, 2]);
+        let inputs = [1.0, 0.0, 1.0, 1.0];
+        let currents = xb.column_currents(&inputs, 0..4);
+        let bits = [1u8, 0, 1, 1];
+        for c in 0..2 {
+            let want = xb.reference_dot(c, &bits, 0..4) as f64;
+            assert!(
+                (currents[c] - want).abs() < 1e-9,
+                "col {c}: {} vs {want}",
+                currents[c]
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_window_activates_subset() {
+        let mut xb = Crossbar::new(8, 1, CellSpec::paper_2bit());
+        xb.program_codes(&[3; 8]);
+        let all = xb.column_currents(&[1.0; 8], 0..8);
+        let frag = xb.column_currents(&[1.0; 4], 4..8);
+        assert!((all[0] - 24.0).abs() < 1e-9);
+        assert!((frag[0] - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_inputs_draw_no_signal_current() {
+        let mut xb = Crossbar::new(4, 4, CellSpec::paper_2bit());
+        xb.program_codes(&[3; 16]);
+        let currents = xb.column_currents(&[0.0; 4], 0..4);
+        assert!(currents.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per active row")]
+    fn wrong_input_length_rejected() {
+        let xb = Crossbar::new(4, 4, CellSpec::paper_2bit());
+        xb.column_currents(&[1.0; 3], 0..4);
+    }
+
+    #[test]
+    fn analog_values_respect_fractional_inputs() {
+        let mut xb = Crossbar::new(2, 1, CellSpec::paper_2bit());
+        xb.program_codes(&[2, 2]);
+        let c = xb.column_currents(&[0.5, 0.25], 0..2);
+        assert!((c[0] - 1.5).abs() < 1e-9);
+    }
+}

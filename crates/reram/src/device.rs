@@ -1,0 +1,173 @@
+//! VTEAM-inspired device write dynamics (paper ref. \[71\]).
+//!
+//! VTEAM models a voltage-controlled memristor whose internal state `w`
+//! (normalized to `\[0, 1\]` here) only moves when the applied voltage
+//! exceeds a polarity-dependent threshold, with a rate
+//! `k · (v/v_th − 1)^α`. That threshold behaviour is what makes multi-level
+//! programming with discrete pulses possible, and is all the architecture
+//! level needs from the SPICE model.
+
+/// VTEAM model parameters (simplified, normalized state).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VteamParams {
+    /// SET (conductance-increasing) threshold voltage, positive volts.
+    pub v_on: f64,
+    /// RESET (conductance-decreasing) threshold voltage, positive volts
+    /// (applied with negative polarity).
+    pub v_off: f64,
+    /// SET rate constant (state units per second at 2× threshold).
+    pub k_on: f64,
+    /// RESET rate constant.
+    pub k_off: f64,
+    /// SET nonlinearity exponent.
+    pub alpha_on: f64,
+    /// RESET nonlinearity exponent.
+    pub alpha_off: f64,
+}
+
+impl Default for VteamParams {
+    fn default() -> Self {
+        // Magnitudes in the range of the VTEAM paper's Pt/HfO2/Ti fits.
+        Self {
+            v_on: 1.0,
+            v_off: 0.5,
+            k_on: 5e3,
+            k_off: 5e3,
+            alpha_on: 3.0,
+            alpha_off: 3.0,
+        }
+    }
+}
+
+/// One memristive device with normalized internal state in `\[0, 1\]`
+/// (0 = lowest conductance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VteamDevice {
+    params: VteamParams,
+    state: f64,
+}
+
+impl VteamDevice {
+    /// Creates a device at the given initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is outside `\[0, 1\]`.
+    pub fn new(params: VteamParams, state: f64) -> Self {
+        assert!((0.0..=1.0).contains(&state), "state must be in [0, 1]");
+        Self { params, state }
+    }
+
+    /// Current normalized state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Conductance for a cell range, linear in state.
+    pub fn conductance(&self, g_min: f64, g_max: f64) -> f64 {
+        g_min + self.state * (g_max - g_min)
+    }
+
+    /// Applies a voltage pulse of `duration_s` seconds. Positive voltage
+    /// above `v_on` moves the state up; negative voltage below `−v_off`
+    /// moves it down; anything between the thresholds leaves the device
+    /// untouched (non-destructive reads).
+    pub fn apply_pulse(&mut self, voltage: f64, duration_s: f64) {
+        assert!(duration_s >= 0.0, "duration cannot be negative");
+        let p = self.params;
+        let rate = if voltage >= p.v_on {
+            p.k_on * (voltage / p.v_on - 1.0).powf(p.alpha_on)
+        } else if voltage <= -p.v_off {
+            -p.k_off * (-voltage / p.v_off - 1.0).powf(p.alpha_off)
+        } else {
+            0.0
+        };
+        self.state = (self.state + rate * duration_s).clamp(0.0, 1.0);
+    }
+
+    /// Programs the device toward a target state with bounded write-verify
+    /// pulses; returns the number of pulses used. This is the behavioural
+    /// equivalent of the write-verify loops real ReRAM macros use.
+    pub fn program_to(&mut self, target: f64, tolerance: f64, max_pulses: usize) -> usize {
+        assert!((0.0..=1.0).contains(&target), "target must be in [0, 1]");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        let pulse_s = 1e-6;
+        for pulse in 0..max_pulses {
+            let err = target - self.state;
+            if err.abs() <= tolerance {
+                return pulse;
+            }
+            // Scale drive with remaining error for convergence.
+            let v = if err > 0.0 {
+                self.params.v_on * (1.2 + err)
+            } else {
+                -self.params.v_off * (1.2 - err)
+            };
+            self.apply_pulse(v, pulse_s);
+        }
+        max_pulses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(state: f64) -> VteamDevice {
+        VteamDevice::new(VteamParams::default(), state)
+    }
+
+    #[test]
+    fn sub_threshold_voltage_does_not_disturb() {
+        let mut d = device(0.5);
+        d.apply_pulse(0.3, 1.0); // read-level voltage, long exposure
+        d.apply_pulse(-0.3, 1.0);
+        assert_eq!(d.state(), 0.5);
+    }
+
+    #[test]
+    fn set_pulse_increases_state() {
+        let mut d = device(0.2);
+        d.apply_pulse(2.0, 1e-4);
+        assert!(d.state() > 0.2);
+    }
+
+    #[test]
+    fn reset_pulse_decreases_state() {
+        let mut d = device(0.8);
+        d.apply_pulse(-1.5, 1e-4);
+        assert!(d.state() < 0.8);
+    }
+
+    #[test]
+    fn state_saturates_at_bounds() {
+        let mut d = device(0.9);
+        d.apply_pulse(3.0, 1.0);
+        assert_eq!(d.state(), 1.0);
+        d.apply_pulse(-3.0, 1.0);
+        assert_eq!(d.state(), 0.0);
+    }
+
+    #[test]
+    fn stronger_pulses_move_state_faster() {
+        let mut weak = device(0.0);
+        let mut strong = device(0.0);
+        weak.apply_pulse(1.5, 1e-5);
+        strong.apply_pulse(2.5, 1e-5);
+        assert!(strong.state() > weak.state());
+    }
+
+    #[test]
+    fn write_verify_converges() {
+        let mut d = device(0.0);
+        let pulses = d.program_to(0.67, 0.01, 10_000);
+        assert!((d.state() - 0.67).abs() <= 0.01, "state {}", d.state());
+        assert!(pulses < 10_000, "did not converge");
+    }
+
+    #[test]
+    fn conductance_tracks_state_linearly() {
+        let d = device(0.25);
+        assert!((d.conductance(1.0, 61.0) - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! IR-drop (wire-resistance) modelling.
+//!
+//! In a real crossbar the word/bit lines have finite resistance, so cells
+//! far from the drivers see a reduced effective voltage and contribute less
+//! current than the ideal `G·V`. This is one of the "non-idealities" the
+//! paper argues fine-grained sub-arrays tolerate better (§II-C): a fragment
+//! only accumulates over a few rows, so the error it can pick up is
+//! bounded.
+//!
+//! The model here is the widely used first-order approximation: the
+//! effective read voltage decays with the resistive divider formed by the
+//! accumulated line resistance and the cell resistance, cell by cell along
+//! the line.
+
+use std::ops::Range;
+
+use crate::Crossbar;
+
+/// First-order IR-drop model with per-segment line resistance in ohms and
+/// read voltage in volts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IrDropModel {
+    wire_ohm_per_cell: f64,
+}
+
+impl IrDropModel {
+    /// Creates a model with the given wire resistance per cell segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is negative or not finite.
+    pub fn new(wire_ohm_per_cell: f64) -> Self {
+        assert!(
+            wire_ohm_per_cell.is_finite() && wire_ohm_per_cell >= 0.0,
+            "wire resistance must be non-negative"
+        );
+        Self { wire_ohm_per_cell }
+    }
+
+    /// A typical 2.5 Ω/segment copper line (values in this range are used
+    /// across the crossbar literature).
+    pub fn typical() -> Self {
+        Self::new(2.5)
+    }
+
+    /// An ideal (zero-resistance) line.
+    pub fn ideal() -> Self {
+        Self::new(0.0)
+    }
+
+    /// Wire resistance per cell segment.
+    pub fn wire_ohm_per_cell(&self) -> f64 {
+        self.wire_ohm_per_cell
+    }
+
+    /// The attenuation factor seen by the cell at `distance` segments from
+    /// the driver when the line carries cells of conductance `g_us` µS:
+    /// each segment forms a divider `R_cell / (R_cell + d · R_wire)`.
+    pub fn attenuation(&self, distance: usize, g_us: f64) -> f64 {
+        if self.wire_ohm_per_cell == 0.0 || g_us <= 0.0 {
+            return 1.0;
+        }
+        let r_cell = 1.0 / (g_us * 1e-6); // ohms
+        let r_line = self.wire_ohm_per_cell * distance as f64;
+        r_cell / (r_cell + r_line)
+    }
+
+    /// Column currents of a crossbar over a row window with IR drop along
+    /// the bit line applied (the column wire accumulates resistance toward
+    /// the ADC at the bottom of the window).
+    ///
+    /// Returns currents in code units, like
+    /// [`Crossbar::column_currents`] — the ideal result multiplied per-cell
+    /// by the attenuation of its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Crossbar::column_currents`] does.
+    #[allow(clippy::needless_range_loop)] // several arrays are co-indexed
+    pub fn column_currents(&self, xbar: &Crossbar, inputs: &[f64], rows: Range<usize>) -> Vec<f64> {
+        assert!(rows.end <= xbar.rows(), "row window out of bounds");
+        assert_eq!(inputs.len(), rows.len(), "input length mismatch");
+        let spec = *xbar.spec();
+        let step = spec.g_step();
+        let g_min = spec.g_min();
+        let mut currents = vec![0.0f64; xbar.cols()];
+        for (i, r) in rows.clone().enumerate() {
+            let v = inputs[i];
+            if v == 0.0 {
+                continue;
+            }
+            for c in 0..xbar.cols() {
+                let g = xbar.conductances()[r * xbar.cols() + c];
+                // Distance along the bit line = position within the window.
+                let att = self.attenuation(i, g);
+                currents[c] += (g - g_min) / step * v * att;
+            }
+        }
+        currents
+    }
+
+    /// Worst-case relative error of a `window`-row accumulation with all
+    /// cells at `g_us` µS — the analytic bound behind "fine-grained is less
+    /// susceptible": the error grows with the window length.
+    pub fn worst_case_relative_error(&self, window: usize, g_us: f64) -> f64 {
+        if window == 0 {
+            return 0.0;
+        }
+        let ideal = window as f64;
+        let actual: f64 = (0..window).map(|d| self.attenuation(d, g_us)).sum();
+        (ideal - actual) / ideal
+    }
+}
+
+impl Default for IrDropModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellSpec;
+
+    #[test]
+    fn ideal_wire_changes_nothing() {
+        let mut xbar = Crossbar::new(8, 4, CellSpec::paper_2bit());
+        xbar.program_codes(&[2; 32]);
+        let inputs = [1.0; 8];
+        let ideal = xbar.column_currents(&inputs, 0..8);
+        let dropped = IrDropModel::ideal().column_currents(&xbar, &inputs, 0..8);
+        assert_eq!(ideal, dropped);
+    }
+
+    #[test]
+    fn attenuation_decreases_with_distance() {
+        let m = IrDropModel::typical();
+        let a0 = m.attenuation(0, 61.0);
+        let a64 = m.attenuation(64, 61.0);
+        let a127 = m.attenuation(127, 61.0);
+        assert_eq!(a0, 1.0);
+        assert!(a64 < a0 && a127 < a64);
+    }
+
+    #[test]
+    fn drop_reduces_currents() {
+        let mut xbar = Crossbar::new(128, 2, CellSpec::paper_2bit());
+        xbar.program_codes(&[3; 256]);
+        let inputs = vec![1.0; 128];
+        let ideal = xbar.column_currents(&inputs, 0..128);
+        let dropped = IrDropModel::typical().column_currents(&xbar, &inputs, 0..128);
+        assert!(dropped[0] < ideal[0]);
+        assert!(dropped[0] > 0.9 * ideal[0], "drop unreasonably large");
+    }
+
+    #[test]
+    fn fine_grained_windows_suffer_less() {
+        // The paper's §II-C claim in analytic form: an 8-row fragment's
+        // worst-case IR-drop error is far below a 128-row column's.
+        let m = IrDropModel::typical();
+        let fine = m.worst_case_relative_error(8, 61.0);
+        let coarse = m.worst_case_relative_error(128, 61.0);
+        assert!(fine < coarse / 4.0, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn zero_window_has_no_error() {
+        assert_eq!(
+            IrDropModel::typical().worst_case_relative_error(0, 61.0),
+            0.0
+        );
+    }
+}

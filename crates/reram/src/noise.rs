@@ -1,0 +1,146 @@
+//! Read-path analog noise.
+//!
+//! Beyond static device variation, every analog read suffers dynamic noise
+//! (thermal/shot noise in the array, comparator noise in the ADC — paper
+//! refs. \[31, 32\]). The paper's argument for fine-grained sub-arrays is
+//! that small accumulated currents over a small full-scale are *less
+//! susceptible* to this noise than coarse designs (§II-C); this model makes
+//! that claim testable.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Additive Gaussian current noise, in the crossbar's code units.
+///
+/// `sigma_floor` models input-referred converter noise that is independent
+/// of signal level; `sigma_per_unit` models array noise that grows with the
+/// accumulated current (shot-noise-like, linearized).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurrentNoise {
+    sigma_floor: f64,
+    sigma_per_unit: f64,
+}
+
+impl CurrentNoise {
+    /// Creates a noise model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sigma is negative or not finite.
+    pub fn new(sigma_floor: f64, sigma_per_unit: f64) -> Self {
+        assert!(
+            sigma_floor.is_finite() && sigma_floor >= 0.0,
+            "sigma_floor must be non-negative"
+        );
+        assert!(
+            sigma_per_unit.is_finite() && sigma_per_unit >= 0.0,
+            "sigma_per_unit must be non-negative"
+        );
+        Self {
+            sigma_floor,
+            sigma_per_unit,
+        }
+    }
+
+    /// Noiseless model.
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// A representative read-noise point: 0.1 code units of floor noise
+    /// plus 1% signal-proportional noise.
+    pub fn typical() -> Self {
+        Self::new(0.1, 0.01)
+    }
+
+    /// The constant noise floor in code units.
+    pub fn sigma_floor(&self) -> f64 {
+        self.sigma_floor
+    }
+
+    /// The signal-proportional component.
+    pub fn sigma_per_unit(&self) -> f64 {
+        self.sigma_per_unit
+    }
+
+    /// Whether this model adds no noise at all.
+    pub fn is_none(&self) -> bool {
+        self.sigma_floor == 0.0 && self.sigma_per_unit == 0.0
+    }
+
+    /// Standard deviation at a given signal current (code units).
+    pub fn sigma_at(&self, current: f64) -> f64 {
+        // Independent sources add in quadrature.
+        let proportional = self.sigma_per_unit * current.abs();
+        (self.sigma_floor * self.sigma_floor + proportional * proportional).sqrt()
+    }
+
+    /// Perturbs one current reading.
+    pub fn perturb<R: Rng + ?Sized>(&self, current: f64, rng: &mut R) -> f64 {
+        if self.is_none() {
+            return current;
+        }
+        let sigma = self.sigma_at(current);
+        if sigma == 0.0 {
+            return current;
+        }
+        current
+            + Normal::new(0.0, sigma)
+                .expect("validated sigma")
+                .sample(rng)
+    }
+}
+
+impl Default for CurrentNoise {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = CurrentNoise::none();
+        assert!(n.is_none());
+        assert_eq!(n.perturb(12.5, &mut rng), 12.5);
+    }
+
+    #[test]
+    fn sigma_grows_with_signal() {
+        let n = CurrentNoise::new(0.1, 0.02);
+        assert!(n.sigma_at(100.0) > n.sigma_at(1.0));
+        // Floor dominates at zero signal.
+        assert!((n.sigma_at(0.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrature_combination() {
+        let n = CurrentNoise::new(3.0, 0.04);
+        // At current 100: proportional = 4 → total = 5.
+        assert!((n.sigma_at(100.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_sigma_matches_model() {
+        let n = CurrentNoise::new(0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = 20_000;
+        let samples: Vec<f64> = (0..m).map(|_| n.perturb(10.0, &mut rng) - 10.0).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / m as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / m as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_rejected() {
+        CurrentNoise::new(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Device non-idealities: log-normal conductance variation and stuck-at
+//! faults (paper §V-E).
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+use crate::Crossbar;
+
+/// Multiplicative log-normal device variation: each conductance is
+/// multiplied by `exp(N(mu, sigma))` — the model of paper ref. \[82\], with
+/// the paper's Table VI evaluation at `mu = 0, sigma = 0.1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormalVariation {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormalVariation {
+    /// Creates a variation model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
+        Self { mu, sigma }
+    }
+
+    /// The paper's evaluation point: mean 0, standard deviation 0.1.
+    pub fn paper() -> Self {
+        Self::new(0.0, 0.1)
+    }
+
+    /// Log-mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-standard-deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one multiplicative factor.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu.exp();
+        }
+        LogNormal::new(self.mu, self.sigma)
+            .expect("validated parameters")
+            .sample(rng)
+    }
+
+    /// Applies variation to every cell of a crossbar, in place.
+    pub fn apply<R: Rng + ?Sized>(&self, xbar: &mut Crossbar, rng: &mut R) {
+        for g in xbar.conductances_mut() {
+            *g *= self.sample(rng);
+        }
+    }
+
+    /// Applies variation to a weight value directly (the software-level
+    /// equivalent used for whole-network robustness sweeps, where mapping
+    /// every layer through physical arrays would be needlessly slow).
+    pub fn perturb_weight<R: Rng + ?Sized>(&self, weight: f32, rng: &mut R) -> f32 {
+        weight * self.sample(rng) as f32
+    }
+}
+
+/// The failure mode of a stuck cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StuckAtKind {
+    /// Stuck at the lowest conductance (stuck-at-0, open device).
+    Low,
+    /// Stuck at the highest conductance (stuck-at-1, shorted device).
+    High,
+}
+
+/// Random stuck-at fault injection with a given cell failure rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StuckAtFault {
+    rate: f64,
+    kind: StuckAtKind,
+}
+
+impl StuckAtFault {
+    /// Creates a fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `\[0, 1\]`.
+    pub fn new(rate: f64, kind: StuckAtKind) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        Self { rate, kind }
+    }
+
+    /// Failure rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Injects faults into a crossbar; returns the number of cells hit.
+    pub fn apply<R: Rng + ?Sized>(&self, xbar: &mut Crossbar, rng: &mut R) -> usize {
+        let (g_min, g_max) = (xbar.spec().g_min(), xbar.spec().g_max());
+        let target = match self.kind {
+            StuckAtKind::Low => g_min,
+            StuckAtKind::High => g_max,
+        };
+        let mut hits = 0;
+        for g in xbar.conductances_mut() {
+            if rng.gen_bool(self.rate) {
+                *g = target;
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic_identity() {
+        let v = LogNormalVariation::new(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(v.sample(&mut rng), 1.0);
+        assert_eq!(v.perturb_weight(0.7, &mut rng), 0.7);
+    }
+
+    #[test]
+    fn samples_have_expected_log_statistics() {
+        let v = LogNormalVariation::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let logs: Vec<f64> = (0..n).map(|_| v.sample(&mut rng).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / n as f64;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "log mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "log std {}", var.sqrt());
+    }
+
+    #[test]
+    fn variation_perturbs_conductances() {
+        let mut xbar = Crossbar::new(8, 8, CellSpec::paper_2bit());
+        xbar.program_codes(&[2; 64]);
+        let before = xbar.conductances().to_vec();
+        let mut rng = StdRng::seed_from_u64(2);
+        LogNormalVariation::paper().apply(&mut xbar, &mut rng);
+        let changed = xbar
+            .conductances()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| (**a - **b).abs() > 1e-12)
+            .count();
+        assert_eq!(changed, 64);
+        // Small sigma: most cells still read back their original code.
+        let same_code = (0..8)
+            .flat_map(|r| (0..8).map(move |c| (r, c)))
+            .filter(|&(r, c)| xbar.read_cell(r, c) == 2)
+            .count();
+        assert!(same_code > 48, "variation too destructive: {same_code}/64");
+    }
+
+    #[test]
+    fn stuck_at_rate_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = CellSpec::paper_2bit();
+        let mut xbar = Crossbar::new(4, 4, spec);
+        xbar.program_codes(&[1; 16]);
+        assert_eq!(
+            StuckAtFault::new(0.0, StuckAtKind::High).apply(&mut xbar, &mut rng),
+            0
+        );
+        assert_eq!(
+            StuckAtFault::new(1.0, StuckAtKind::High).apply(&mut xbar, &mut rng),
+            16
+        );
+        assert!(xbar.conductances().iter().all(|&g| g == spec.g_max()));
+    }
+
+    #[test]
+    fn stuck_low_reads_as_code_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xbar = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xbar.program_codes(&[3; 4]);
+        StuckAtFault::new(1.0, StuckAtKind::Low).apply(&mut xbar, &mut rng);
+        assert_eq!(xbar.read_cell(0, 0), 0);
+    }
+}

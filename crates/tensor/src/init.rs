@@ -1,0 +1,94 @@
+//! Weight initializers.
+//!
+//! The reproduction trains its DNNs from scratch (no pretrained checkpoints
+//! are available offline), so initialization quality matters for reaching
+//! the accuracies the compression experiments are measured against.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Uniform initialization in `[-bound, bound]`.
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or not finite.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], bound: f32) -> Tensor {
+    assert!(
+        bound.is_finite() && bound >= 0.0,
+        "bound must be non-negative"
+    );
+    Tensor::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+}
+
+/// Kaiming (He) uniform initialization for ReLU networks:
+/// `bound = sqrt(6 / fan_in)`.
+///
+/// `fan_in` is the number of inputs feeding one output unit (for a conv
+/// filter: `in_channels * k_h * k_w`).
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, shape, bound)
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `bound = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, shape, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, &[1000], 0.5);
+        assert!(t.max() <= 0.5 && t.min() >= -0.5);
+        // Should actually spread over the interval.
+        assert!(t.max() > 0.3 && t.min() < -0.3);
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let wide = kaiming_uniform(&mut rng, &[1000], 10);
+        let narrow = kaiming_uniform(&mut rng, &[1000], 1000);
+        assert!(wide.abs_max() > narrow.abs_max());
+    }
+
+    #[test]
+    fn xavier_bound_is_symmetric_in_fans() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let t1 = xavier_uniform(&mut a, &[100], 30, 70);
+        let t2 = xavier_uniform(&mut b, &[100], 70, 30);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(uniform(&mut a, &[16], 1.0), uniform(&mut b, &[16], 1.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Convolution lowering: im2col / col2im and convolution geometry.
+//!
+//! FORMS reshapes convolution filters into a 2-D weight matrix (paper Fig. 2)
+//! whose columns are filters and whose rows are filter-shape positions; the
+//! activation side of that product is produced by `im2col`. The same lowering
+//! is used both by the digital reference implementation in `forms-dnn` and by
+//! the crossbar mapping in `forms-arch`, which keeps the two sides directly
+//! comparable.
+
+use crate::Tensor;
+
+/// Spatial geometry of a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use forms_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1);
+/// assert_eq!((g.out_h, g.out_w), (32, 32));
+/// assert_eq!(g.patch_len(), 27);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes output geometry from input geometry and kernel parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the kernel (plus padding) does not fit in
+    /// the input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        assert!(
+            padded_h >= k_h && padded_w >= k_w,
+            "kernel {k_h}×{k_w} does not fit in padded input {padded_h}×{padded_w}"
+        );
+        Self {
+            in_channels,
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            padding,
+            out_h: (padded_h - k_h) / stride + 1,
+            out_w: (padded_w - k_w) / stride + 1,
+        }
+    }
+
+    /// Elements in one im2col patch (`in_channels * k_h * k_w`), i.e. the
+    /// height of the lowered weight matrix.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Number of output spatial positions (`out_h * out_w`).
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Lowers a `[C, H, W]` input into a `[patch_len, out_positions]` matrix so
+/// convolution becomes a matrix product.
+///
+/// Column `p` of the result is the receptive field of output position `p`
+/// flattened in channel-major (C, then kh, then kw) order — the same order in
+/// which FORMS' mapping scheme walks filter weights.
+///
+/// # Panics
+///
+/// Panics if `input` does not have shape `[C, H, W]` matching `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "im2col input shape mismatch"
+    );
+    let cols = geom.out_positions();
+    let rows = geom.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let (h, w) = (geom.in_h, geom.in_w);
+    for oy in 0..geom.out_h {
+        for ox in 0..geom.out_w {
+            let col = oy * geom.out_w + ox;
+            let mut row = 0;
+            for c in 0..geom.in_channels {
+                for ky in 0..geom.k_h {
+                    for kx in 0..geom.k_w {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            out[row * cols + col] = data[c * h * w + iy as usize * w + ix as usize];
+                        }
+                        row += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Adjoint of [`im2col`]: scatters a `[patch_len, out_positions]` matrix of
+/// patch gradients back onto a `[C, H, W]` input-gradient tensor.
+///
+/// `col2im(im2col(x))` is *not* the identity — overlapping patches accumulate
+/// — but the pair satisfies the adjoint identity
+/// `⟨im2col(x), m⟩ = ⟨x, col2im(m)⟩`, which is what backpropagation needs and
+/// what the property tests check.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape `[patch_len, out_positions]`.
+pub fn col2im(cols_mat: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        cols_mat.dims(),
+        &[geom.patch_len(), geom.out_positions()],
+        "col2im input shape mismatch"
+    );
+    let cols = geom.out_positions();
+    let mut out = Tensor::zeros(&[geom.in_channels, geom.in_h, geom.in_w]);
+    let (h, w) = (geom.in_h, geom.in_w);
+    let data = cols_mat.data();
+    let out_data = out.data_mut();
+    for oy in 0..geom.out_h {
+        for ox in 0..geom.out_w {
+            let col = oy * geom.out_w + ox;
+            let mut row = 0;
+            for c in 0..geom.in_channels {
+                for ky in 0..geom.k_h {
+                    for kx in 0..geom.k_w {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            out_data[c * h * w + iy as usize * w + ix as usize] +=
+                                data[row * cols + col];
+                        }
+                        row += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(16, 8, 8, 3, 3, 1, 1);
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.patch_len(), 16 * 9);
+    }
+
+    #[test]
+    fn geometry_stride_two() {
+        let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 2, 1);
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn geometry_rejects_zero_stride() {
+        Conv2dGeometry::new(1, 4, 4, 3, 3, 0, 0);
+    }
+
+    #[test]
+    fn im2col_1x1_kernel_is_reshape() {
+        let g = Conv2dGeometry::new(2, 3, 3, 1, 1, 1, 0);
+        let x = Tensor::from_fn(&[2, 3, 3], |i| i as f32);
+        let m = im2col(&x, &g);
+        assert_eq!(m.dims(), &[2, 9]);
+        assert_eq!(m.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, 0);
+        let x = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let m = im2col(&x, &g);
+        assert_eq!(m.dims(), &[4, 4]);
+        // First column = top-left patch [0,1,3,4].
+        let col0: Vec<f32> = (0..4).map(|r| m.get(&[r, 0])).collect();
+        assert_eq!(col0, vec![0.0, 1.0, 3.0, 4.0]);
+        // Last column = bottom-right patch [4,5,7,8].
+        let col3: Vec<f32> = (0..4).map(|r| m.get(&[r, 3])).collect();
+        assert_eq!(col3, vec![4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_border() {
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 3, 1, 1);
+        let x = Tensor::ones(&[1, 2, 2]);
+        let m = im2col(&x, &g);
+        // Top-left output position: only the bottom-right 2x2 of the kernel
+        // overlaps real input.
+        let col0: Vec<f32> = (0..9).map(|r| m.get(&[r, 0])).collect();
+        assert_eq!(col0.iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn conv_via_matmul_matches_direct() {
+        // Direct convolution vs im2col+matmul on a small case.
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 3, 1, 0);
+        let x = Tensor::from_fn(&[1, 4, 4], |i| (i % 5) as f32);
+        let w = Tensor::from_fn(&[1, 9], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let m = im2col(&x, &g);
+        let y = w.matmul(&m); // [1, 4]
+                              // Direct computation for output (0,0):
+        let mut direct = 0.0;
+        let mut widx = 0;
+        for ky in 0..3 {
+            for kx in 0..3 {
+                direct += w.data()[widx] * x.get(&[0, ky, kx]);
+                widx += 1;
+            }
+        }
+        assert!((y.get(&[0, 0]) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, 1);
+        let x = Tensor::from_fn(&[2, 5, 5], |i| (i as f32 * 0.37).sin());
+        let m = Tensor::from_fn(&[g.patch_len(), g.out_positions()], |i| {
+            (i as f32 * 0.11).cos()
+        });
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(m.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&m, &g).data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The extents of a dense row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension sizes. The last dimension is
+/// contiguous in memory ("row-major" / C order), matching what the DNN layers
+/// and the crossbar mapping code in the rest of the workspace assume.
+///
+/// # Example
+///
+/// ```
+/// use forms_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// A zero-dimensional shape (scalar) is allowed and has `len() == 1`.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) of each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for axis in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[axis] = strides[axis + 1] * self.dims[axis + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut offset = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            assert!(
+                index[axis] < self.dims[axis],
+                "index {} out of bounds for axis {} with extent {}",
+                index[axis],
+                axis,
+                self.dims[axis]
+            );
+            offset += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        offset
+    }
+
+    /// Inverse of [`offset`](Self::offset): the multi-index of a linear
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len()`.
+    pub fn index(&self, offset: usize) -> Vec<usize> {
+        assert!(
+            offset < self.len(),
+            "offset {offset} out of bounds for shape of {} elements",
+            self.len()
+        );
+        let mut index = vec![0; self.dims.len()];
+        let mut rest = offset;
+        for axis in (0..self.dims.len()).rev() {
+            index[axis] = rest % self.dims[axis];
+            rest /= self.dims[axis];
+        }
+        index
+    }
+
+    /// Whether two shapes have the same number of elements (reshape
+    /// compatibility).
+    pub fn same_len(&self, other: &Shape) -> bool {
+        self.len() == other.len()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[7]).len(), 7);
+        assert_eq!(Shape::new(&[]).len(), 1);
+    }
+
+    #[test]
+    fn offset_and_index_round_trip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for off in 0..s.len() {
+            let idx = s.index(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn last_dim_is_contiguous() {
+        let s = Shape::new(&[4, 6]);
+        assert_eq!(s.offset(&[2, 3]) + 1, s.offset(&[2, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::new(&[2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new(&[2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    fn display_formats_extents() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+    }
+
+    #[test]
+    fn empty_shape_detected() {
+        assert!(Shape::new(&[4, 0, 2]).is_empty());
+        assert!(!Shape::new(&[4, 1, 2]).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic post-ReLU activation distributions.
+//!
+//! The premise of zero-skipping (paper §IV-B) is that "most inputs actually
+//! have small values" [58]: after batch-norm and ReLU, activation
+//! magnitudes concentrate near zero with a thin positive tail. The models
+//! here capture that shape with tunable sharpness so the EIC experiments
+//! (Fig. 8) can sweep it.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Normal};
+
+use forms_tensor::FixedSpec;
+
+/// A generator of non-negative activation values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ActivationModel {
+    /// |N(0, sigma)| — the classic post-ReLU shape for batch-normalized
+    /// layers (half of a unit-variance Gaussian scaled by `sigma`).
+    HalfNormal {
+        /// Scale of the underlying Gaussian.
+        sigma: f64,
+    },
+    /// Exponential(λ = 1/mean) — an even heavier concentration at zero.
+    Exponential {
+        /// Mean activation value.
+        mean: f64,
+    },
+    /// Half-normal with an extra point mass at exactly zero, modelling the
+    /// fraction of units a ReLU silences outright.
+    SparseHalfNormal {
+        /// Scale of the underlying Gaussian.
+        sigma: f64,
+        /// Probability that a value is exactly zero.
+        zero_fraction: f64,
+    },
+}
+
+impl ActivationModel {
+    /// Half-normal with the given scale.
+    pub fn half_normal(sigma: f64) -> Self {
+        ActivationModel::HalfNormal { sigma }
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(mean: f64) -> Self {
+        ActivationModel::Exponential { mean }
+    }
+
+    /// Sparse half-normal (the most realistic post-ReLU shape: ~50% exact
+    /// zeros for a zero-centred pre-activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zero_fraction` is outside `[0, 1]`.
+    pub fn sparse_half_normal(sigma: f64, zero_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&zero_fraction),
+            "zero fraction must be in [0, 1]"
+        );
+        ActivationModel::SparseHalfNormal {
+            sigma,
+            zero_fraction,
+        }
+    }
+
+    /// Draws one activation value (non-negative).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ActivationModel::HalfNormal { sigma } => Normal::new(0.0, sigma)
+                .expect("valid sigma")
+                .sample(rng)
+                .abs(),
+            ActivationModel::Exponential { mean } => {
+                Exp::new(1.0 / mean).expect("valid mean").sample(rng)
+            }
+            ActivationModel::SparseHalfNormal {
+                sigma,
+                zero_fraction,
+            } => {
+                if rng.gen_bool(zero_fraction) {
+                    0.0
+                } else {
+                    Normal::new(0.0, sigma)
+                        .expect("valid sigma")
+                        .sample(rng)
+                        .abs()
+                }
+            }
+        }
+    }
+
+    /// Draws `n` values.
+    pub fn sample_values<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws `n` values and quantizes them to `bits`-bit fixed-point codes,
+    /// scaling so the 99.9th-percentile magnitude maps near full scale (as
+    /// a real layer's activation scale would be calibrated, without letting
+    /// a single outlier squash the distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `bits` is outside `1..=31`.
+    pub fn sample_codes<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, bits: u32) -> Vec<u32> {
+        assert!(n > 0, "need at least one sample");
+        let values = self.sample_values(rng, n);
+        let as_f32: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let p999 = forms_tensor::quantile(&as_f32, 0.999).max(f32::MIN_POSITIVE);
+        let spec = FixedSpec::for_max_value(bits, p999);
+        as_f32.iter().map(|&v| spec.quantize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn all_models_produce_nonnegative_values() {
+        let mut rng = rng();
+        for model in [
+            ActivationModel::half_normal(1.0),
+            ActivationModel::exponential(0.5),
+            ActivationModel::sparse_half_normal(1.0, 0.5),
+        ] {
+            assert!(model.sample_values(&mut rng, 500).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sparse_model_produces_exact_zeros() {
+        let mut rng = rng();
+        let vals = ActivationModel::sparse_half_normal(1.0, 0.5).sample_values(&mut rng, 2000);
+        let zeros = vals.iter().filter(|&&v| v == 0.0).count();
+        assert!((800..1200).contains(&zeros), "zeros {zeros}");
+    }
+
+    #[test]
+    fn half_normal_mean_matches_theory() {
+        // E|N(0,σ)| = σ·√(2/π).
+        let mut rng = rng();
+        let vals = ActivationModel::half_normal(2.0).sample_values(&mut rng, 20_000);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let expected = 2.0 * (2.0 / std::f64::consts::PI).sqrt();
+        assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn codes_concentrate_in_low_bits() {
+        // The whole point: most 16-bit codes of post-ReLU data have
+        // many leading zeros.
+        let mut rng = rng();
+        let codes = ActivationModel::half_normal(1.0).sample_codes(&mut rng, 5000, 16);
+        let avg_eff: f64 = codes
+            .iter()
+            .map(|&c| (32 - c.leading_zeros()) as f64)
+            .sum::<f64>()
+            / codes.len() as f64;
+        assert!(avg_eff < 15.0, "average effective bits {avg_eff}");
+        assert!(avg_eff > 6.0, "suspiciously small codes: {avg_eff}");
+    }
+
+    #[test]
+    fn codes_fit_bit_width() {
+        let mut rng = rng();
+        for bits in [8u32, 12, 16] {
+            let codes = ActivationModel::exponential(1.0).sample_codes(&mut rng, 500, bits);
+            assert!(codes.iter().all(|&c| u64::from(c) < (1u64 << bits)));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Capture the activations feeding every weight layer of a network.
+//!
+//! The EIC measurements of paper Fig. 8 are taken on the *inputs* of each
+//! CONV layer. This walks a `forms-dnn` network exactly as the accelerator
+//! does (including into residual blocks, body before projection) and
+//! records the tensor entering each conv/linear layer, in weight-layer
+//! visit order.
+
+use forms_dnn::{Layer, Network};
+use forms_tensor::Tensor;
+
+/// Runs `x` through a copy of the network and returns the input tensor of
+/// every conv/linear layer, in the same order as
+/// [`Network::for_each_weight_layer`].
+pub fn capture_weight_layer_inputs(net: &Network, x: &Tensor) -> Vec<Tensor> {
+    let mut layers = net.clone().into_layers();
+    let mut captured = Vec::new();
+    let mut y = x.clone();
+    for layer in &mut layers {
+        y = forward_capture(layer, &y, &mut captured);
+    }
+    captured
+}
+
+fn forward_capture(layer: &mut Layer, x: &Tensor, captured: &mut Vec<Tensor>) -> Tensor {
+    match layer {
+        Layer::Conv2d(_) | Layer::Linear(_) => {
+            captured.push(x.clone());
+            layer.forward(x, false)
+        }
+        Layer::Residual(block) => {
+            let mut y = x.clone();
+            for l in block.body_mut() {
+                y = forward_capture(l, &y, captured);
+            }
+            let shortcut = match block.projection_mut() {
+                Some(p) => forward_capture(p, x, captured),
+                None => x.clone(),
+            };
+            y.zip(&shortcut, |a, b| (a + b).max(0.0))
+        }
+        other => other.forward(x, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_dnn::ResidualBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn captures_one_tensor_per_weight_layer() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 2, 3, 1, 1),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 2 * 4 * 4, 3),
+        ]);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let captured = capture_weight_layer_inputs(&net, &x);
+        assert_eq!(captured.len(), net.weight_layer_count());
+        assert_eq!(captured[0].dims(), &[1, 1, 4, 4]);
+        assert_eq!(captured[1].dims(), &[1, 2 * 4 * 4]);
+    }
+
+    #[test]
+    fn capture_order_matches_visit_order_in_residual_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = ResidualBlock::new(
+            vec![
+                Layer::conv2d(&mut rng, 2, 4, 3, 1, 1),
+                Layer::relu(),
+                Layer::conv2d(&mut rng, 4, 4, 3, 1, 1),
+            ],
+            Some(Layer::conv2d(&mut rng, 2, 4, 1, 1, 0)),
+        );
+        let net = Network::new(vec![Layer::Residual(block)]);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let captured = capture_weight_layer_inputs(&net, &x);
+        assert_eq!(captured.len(), 3);
+        // Body conv 1 sees the block input (2 channels); body conv 2 sees 4
+        // channels; the projection sees the block input again.
+        assert_eq!(captured[0].dims()[1], 2);
+        assert_eq!(captured[1].dims()[1], 4);
+        assert_eq!(captured[2].dims()[1], 2);
+    }
+
+    #[test]
+    fn captured_inputs_are_post_relu_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 3, 3, 1, 1),
+            Layer::relu(),
+            Layer::conv2d(&mut rng, 3, 3, 3, 1, 1),
+        ]);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let captured = capture_weight_layer_inputs(&net, &x);
+        assert!(captured[1].min() >= 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # forms-workloads
+//!
+//! Workload generation for the FORMS (ISCA 2021) reproduction: the
+//! activation distributions, layer-shape catalogs and EIC measurements that
+//! feed the evaluation benches (Figs. 8, 13, 14).
+//!
+//! The paper measures effective input cycles on real CONV-layer
+//! activations. Here those come from two sources: [`ActivationModel`]
+//! synthesizes post-ReLU-shaped distributions (most values small — paper
+//! ref. \[58\]), and [`capture_weight_layer_inputs`] records the genuine
+//! activations feeding every conv/linear layer of a trained
+//! `forms-dnn` network.
+//!
+//! # Example
+//!
+//! ```
+//! use forms_workloads::ActivationModel;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let codes = ActivationModel::half_normal(0.1).sample_codes(&mut rng, 1024, 16);
+//! // Post-ReLU activations are small: most codes have leading zeros.
+//! let avg_bits: f64 =
+//!     codes.iter().map(|&c| (32 - c.leading_zeros()) as f64).sum::<f64>() / 1024.0;
+//! assert!(avg_bits < 16.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod activations;
+mod capture;
+mod shapes;
+mod sweep;
+
+pub use activations::ActivationModel;
+pub use capture::capture_weight_layer_inputs;
+pub use shapes::{
+    lenet5_mnist, resnet18_cifar, resnet18_imagenet, resnet50_imagenet, vgg16_cifar, LayerShape,
+};
+pub use sweep::{grid2, grid3, sweep2, Axis};

@@ -1,0 +1,229 @@
+//! Layer-shape catalogs of the paper's benchmark networks at full size.
+//!
+//! The frame-rate model (Figs. 13–14) and the crossbar-count arithmetic
+//! only need layer *geometry* — filter dimensions and output positions —
+//! not trained weights, so the full-scale topologies are available here
+//! even though the trainable models in `forms-dnn` are scaled down.
+
+/// Geometry of one convolutional (or fully-connected) layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Layer label (e.g. `"conv3_2"`).
+    pub name: &'static str,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Square kernel size (1 for fully-connected layers).
+    pub kernel: usize,
+    /// Output feature-map height = width (1 for fully-connected layers).
+    pub out_hw: usize,
+}
+
+impl LayerShape {
+    /// Rows of the lowered weight matrix (`in_channels · kernel²`).
+    pub fn matrix_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the lowered weight matrix (filters).
+    pub fn matrix_cols(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Matrix-vector activations per image (`out_hw²`).
+    pub fn positions(&self) -> usize {
+        self.out_hw * self.out_hw
+    }
+
+    /// Total weights.
+    pub fn weights(&self) -> usize {
+        self.matrix_rows() * self.matrix_cols()
+    }
+
+    /// Physical crossbars needed to map this layer at the given crossbar
+    /// dimension and cells per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbar_dim` or `cells_per_weight` is zero.
+    pub fn crossbars(&self, crossbar_dim: usize, cells_per_weight: usize) -> usize {
+        assert!(
+            crossbar_dim > 0 && cells_per_weight > 0,
+            "invalid mapping parameters"
+        );
+        self.matrix_rows().div_ceil(crossbar_dim)
+            * (self.matrix_cols() * cells_per_weight).div_ceil(crossbar_dim)
+    }
+}
+
+const fn conv(
+    name: &'static str,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    out_hw: usize,
+) -> LayerShape {
+    LayerShape {
+        name,
+        in_channels,
+        out_channels,
+        kernel,
+        out_hw,
+    }
+}
+
+const fn fc(name: &'static str, in_features: usize, out_features: usize) -> LayerShape {
+    LayerShape {
+        name,
+        in_channels: in_features,
+        out_channels: out_features,
+        kernel: 1,
+        out_hw: 1,
+    }
+}
+
+/// LeNet-5 on 28×28 MNIST.
+pub fn lenet5_mnist() -> Vec<LayerShape> {
+    vec![
+        conv("conv1", 1, 6, 5, 28),
+        conv("conv2", 6, 16, 5, 14),
+        fc("fc1", 16 * 7 * 7, 120),
+        fc("fc2", 120, 84),
+        fc("fc3", 84, 10),
+    ]
+}
+
+/// VGG-16 on 32×32 CIFAR.
+pub fn vgg16_cifar() -> Vec<LayerShape> {
+    vec![
+        conv("conv1_1", 3, 64, 3, 32),
+        conv("conv1_2", 64, 64, 3, 32),
+        conv("conv2_1", 64, 128, 3, 16),
+        conv("conv2_2", 128, 128, 3, 16),
+        conv("conv3_1", 128, 256, 3, 8),
+        conv("conv3_2", 256, 256, 3, 8),
+        conv("conv3_3", 256, 256, 3, 8),
+        conv("conv4_1", 256, 512, 3, 4),
+        conv("conv4_2", 512, 512, 3, 4),
+        conv("conv4_3", 512, 512, 3, 4),
+        conv("conv5_1", 512, 512, 3, 2),
+        conv("conv5_2", 512, 512, 3, 2),
+        conv("conv5_3", 512, 512, 3, 2),
+        fc("fc1", 512, 512),
+        fc("fc2", 512, 512),
+        fc("fc3", 512, 10),
+    ]
+}
+
+/// ResNet-18 on 32×32 CIFAR (3×3 stem, 4 stages).
+pub fn resnet18_cifar() -> Vec<LayerShape> {
+    let mut layers = vec![conv("stem", 3, 64, 3, 32)];
+    let stages: [(usize, usize, usize); 4] = [(64, 32, 2), (128, 16, 2), (256, 8, 2), (512, 4, 2)];
+    let mut in_ch = 64;
+    for &(ch, hw, blocks) in &stages {
+        for b in 0..blocks {
+            layers.push(conv("block_conv_a", in_ch, ch, 3, hw));
+            layers.push(conv("block_conv_b", ch, ch, 3, hw));
+            if b == 0 && in_ch != ch {
+                layers.push(conv("proj", in_ch, ch, 1, hw));
+            }
+            in_ch = ch;
+        }
+    }
+    layers.push(fc("fc", 512, 10));
+    layers
+}
+
+/// ResNet-18 on 224×224 ImageNet (7×7 stem, 4 stages).
+pub fn resnet18_imagenet() -> Vec<LayerShape> {
+    let mut layers = vec![conv("stem", 3, 64, 7, 112)];
+    let stages: [(usize, usize, usize); 4] = [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
+    let mut in_ch = 64;
+    for &(ch, hw, blocks) in &stages {
+        for b in 0..blocks {
+            layers.push(conv("block_conv_a", in_ch, ch, 3, hw));
+            layers.push(conv("block_conv_b", ch, ch, 3, hw));
+            if b == 0 && in_ch != ch {
+                layers.push(conv("proj", in_ch, ch, 1, hw));
+            }
+            in_ch = ch;
+        }
+    }
+    layers.push(fc("fc", 512, 1000));
+    layers
+}
+
+/// ResNet-50 on 224×224 ImageNet (bottleneck blocks, stage plan
+/// `[3, 4, 6, 3]`).
+pub fn resnet50_imagenet() -> Vec<LayerShape> {
+    let mut layers = vec![conv("stem", 3, 64, 7, 112)];
+    let plan: [(usize, usize, usize); 4] = [(64, 56, 3), (128, 28, 4), (256, 14, 6), (512, 7, 3)];
+    let mut in_ch = 64;
+    for &(mid, hw, blocks) in &plan {
+        let out = mid * 4;
+        for b in 0..blocks {
+            layers.push(conv("bneck_reduce", in_ch, mid, 1, hw));
+            layers.push(conv("bneck_conv", mid, mid, 3, hw));
+            layers.push(conv("bneck_expand", mid, out, 1, hw));
+            if b == 0 {
+                layers.push(conv("proj", in_ch, out, 1, hw));
+            }
+            in_ch = out;
+        }
+    }
+    layers.push(fc("fc", 2048, 1000));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_sixteen_weight_layers() {
+        assert_eq!(vgg16_cifar().len(), 16);
+    }
+
+    #[test]
+    fn vgg16_parameter_count_is_plausible() {
+        // CIFAR VGG-16 variants have ~15M weights.
+        let total: usize = vgg16_cifar().iter().map(LayerShape::weights).sum();
+        assert!((14_000_000..16_000_000).contains(&total), "weights {total}");
+    }
+
+    #[test]
+    fn resnet18_imagenet_parameter_count_is_plausible() {
+        // ResNet-18 has ~11M conv+fc weights.
+        let total: usize = resnet18_imagenet().iter().map(LayerShape::weights).sum();
+        assert!((10_500_000..12_500_000).contains(&total), "weights {total}");
+    }
+
+    #[test]
+    fn resnet50_parameter_count_is_plausible() {
+        // ResNet-50 has ~25M weights (conv + fc).
+        let total: usize = resnet50_imagenet().iter().map(LayerShape::weights).sum();
+        assert!((22_000_000..27_000_000).contains(&total), "weights {total}");
+    }
+
+    #[test]
+    fn crossbar_counting_matches_hand_arithmetic() {
+        // conv2_1 of VGG: 64·9 = 576 rows, 128 filters × 4 cells = 512 cell
+        // columns → ceil(576/128)=5 × ceil(512/128)=4 → 20 crossbars.
+        let l = conv("conv2_1", 64, 128, 3, 16);
+        assert_eq!(l.crossbars(128, 4), 20);
+    }
+
+    #[test]
+    fn positions_track_feature_map() {
+        assert_eq!(conv("x", 3, 64, 3, 32).positions(), 1024);
+        assert_eq!(fc("y", 512, 10).positions(), 1);
+    }
+
+    #[test]
+    fn lenet_layers() {
+        let l = lenet5_mnist();
+        assert_eq!(l.len(), 5);
+        assert_eq!(l[0].matrix_rows(), 25);
+    }
+}

@@ -1,0 +1,103 @@
+//! Parameter-sweep utilities for the experiment harness: a small cartesian
+//! grid abstraction so benches and binaries sweep design axes uniformly.
+
+/// A named axis of a parameter sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis<T> {
+    /// Axis label (used in reports).
+    pub name: &'static str,
+    /// The values to sweep.
+    pub values: Vec<T>,
+}
+
+impl<T: Clone> Axis<T> {
+    /// Creates an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(name: &'static str, values: Vec<T>) -> Self {
+        assert!(!values.is_empty(), "axis {name} needs at least one value");
+        Self { name, values }
+    }
+}
+
+/// Cartesian product of two axes, yielding every `(a, b)` pair in row-major
+/// order.
+pub fn grid2<A: Clone, B: Clone>(a: &Axis<A>, b: &Axis<B>) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.values.len() * b.values.len());
+    for av in &a.values {
+        for bv in &b.values {
+            out.push((av.clone(), bv.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three axes.
+pub fn grid3<A: Clone, B: Clone, C: Clone>(
+    a: &Axis<A>,
+    b: &Axis<B>,
+    c: &Axis<C>,
+) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.values.len() * b.values.len() * c.values.len());
+    for av in &a.values {
+        for bv in &b.values {
+            for cv in &c.values {
+                out.push((av.clone(), bv.clone(), cv.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Runs `f` over a grid and collects `(point, result)` pairs — the shape
+/// every sweep in the harness reduces to.
+pub fn sweep2<A: Clone, B: Clone, R>(
+    a: &Axis<A>,
+    b: &Axis<B>,
+    mut f: impl FnMut(&A, &B) -> R,
+) -> Vec<((A, B), R)> {
+    grid2(a, b)
+        .into_iter()
+        .map(|(av, bv)| {
+            let r = f(&av, &bv);
+            ((av, bv), r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_row_major_order() {
+        let a = Axis::new("a", vec![1, 2]);
+        let b = Axis::new("b", vec!["x", "y"]);
+        assert_eq!(grid2(&a, &b), vec![(1, "x"), (1, "y"), (2, "x"), (2, "y")]);
+    }
+
+    #[test]
+    fn grid3_size() {
+        let a = Axis::new("a", vec![1, 2]);
+        let b = Axis::new("b", vec![3]);
+        let c = Axis::new("c", vec![4, 5, 6]);
+        assert_eq!(grid3(&a, &b, &c).len(), 6);
+    }
+
+    #[test]
+    fn sweep_collects_results_in_order() {
+        let a = Axis::new("fragment", vec![4usize, 8]);
+        let b = Axis::new("bits", vec![2u32]);
+        let results = sweep2(&a, &b, |&f, &bits| f as u32 * bits);
+        assert_eq!(results[0], ((4, 2), 8));
+        assert_eq!(results[1], ((8, 2), 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_rejected() {
+        Axis::<u32>::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # forms
+//!
+//! Umbrella crate for the FORMS (ISCA 2021) reproduction: *Fine-grained
+//! Polarized ReRAM-based In-situ Computation for Mixed-signal DNN
+//! Accelerator*.
+//!
+//! This crate simply re-exports the workspace crates under one roof so
+//! examples and downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense tensors, fixed-point formats, conv lowering
+//! - [`dnn`] — layers, backprop, optimizers, model zoo, synthetic datasets
+//! - [`admm`] — ADMM-regularized pruning / polarization / quantization
+//! - [`reram`] — behavioural ReRAM crossbar and converter simulation
+//! - [`arch`] — the FORMS accelerator (mapping, zero-skipping, pipeline)
+//! - [`baselines`] — ISAAC / PUMA / DaDianNao comparators
+//! - [`hwmodel`] — component-level area/power/energy models
+//! - [`workloads`] — activation generators and EIC statistics
+//!
+//! # Example
+//!
+//! ```
+//! use forms::tensor::Tensor;
+//!
+//! let t = Tensor::ones(&[2, 2]);
+//! assert_eq!(t.sum(), 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use forms_admm as admm;
+pub use forms_arch as arch;
+pub use forms_baselines as baselines;
+pub use forms_dnn as dnn;
+pub use forms_hwmodel as hwmodel;
+pub use forms_reram as reram;
+pub use forms_tensor as tensor;
+pub use forms_workloads as workloads;

@@ -1,0 +1,132 @@
+//! Cross-crate integration: the FORMS polarized mapping, ISAAC offset
+//! encoding and PRIME-style splitting all compute the same products on the
+//! same `forms-reram` substrate — with exactly the cost differences the
+//! paper describes.
+
+use forms::arch::{MappedLayer, MappingConfig};
+use forms::baselines::{IsaacLayer, SplitLayer};
+use forms::reram::CellSpec;
+use forms::tensor::{QuantizedTensor, Tensor};
+
+/// A fragment-polarized matrix (columns alternate fragment signs).
+fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        let (r, c) = (i / cols, i % cols);
+        let sign = if ((r / fragment) + c) % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * (0.05 + ((i * 13) % 11) as f32 / 16.0)
+    })
+}
+
+fn mapping_config(fragment: usize) -> MappingConfig {
+    MappingConfig {
+        crossbar_dim: 16,
+        fragment_size: fragment,
+        weight_bits: 8,
+        cell: CellSpec::paper_2bit(),
+        input_bits: 8,
+        zero_skipping: true,
+    }
+}
+
+#[test]
+fn all_three_mappings_agree_on_polarized_weights() {
+    let w = polarized_matrix(16, 4, 4);
+    let x = Tensor::from_fn(&[16], |i| (i as f32 * 0.19).fract());
+    let q = QuantizedTensor::quantize(&x, 8);
+
+    let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
+    let (forms_out, _) = forms.matvec(q.codes(), q.spec().scale());
+
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let (isaac_out, _) = isaac.matvec(q.codes(), q.spec().scale());
+
+    let split = SplitLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let split_out = split.matvec(q.codes(), q.spec().scale());
+
+    // All three compute W^T x up to their (slightly different) weight
+    // quantization grids.
+    let reference = w.transpose().matvec(q.dequantize().data());
+    for c in 0..4 {
+        let tol = 0.06 * reference[c].abs().max(1.0);
+        assert!(
+            (forms_out[c] - reference[c]).abs() < tol,
+            "FORMS col {c}: {} vs {}",
+            forms_out[c],
+            reference[c]
+        );
+        assert!(
+            (isaac_out[c] - reference[c]).abs() < tol,
+            "ISAAC col {c}: {} vs {}",
+            isaac_out[c],
+            reference[c]
+        );
+        assert!(
+            (split_out[c] - reference[c]).abs() < tol,
+            "Split col {c}: {} vs {}",
+            split_out[c],
+            reference[c]
+        );
+    }
+}
+
+#[test]
+fn isaac_handles_arbitrary_signs_that_forms_rejects() {
+    // Row-alternating signs violate every fragment of 4.
+    let w = Tensor::from_fn(&[8, 2], |i| if (i / 2) % 2 == 0 { 0.5 } else { -0.5 });
+    assert!(MappedLayer::map(&w, mapping_config(4)).is_err());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+    let (out, _) = isaac.matvec(&[1; 8], 1.0);
+    let reference = w.transpose().matvec(&[1.0; 8]);
+    for c in 0..2 {
+        assert!(
+            (out[c] - reference[c]).abs() < 0.05,
+            "{} vs {}",
+            out[c],
+            reference[c]
+        );
+    }
+}
+
+#[test]
+fn cost_ordering_matches_the_paper() {
+    // Same dense polarized matrix: split pays 2× crossbars; FORMS pays sign
+    // bits instead; ISAAC pays offset subtractions.
+    let w = polarized_matrix(16, 4, 4);
+    let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
+    let split = SplitLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+
+    assert_eq!(
+        split.crossbar_count(),
+        2 * forms.crossbar_count(),
+        "split mapping must double the arrays"
+    );
+    assert_eq!(isaac.crossbar_count(), forms.crossbar_count());
+
+    // ISAAC's correction work exists and scales with input ones; FORMS has
+    // none (sign indicator is applied for free during accumulation).
+    let x = Tensor::from_fn(&[16], |i| (i % 3) as f32);
+    let q = QuantizedTensor::quantize(&x, 8);
+    let (_, isaac_stats) = isaac.matvec(q.codes(), q.spec().scale());
+    assert!(isaac_stats.offset_subtractions > 0);
+
+    // FORMS sign bits: one per fragment per column.
+    assert_eq!(forms.sign_bits(), (16 / 4) * 4);
+}
+
+#[test]
+fn zero_skipping_advantage_is_unique_to_forms() {
+    let w = polarized_matrix(16, 2, 4);
+    // Inputs with tiny magnitudes: FORMS skips, ISAAC cannot.
+    let codes: Vec<u32> = (0..16).map(|i| (i % 2) as u32).collect();
+    let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
+    let (_, fs) = forms.matvec(&codes, 1.0);
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let (_, is) = isaac.matvec(&codes, 1.0);
+    assert!(fs.cycles < fs.cycles_without_skip, "FORMS saved nothing");
+    assert_eq!(is.cycles, 8, "ISAAC always pays the full bit width");
+}

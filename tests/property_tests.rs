@@ -1,0 +1,266 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use forms::admm::{
+    fragment_signs, polarization_violations, project_polarization, project_quantization,
+    project_structured_pruning, quantization_step,
+};
+use forms::arch::{
+    effective_bits, fragment_eic, ChipPlacement, LayerPlacement, MappedLayer, MappingConfig,
+    Pipeline, PipelineOp, ShiftRegisterBank,
+};
+use forms::hwmodel::{Activity, EnergyModel, McuConfig};
+use forms::reram::{BitSlicer, CellSpec, CurrentNoise, IrDropModel};
+use forms::tensor::{FixedSpec, QuantizedTensor, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (
+        1usize..6,
+        1usize..5,
+        proptest::collection::vec(-1.0f32..1.0, 1..30),
+    )
+        .prop_map(|(rows, cols, data)| {
+            let n = rows * cols;
+            let mut d = data;
+            d.resize(n, 0.25);
+            Tensor::from_vec(d, &[rows, cols])
+        })
+}
+
+proptest! {
+    #[test]
+    fn shape_offset_index_round_trip(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(&dims);
+        for off in 0..shape.len() {
+            prop_assert_eq!(shape.offset(&shape.index(off)), off);
+        }
+    }
+
+    #[test]
+    fn quantizer_error_bounded(values in proptest::collection::vec(0.0f32..10.0, 1..64), bits in 4u32..16) {
+        let t = Tensor::from_vec(values.clone(), &[values.len()]);
+        let q = QuantizedTensor::quantize(&t, bits);
+        let err = t.max_abs_diff(&q.dequantize());
+        prop_assert!(err <= q.spec().scale() / 2.0 + 1e-5);
+    }
+
+    #[test]
+    fn fixed_spec_quantize_saturates(v in -100.0f32..100.0, bits in 2u32..16) {
+        let spec = FixedSpec::new(bits, 0.01);
+        let code = spec.quantize(v);
+        prop_assert!(code <= spec.max_code());
+    }
+
+    #[test]
+    fn polarization_projection_feasible_and_idempotent(m in small_matrix(), frag in 1usize..6) {
+        let signs = fragment_signs(&m, frag);
+        let z = project_polarization(&m, frag, &signs);
+        // Feasible after a fixed-point iteration (zeroing can retire rows):
+        let mut zz = z;
+        for _ in 0..16 {
+            if polarization_violations(&zz, frag) == 0 { break; }
+            let s = fragment_signs(&zz, frag);
+            zz = project_polarization(&zz, frag, &s);
+        }
+        prop_assert_eq!(polarization_violations(&zz, frag), 0);
+        // Idempotent at the fixed point:
+        let s = fragment_signs(&zz, frag);
+        let z2 = project_polarization(&zz, frag, &s);
+        prop_assert_eq!(z2, zz);
+    }
+
+    #[test]
+    fn pruning_projection_structure(m in small_matrix()) {
+        let rows = m.dims()[0];
+        let cols = m.dims()[1];
+        let keep_r = (rows + 1) / 2;
+        let keep_c = (cols + 1) / 2;
+        let z = project_structured_pruning(&m, keep_r, keep_c);
+        let nz_rows = (0..rows).filter(|&r| (0..cols).any(|c| z.get(&[r, c]) != 0.0)).count();
+        let nz_cols = (0..cols).filter(|&c| (0..rows).any(|r| z.get(&[r, c]) != 0.0)).count();
+        prop_assert!(nz_rows <= keep_r);
+        prop_assert!(nz_cols <= keep_c);
+        // Projection never changes a surviving entry.
+        for i in 0..z.len() {
+            let zv = z.data()[i];
+            prop_assert!(zv == 0.0 || zv == m.data()[i]);
+        }
+    }
+
+    #[test]
+    fn quantization_projection_on_grid(m in small_matrix(), bits in 3u32..9) {
+        let step = quantization_step(&m, bits);
+        let z = project_quantization(&m, step, bits);
+        for &v in z.data() {
+            let code = v / step;
+            prop_assert!((code - code.round()).abs() < 1e-4);
+        }
+        prop_assert_eq!(project_quantization(&z, step, bits), z.clone());
+    }
+
+    #[test]
+    fn effective_bits_bounds(code in 0u32..65536) {
+        let e = effective_bits(code);
+        prop_assert!(e <= 16);
+        if code > 0 {
+            prop_assert!(code >= 1 << (e - 1));
+            prop_assert!(u64::from(code) < 1u64 << e);
+        }
+    }
+
+    #[test]
+    fn eic_is_max_and_monotone(codes in proptest::collection::vec(0u32..65536, 1..32)) {
+        let eic = fragment_eic(&codes);
+        prop_assert_eq!(eic, codes.iter().map(|&c| effective_bits(c)).max().unwrap());
+        // Monotone under extension.
+        let mut extended = codes.clone();
+        extended.push(0);
+        prop_assert_eq!(fragment_eic(&extended), eic);
+    }
+
+    #[test]
+    fn shift_bank_reconstructs_and_stops_at_eic(codes in proptest::collection::vec(0u32..65536, 1..16)) {
+        let planes = ShiftRegisterBank::load(&codes).drain();
+        prop_assert_eq!(planes.len() as u32, fragment_eic(&codes));
+        let mut rebuilt = vec![0u32; codes.len()];
+        for (cycle, bits) in planes.iter().enumerate() {
+            for (r, &b) in rebuilt.iter_mut().zip(bits) {
+                *r |= (b as u32) << cycle;
+            }
+        }
+        prop_assert_eq!(rebuilt, codes);
+    }
+
+    #[test]
+    fn bit_slicer_round_trip(magnitude in 0u32..65536, cell_bits in 1u32..5) {
+        let slicer = BitSlicer::new(16, cell_bits);
+        let slices = slicer.slice(magnitude);
+        let results: Vec<u64> = slices.iter().map(|&s| u64::from(s)).collect();
+        prop_assert_eq!(slicer.recombine(&results), u64::from(magnitude));
+        let max_cell = (1u32 << cell_bits) - 1;
+        prop_assert!(slices.iter().all(|&s| s <= max_cell));
+    }
+
+    #[test]
+    fn mapped_matvec_matches_digital_reference(
+        seed_vals in proptest::collection::vec(0.01f32..1.0, 8),
+        inputs in proptest::collection::vec(0u32..256, 8),
+    ) {
+        // Build a polarized 8×2 matrix from positive magnitudes.
+        let m = Tensor::from_fn(&[8, 2], |i| {
+            let (r, c) = (i / 2, i % 2);
+            let sign = if ((r / 4) + c) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * seed_vals[r]
+        });
+        let config = MappingConfig {
+            crossbar_dim: 8,
+            fragment_size: 4,
+            weight_bits: 8,
+            cell: CellSpec::paper_2bit(),
+            input_bits: 8,
+            zero_skipping: true,
+        };
+        let mapped = MappedLayer::map(&m, config).expect("polarized by construction");
+        let (analog, stats) = mapped.matvec(&inputs, 1.0);
+        let reference = mapped
+            .dequantized_matrix()
+            .transpose()
+            .matvec(&inputs.iter().map(|&v| v as f32).collect::<Vec<_>>());
+        for (a, r) in analog.iter().zip(&reference) {
+            prop_assert!((a - r).abs() < 1e-2 * r.abs().max(1.0), "{a} vs {r}");
+        }
+        prop_assert!(stats.cycles <= stats.cycles_without_skip);
+    }
+}
+
+proptest! {
+    #[test]
+    fn noise_sigma_is_monotone_in_signal(
+        floor in 0.0f64..2.0,
+        per_unit in 0.0f64..0.5,
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+    ) {
+        let n = CurrentNoise::new(floor, per_unit);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.sigma_at(lo) <= n.sigma_at(hi) + 1e-12);
+    }
+
+    #[test]
+    fn ir_drop_error_monotone_in_window(w1 in 1usize..64, extra in 1usize..64) {
+        let m = IrDropModel::typical();
+        let e1 = m.worst_case_relative_error(w1, 61.0);
+        let e2 = m.worst_case_relative_error(w1 + extra, 61.0);
+        prop_assert!(e2 >= e1);
+        prop_assert!((0.0..1.0).contains(&e1));
+    }
+
+    #[test]
+    fn energy_is_monotone_in_activity(cycles in 0u64..10_000, conversions in 0u64..10_000) {
+        let model = EnergyModel::from_mcu(&McuConfig::forms(8));
+        let base = Activity {
+            shift_cycles: cycles,
+            adc_conversions: conversions,
+            rows_per_cycle: 8,
+            cells_per_conversion: 4,
+            shift_add_ops: conversions,
+        };
+        let more = Activity {
+            shift_cycles: cycles + 1,
+            adc_conversions: conversions + 1,
+            shift_add_ops: conversions + 1,
+            ..base
+        };
+        prop_assert!(model.energy_pj(&more) > model.energy_pj(&base));
+        prop_assert!(model.energy_pj(&base) >= 0.0);
+    }
+
+    #[test]
+    fn placement_covers_all_layers_within_capacity(
+        crossbar_counts in proptest::collection::vec(1usize..300, 1..12),
+    ) {
+        let mcu = McuConfig::forms(8);
+        let layers: Vec<LayerPlacement> = crossbar_counts
+            .iter()
+            .map(|&c| LayerPlacement { crossbars: c, output_bytes: 64 })
+            .collect();
+        match ChipPlacement::place(&mcu, &layers) {
+            Ok(p) => {
+                prop_assert_eq!(p.assignments().len(), layers.len());
+                // Assignments are disjoint and ordered.
+                let mut next = 0;
+                for a in p.assignments() {
+                    prop_assert_eq!(a.first_tile, next);
+                    next += a.tiles;
+                }
+                prop_assert!(p.total_tiles() <= 168);
+            }
+            Err(_) => {
+                // Only oversized models may fail.
+                let tiles: usize = layers.iter().map(|l| l.crossbars.div_ceil(96)).sum();
+                prop_assert!(tiles > 168);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_total_bounded_by_serial_and_parallel(
+        shifts in proptest::collection::vec(0u32..17, 1..40),
+    ) {
+        let p = Pipeline::new(16, false);
+        let ops: Vec<PipelineOp> = shifts
+            .iter()
+            .map(|&s| PipelineOp { shift_cycles: s })
+            .collect();
+        let total = p.run(&ops);
+        // Lower bound: the bottleneck section's total work; upper bound:
+        // fully serial execution.
+        let work: u64 = shifts.iter().map(|&s| u64::from(s.clamp(1, 16))).sum();
+        let serial: u64 = shifts
+            .iter()
+            .map(|&s| 6 + u64::from(s.clamp(1, 16)))
+            .sum();
+        prop_assert!(total >= work);
+        prop_assert!(total <= serial);
+    }
+}
