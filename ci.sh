@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Hermetic CI for the FORMS reproduction: build + test fully offline, then
+# verify no Cargo.toml has reintroduced an external dependency.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== dependency freeze =="
+# Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
+# every manifest must be an in-tree forms-* path crate. Anything else means
+# the hermetic (no-network, empty-registry) build guarantee is broken.
+status=0
+while IFS= read -r manifest; do
+    # Matches both `name = { ... }` and dotted-key `name.workspace = true`
+    # entries; prints the crate name.
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
+        in_deps && /^[A-Za-z0-9_-]+(\.[A-Za-z0-9_-]+)*[[:space:]]*=/ {
+            split($1, parts, "."); print parts[1]
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        case "$dep" in
+            forms-*) ;;
+            *)
+                echo "FROZEN: $manifest declares external dependency '$dep'" >&2
+                status=1
+                ;;
+        esac
+    done
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$status" -ne 0 ]; then
+    echo "dependency-freeze check FAILED: the workspace must stay hermetic" >&2
+    echo "(only in-tree forms-* path crates are allowed)" >&2
+    exit 1
+fi
+echo "ok: all manifests depend only on in-tree forms-* crates"
+
+echo "== CI green =="

@@ -162,8 +162,7 @@ mod tests {
     use super::*;
     use forms_dnn::{Layer, Network};
     use forms_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn net_with_zeroed_half() -> Network {
         let mut rng = StdRng::seed_from_u64(0);

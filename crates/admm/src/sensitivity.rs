@@ -110,8 +110,7 @@ mod tests {
     use super::*;
     use forms_dnn::data::SyntheticSpec;
     use forms_dnn::{models, train_epoch, Sgd};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn trained_setup() -> (Network, Dataset, f32) {
         let mut rng = StdRng::seed_from_u64(50);

@@ -10,7 +10,7 @@ use forms_dnn::data::Dataset;
 use forms_dnn::WeightLayerMut;
 use forms_dnn::{evaluate, softmax_cross_entropy, Network, Optimizer, Sgd};
 use forms_tensor::Tensor;
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::{
     fragment_signs, project_all, row_permutation, FilterGeometry, LayerConstraints,
@@ -344,26 +344,30 @@ impl AdmmTrainer {
     /// polarized crossbars.
     pub fn finalize(&mut self, net: &mut Network) {
         let policy_mats = self.policy_matrices(net);
-        let finalized: Vec<Tensor> = policy_mats
-            .iter()
-            .zip(&self.states)
-            .map(|(w, s)| {
-                let mut z = w.clone();
-                for pass in 0..16 {
-                    let signs = if pass == 0 { s.signs.as_deref() } else { None };
-                    let next = project_all(&z, &s.constraints, signs);
-                    let stable = next == z;
-                    z = next;
-                    if stable {
-                        break;
-                    }
+        let mut finalized = Vec::with_capacity(policy_mats.len());
+        for (w, s) in policy_mats.iter().zip(&mut self.states) {
+            let mut z = w.clone();
+            for pass in 0..16 {
+                let signs = if pass == 0 { s.signs.as_deref() } else { None };
+                let next = project_all(&z, &s.constraints, signs);
+                let stable = next == z;
+                z = next;
+                if stable {
+                    break;
                 }
-                match &s.perm {
-                    Some(p) => unpermute_rows(&z, p),
-                    None => z,
-                }
-            })
-            .collect();
+            }
+            // The hard projection can retire rows and flip near-tie
+            // fragment sums, invalidating the cached sign pattern; refresh
+            // it so it describes the finalized weights (keeping repeated
+            // finalize calls no-ops and masked retraining consistent).
+            if let Some(pol) = &s.constraints.polarize {
+                s.signs = Some(fragment_signs(&z, pol.fragment_size));
+            }
+            finalized.push(match &s.perm {
+                Some(p) => unpermute_rows(&z, p),
+                None => z,
+            });
+        }
         set_layer_matrices(net, &finalized);
     }
 
@@ -557,8 +561,7 @@ mod tests {
     use crate::{polarization_violations, PolarizeSpec, PruneSpec, QuantSpec};
     use forms_dnn::data::SyntheticSpec;
     use forms_dnn::models;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn small_conv_net(seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -12,7 +12,7 @@
 use forms_dnn::{Layer, Network, WeightLayerMut};
 use forms_reram::LogNormalVariation;
 use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::mapping::{MapError, MappedLayer, MappingConfig, MvmStats};
 
@@ -340,7 +340,7 @@ impl Accelerator {
         let chunk = n.div_ceil(workers);
         type WorkerResult = (Tensor, MvmStats, Vec<MvmStats>, Vec<u64>);
         let mut results: Vec<Option<WorkerResult>> = vec![None; workers];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slot) in results.iter_mut().enumerate() {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
@@ -353,15 +353,14 @@ impl Accelerator {
                     Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
                 let mut worker_accel = self.clone();
                 worker_accel.reset_stats();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let y = worker_accel.forward(&part);
                     let layer_stats = worker_accel.layer_stats().to_vec();
                     let layer_mvms = worker_accel.layer_mvms.clone();
                     *slot = Some((y, worker_accel.stats(), layer_stats, layer_mvms));
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         // Stitch outputs back in order.
         let mut out_data = Vec::new();
         let mut out_dims: Option<Vec<usize>> = None;
@@ -414,8 +413,7 @@ fn permute_rows(m: &Tensor, perm: &[usize]) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     /// Polarizes a network in place with the ADMM projection (iterated to a
     /// fixed point, since zeroing can retire rows and shift fragments) so

@@ -11,7 +11,7 @@ use std::fmt;
 
 use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
 use forms_tensor::Tensor;
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::zero_skip::ShiftRegisterBank;
 
@@ -662,12 +662,11 @@ mod tests {
 
     #[test]
     fn noiseless_noise_model_is_exact() {
-        use rand::SeedableRng;
         let w = polarized_matrix(16, 4, 4);
         let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
         let codes = vec![9u32; 16];
         let (clean, _) = mapped.matvec(&codes, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = forms_rng::StdRng::seed_from_u64(0);
         let (noisy, _) =
             mapped.matvec_noisy(&codes, 1.0, &forms_reram::CurrentNoise::none(), &mut rng);
         assert_eq!(clean, noisy);
@@ -675,12 +674,11 @@ mod tests {
 
     #[test]
     fn read_noise_perturbs_results() {
-        use rand::SeedableRng;
         let w = polarized_matrix(16, 4, 4);
         let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
         let codes = vec![9u32; 16];
         let (clean, _) = mapped.matvec(&codes, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = forms_rng::StdRng::seed_from_u64(1);
         let noise = forms_reram::CurrentNoise::new(1.0, 0.0);
         let (noisy, _) = mapped.matvec_noisy(&codes, 1.0, &noise, &mut rng);
         assert_ne!(clean, noisy, "strong noise must move some outputs");

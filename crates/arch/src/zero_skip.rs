@@ -238,6 +238,41 @@ mod tests {
     }
 
     #[test]
+    fn drain_length_equals_eic_on_random_fragments() {
+        // The shift bank must spend exactly `fragment_eic` cycles — no
+        // more (zero-skipping works) and no fewer (no bits are dropped).
+        use forms_rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xE1C);
+        for case in 0..200 {
+            let len = rng.gen_range(1..=64usize);
+            let codes: Vec<u32> = (0..len).map(|_| rng.gen_range(0..1u32 << 16)).collect();
+            let planes = ShiftRegisterBank::load(&codes).drain();
+            assert_eq!(
+                planes.len(),
+                fragment_eic(&codes) as usize,
+                "case {case}: drain length must equal the fragment EIC"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_length_equals_eic_on_all_zero_fragment() {
+        let codes = [0u32; 8];
+        assert_eq!(fragment_eic(&codes), 0);
+        assert!(ShiftRegisterBank::load(&codes).drain().is_empty());
+    }
+
+    #[test]
+    fn drain_length_equals_eic_on_partial_fragments() {
+        // Fragments narrower than the hardware width (a layer's tail
+        // rows), including the degenerate empty fragment.
+        for codes in [&[][..], &[5][..], &[0, 0, 9][..], &[1, 0][..]] {
+            let planes = ShiftRegisterBank::load(codes).drain();
+            assert_eq!(planes.len(), fragment_eic(codes) as usize);
+        }
+    }
+
+    #[test]
     fn eic_stats_histogram_and_mean() {
         // Fragments of 2: [3, 0] → EIC 2; [1, 1] → 1; [0, 0] → 0.
         let stats = eic_stats(&[3, 0, 1, 1, 0, 0], 2, 16);

@@ -228,8 +228,7 @@ impl IsaacAccelerator {
 mod tests {
     use super::*;
     use forms_dnn::Layer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn small_config() -> IsaacConfig {
         IsaacConfig {

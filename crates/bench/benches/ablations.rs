@@ -3,9 +3,12 @@
 //! ADC sharing, zero-skipping, ADMM sign-update period — timing the real
 //! simulator at that design point and printing the derived design metric
 //! once per point.
+//!
+//! Gated behind the off-by-default `bench` feature; run with
+//! `cargo bench -p forms-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use forms_arch::{MappedLayer, MappingConfig};
+use forms_bench::timing::Bencher;
 use forms_hwmodel::{McuConfig, ThroughputModel};
 use forms_reram::CellSpec;
 use forms_tensor::Tensor;
@@ -31,8 +34,7 @@ fn sparse_codes(n: usize) -> Vec<u32> {
 
 /// Fragment-size ablation: smaller fragments → more row groups but lower
 /// EIC. The printed metric is the cycles actually spent.
-fn ablation_fragment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_fragment");
+fn ablation_fragment(b: &mut Bencher) {
     for fragment in [4usize, 8, 16, 32] {
         let w = polarized_matrix(128, 8, fragment);
         let config = MappingConfig {
@@ -53,16 +55,14 @@ fn ablation_fragment(c: &mut Criterion) {
             100.0 * stats.cycles_saved_fraction(),
             McuConfig::forms(fragment.min(16)).adc_bits
         );
-        group.bench_with_input(BenchmarkId::from_parameter(fragment), &fragment, |b, _| {
-            b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
+        b.bench(&format!("ablation_fragment/{fragment}"), || {
+            mapped.matvec(&codes, 1.0)
         });
     }
-    group.finish();
 }
 
 /// Bits-per-cell ablation: the paper settles on 2-bit cells.
-fn ablation_cell_bits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_cell_bits");
+fn ablation_cell_bits(b: &mut Bencher) {
     for cell_bits in [1u32, 2, 4] {
         let cell = CellSpec::new(cell_bits, 1.0, 61.0);
         let w = polarized_matrix(64, 8, 8);
@@ -81,18 +81,14 @@ fn ablation_cell_bits(c: &mut Criterion) {
             config.cells_per_weight(),
             mapped.crossbar_count()
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cell_bits),
-            &cell_bits,
-            |b, _| b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0))),
-        );
+        b.bench(&format!("ablation_cell_bits/{cell_bits}"), || {
+            mapped.matvec(&codes, 1.0)
+        });
     }
-    group.finish();
 }
 
 /// ADC-sharing ablation: 1–8 ADCs per crossbar (iso-area cycle-time trade).
-fn ablation_adc_share(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_adc_share");
+fn ablation_adc_share(b: &mut Bencher) {
     let isaac = ThroughputModel::baseline(McuConfig::isaac()).peak_gops();
     for adcs in [1usize, 2, 4, 8] {
         let mcu = McuConfig {
@@ -106,17 +102,15 @@ fn ablation_adc_share(c: &mut Criterion) {
             model.peak_gops() / isaac,
             mcu.cost().power_mw
         );
-        group.bench_with_input(BenchmarkId::from_parameter(adcs), &adcs, |b, _| {
-            b.iter(|| std::hint::black_box(ThroughputModel::baseline(mcu).throughput()))
+        b.bench(&format!("ablation_adc_share/{adcs}"), || {
+            ThroughputModel::baseline(mcu).throughput()
         });
     }
-    group.finish();
 }
 
 /// Zero-skipping on/off at sparse inputs — the wall-clock of the simulated
 /// MVM tracks the simulated cycles.
-fn ablation_zeroskip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_zeroskip");
+fn ablation_zeroskip(b: &mut Bencher) {
     for skip in [false, true] {
         let w = polarized_matrix(128, 8, 8);
         let config = MappingConfig {
@@ -131,52 +125,47 @@ fn ablation_zeroskip(c: &mut Criterion) {
         let codes = sparse_codes(128);
         let (_, stats) = mapped.matvec(&codes, 1.0);
         eprintln!("[ablation_zeroskip {skip}] cycles {}", stats.cycles);
-        group.bench_with_input(BenchmarkId::from_parameter(skip), &skip, |b, _| {
-            b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
+        b.bench(&format!("ablation_zeroskip/{skip}"), || {
+            mapped.matvec(&codes, 1.0)
         });
     }
-    group.finish();
 }
 
 /// ADMM sign-update period (the paper's `M`): projection work per epoch at
 /// different cadences.
-fn ablation_sign_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sign_update");
-    group.sample_size(10);
+fn ablation_sign_update(b: &mut Bencher) {
     let w = Tensor::from_fn(&[128, 32], |i| ((i * 31 % 97) as f32 / 48.0) - 1.0);
     for period in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
-            b.iter(|| {
-                // Simulate 8 "epochs": signs refresh every p, projection
-                // every epoch.
-                let mut z = w.clone();
-                let mut signs = forms_admm::fragment_signs(&z, 8);
-                for epoch in 0..8 {
-                    if epoch % p == 0 {
-                        signs = forms_admm::fragment_signs(&z, 8);
-                    }
-                    if signs.len()
-                        == z.dims()[1] * forms_admm::active_rows(&z).len().div_ceil(8).max(1)
-                    {
-                        z = forms_admm::project_polarization(&z, 8, &signs);
-                    } else {
-                        signs = forms_admm::fragment_signs(&z, 8);
-                        z = forms_admm::project_polarization(&z, 8, &signs);
-                    }
+        let p = period;
+        let w = w.clone();
+        b.bench(&format!("ablation_sign_update/{period}"), move || {
+            // Simulate 8 "epochs": signs refresh every p, projection
+            // every epoch.
+            let mut z = w.clone();
+            let mut signs = forms_admm::fragment_signs(&z, 8);
+            for epoch in 0..8 {
+                if epoch % p == 0 {
+                    signs = forms_admm::fragment_signs(&z, 8);
                 }
-                std::hint::black_box(z)
-            })
+                if signs.len()
+                    == z.dims()[1] * forms_admm::active_rows(&z).len().div_ceil(8).max(1)
+                {
+                    z = forms_admm::project_polarization(&z, 8, &signs);
+                } else {
+                    signs = forms_admm::fragment_signs(&z, 8);
+                    z = forms_admm::project_polarization(&z, 8, &signs);
+                }
+            }
+            z
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_fragment,
-    ablation_cell_bits,
-    ablation_adc_share,
-    ablation_zeroskip,
-    ablation_sign_update
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new();
+    ablation_fragment(&mut b);
+    ablation_cell_bits(&mut b);
+    ablation_adc_share(&mut b);
+    ablation_zeroskip(&mut b);
+    ablation_sign_update(&mut b);
+}

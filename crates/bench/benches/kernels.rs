@@ -1,9 +1,13 @@
-//! Criterion benches over the simulator kernels: the inner loops every
+//! Timing benches over the simulator kernels: the inner loops every
 //! experiment binary exercises.
+//!
+//! Gated behind the off-by-default `bench` feature; run with
+//! `cargo bench -p forms-bench --features bench` (set `FORMS_BENCH_FAST=1`
+//! for a quick smoke pass).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use forms_arch::{eic_stats, MappedLayer, MappingConfig, ShiftRegisterBank};
 use forms_baselines::IsaacLayer;
+use forms_bench::timing::Bencher;
 use forms_reram::CellSpec;
 use forms_tensor::Tensor;
 
@@ -34,78 +38,41 @@ fn input_codes(n: usize) -> Vec<u32> {
     (0..n).map(|i| ((i * 37) % 1024) as u32).collect()
 }
 
-fn bench_mapped_matvec(c: &mut Criterion) {
+fn main() {
+    let mut b = Bencher::new();
+
     let w = polarized_matrix(128, 16, 8);
     let mapped = MappedLayer::map(&w, mapping_config(8)).unwrap();
     let codes = input_codes(128);
-    c.bench_function("forms_matvec_128x16_frag8", |b| {
-        b.iter(|| std::hint::black_box(mapped.matvec(&codes, 1.0)))
-    });
-}
+    b.bench("forms_matvec_128x16_frag8", || mapped.matvec(&codes, 1.0));
 
-fn bench_isaac_matvec(c: &mut Criterion) {
-    let w = polarized_matrix(128, 16, 8);
     let isaac = IsaacLayer::map(&w, 8, 16);
-    let codes = input_codes(128);
-    c.bench_function("isaac_matvec_128x16", |b| {
-        b.iter(|| std::hint::black_box(isaac.matvec(&codes, 1.0)))
-    });
-}
+    b.bench("isaac_matvec_128x16", || isaac.matvec(&codes, 1.0));
 
-fn bench_mapping(c: &mut Criterion) {
-    let w = polarized_matrix(128, 64, 8);
-    c.bench_function("map_layer_128x64", |b| {
-        b.iter(|| std::hint::black_box(MappedLayer::map(&w, mapping_config(8)).unwrap()))
+    let w_map = polarized_matrix(128, 64, 8);
+    b.bench("map_layer_128x64", || {
+        MappedLayer::map(&w_map, mapping_config(8)).unwrap()
     });
-}
 
-fn bench_shift_bank(c: &mut Criterion) {
-    let codes = input_codes(128);
-    c.bench_function("shift_bank_drain_128", |b| {
-        b.iter_batched(
-            || ShiftRegisterBank::load(&codes),
-            |bank| std::hint::black_box(bank.drain()),
-            BatchSize::SmallInput,
-        )
+    b.bench("shift_bank_drain_128", || {
+        ShiftRegisterBank::load(&codes).drain()
     });
-}
 
-fn bench_eic_stats(c: &mut Criterion) {
-    let codes = input_codes(1 << 14);
-    c.bench_function("eic_stats_16k_frag8", |b| {
-        b.iter(|| std::hint::black_box(eic_stats(&codes, 8, 16)))
-    });
-}
+    let many_codes = input_codes(1 << 14);
+    b.bench("eic_stats_16k_frag8", || eic_stats(&many_codes, 8, 16));
 
-fn bench_projections(c: &mut Criterion) {
-    let w = Tensor::from_fn(&[256, 64], |i| ((i * 31 % 97) as f32 / 48.0) - 1.0);
+    let w_proj = Tensor::from_fn(&[256, 64], |i| ((i * 31 % 97) as f32 / 48.0) - 1.0);
     let constraints =
         forms_admm::LayerConstraints::full(0.5, 0.5, 8, forms_admm::PolarizationPolicy::WMajor, 8);
-    c.bench_function("project_all_256x64", |b| {
-        b.iter(|| std::hint::black_box(forms_admm::project_all(&w, &constraints, None)))
+    b.bench("project_all_256x64", || {
+        forms_admm::project_all(&w_proj, &constraints, None)
     });
-}
 
-fn bench_pipeline(c: &mut Criterion) {
     let p = forms_arch::Pipeline::new(16, true);
     let ops: Vec<forms_arch::PipelineOp> = (0..1000)
         .map(|i| forms_arch::PipelineOp {
             shift_cycles: (i % 16) as u32 + 1,
         })
         .collect();
-    c.bench_function("pipeline_run_1000_ops", |b| {
-        b.iter(|| std::hint::black_box(p.run(&ops)))
-    });
+    b.bench("pipeline_run_1000_ops", || p.run(&ops));
 }
-
-criterion_group!(
-    benches,
-    bench_mapped_matvec,
-    bench_isaac_matvec,
-    bench_mapping,
-    bench_shift_bank,
-    bench_eic_stats,
-    bench_projections,
-    bench_pipeline
-);
-criterion_main!(benches);

@@ -11,8 +11,7 @@ use forms_arch::{FpsModel, LayerPerf};
 use forms_baselines::PumaModel;
 use forms_hwmodel::McuConfig;
 use forms_workloads::{resnet18_cifar, vgg16_cifar, ActivationModel, LayerShape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms_rng::StdRng;
 
 use crate::report::{times, Experiment};
 use crate::suite::{

@@ -11,8 +11,7 @@
 use forms_arch::{MappedLayer, MappingConfig};
 use forms_reram::{CellSpec, CurrentNoise, IrDropModel};
 use forms_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms_rng::StdRng;
 
 use crate::report::{f2, pct, Experiment};
 

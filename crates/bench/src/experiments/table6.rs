@@ -8,8 +8,7 @@
 
 use forms_dnn::{evaluate, Network};
 use forms_reram::LogNormalVariation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms_rng::StdRng;
 
 use crate::report::{pct, Experiment};
 use crate::suite::{compress, train_baseline, Baseline, CompressionRecipe, DatasetKind, ModelKind};

@@ -1,0 +1,162 @@
+//! A minimal JSON writer, replacing the former `serde_json` dependency.
+//!
+//! Only covers what the experiment reports need — strings, numbers, bools,
+//! arrays and objects, pretty-printed with two-space indentation (the same
+//! layout `serde_json::to_string_pretty` produced, so existing result files
+//! stay diffable). Parsing is deliberately out of scope.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Number(f64),
+    /// A string (escaped on output).
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds an array of strings.
+    pub fn strings(items: &[String]) -> Self {
+        JsonValue::Array(items.iter().cloned().map(JsonValue::String).collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing-newline-free
+    /// body, matching `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        let v = JsonValue::String("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_object_layout_matches_serde_style() {
+        let v = JsonValue::object(vec![
+            ("id", JsonValue::String("Fig. 9".into())),
+            ("rows", JsonValue::Array(vec![JsonValue::strings(&["a".into()])])),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let expected = "{\n  \"id\": \"Fig. 9\",\n  \"rows\": [\n    [\n      \"a\"\n    ]\n  ],\n  \"empty\": []\n}";
+        assert_eq!(v.pretty(), expected);
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(JsonValue::Number(3.0).pretty(), "3");
+        assert_eq!(JsonValue::Number(3.25).pretty(), "3.25");
+        assert_eq!(JsonValue::Number(f64::NAN).pretty(), "null");
+        assert_eq!(JsonValue::Bool(true).pretty(), "true");
+        assert_eq!(JsonValue::Null.pretty(), "null");
+    }
+}

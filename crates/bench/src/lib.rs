@@ -2,8 +2,9 @@
 //!
 //! The experiment-regeneration harness for the FORMS (ISCA 2021)
 //! reproduction: one binary per table and figure of the paper's evaluation
-//! (see `DESIGN.md` §4 for the index), plus Criterion benches over the
-//! simulator kernels and the paper's design-choice ablations.
+//! (see `DESIGN.md` §4 for the index), plus std-only timing benches over
+//! the simulator kernels and the paper's design-choice ablations (run them
+//! with `cargo bench -p forms-bench --features bench`).
 //!
 //! Run everything with:
 //!
@@ -19,5 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod suite;
+pub mod timing;

@@ -4,10 +4,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
+use crate::json::JsonValue;
 
 /// One regenerated table or figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Experiment {
     /// Paper identifier, e.g. `"Table V"` or `"Fig. 8"`.
     pub id: String,
@@ -90,6 +90,20 @@ impl Experiment {
         println!("{}", self.render());
     }
 
+    /// The experiment as a JSON value tree.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("id", JsonValue::String(self.id.clone())),
+            ("title", JsonValue::String(self.title.clone())),
+            ("headers", JsonValue::strings(&self.headers)),
+            (
+                "rows",
+                JsonValue::Array(self.rows.iter().map(|r| JsonValue::strings(r)).collect()),
+            ),
+            ("notes", JsonValue::strings(&self.notes)),
+        ])
+    }
+
     /// Writes the experiment as JSON under `dir` (created if missing),
     /// named after the experiment id.
     ///
@@ -104,10 +118,7 @@ impl Experiment {
             .replace(['.', ' '], "_")
             .replace("__", "_");
         let path = dir.join(format!("{name}.json"));
-        fs::write(
-            path,
-            serde_json::to_string_pretty(self).expect("serializable"),
-        )
+        fs::write(path, self.to_json().pretty())
     }
 }
 

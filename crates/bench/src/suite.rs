@@ -14,8 +14,7 @@ use forms_dnn::data::{Dataset, SyntheticSpec};
 use forms_dnn::{evaluate, models, train_epoch, Network, Optimizer, Sgd};
 use forms_tensor::{FixedSpec, QuantizedTensor};
 use forms_workloads::capture_weight_layer_inputs;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms_rng::StdRng;
 
 /// The paper's benchmark datasets (synthetic stand-ins).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -1,0 +1,200 @@
+//! A std-only micro-benchmark harness, replacing the former `criterion`
+//! dependency.
+//!
+//! Deliberately simple: warm up, then run a fixed number of timed batches
+//! and report min / median / mean batch time per iteration. That is enough
+//! to compare design points and catch order-of-magnitude regressions; it
+//! does not attempt criterion's statistical machinery.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Target wall-clock time per measurement batch.
+    pub batch_target: Duration,
+    /// Number of measured batches.
+    pub batches: usize,
+    /// Warm-up time before measuring.
+    pub warmup: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            batch_target: Duration::from_millis(50),
+            batches: 20,
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A fast profile for smoke runs (used when `FORMS_BENCH_FAST` is set).
+    pub fn fast() -> Self {
+        Self {
+            batch_target: Duration::from_millis(5),
+            batches: 5,
+            warmup: Duration::from_millis(5),
+        }
+    }
+
+    /// Picks the profile from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var_os("FORMS_BENCH_FAST").is_some() {
+            Self::fast()
+        } else {
+            Self::default()
+        }
+    }
+}
+
+/// One benchmark's measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per measured batch.
+    pub iters_per_batch: u64,
+    /// Per-iteration batch means, sorted ascending.
+    pub ns_per_iter: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Fastest observed batch (ns/iter).
+    pub fn min_ns(&self) -> f64 {
+        self.ns_per_iter.first().copied().unwrap_or(0.0)
+    }
+
+    /// Median batch (ns/iter).
+    pub fn median_ns(&self) -> f64 {
+        if self.ns_per_iter.is_empty() {
+            return 0.0;
+        }
+        self.ns_per_iter[self.ns_per_iter.len() / 2]
+    }
+
+    /// Mean over batches (ns/iter).
+    pub fn mean_ns(&self) -> f64 {
+        if self.ns_per_iter.is_empty() {
+            return 0.0;
+        }
+        self.ns_per_iter.iter().sum::<f64>() / self.ns_per_iter.len() as f64
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing one configuration.
+pub struct Bencher {
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Creates a harness with the environment-selected profile.
+    pub fn new() -> Self {
+        Self::with_config(BenchConfig::from_env())
+    }
+
+    /// Creates a harness with an explicit configuration.
+    pub fn with_config(config: BenchConfig) -> Self {
+        Self {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing a one-line summary. The closure's return value
+    /// is passed through [`black_box`] so the computation cannot be
+    /// optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        // Warm up and calibrate the per-batch iteration count.
+        let warmup_end = Instant::now() + self.config.warmup;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warmup_end {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_batch =
+            ((self.config.batch_target.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut ns_per_iter = Vec::with_capacity(self.config.batches);
+        for _ in 0..self.config.batches {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            ns_per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+        ns_per_iter.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_batch,
+            ns_per_iter,
+        };
+        println!(
+            "{:<40} min {:>12}  median {:>12}  mean {:>12}  ({} iters/batch)",
+            result.name,
+            format_ns(result.min_ns()),
+            format_ns(result.median_ns()),
+            format_ns(result.mean_ns()),
+            result.iters_per_batch
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut b = Bencher::with_config(BenchConfig {
+            batch_target: Duration::from_micros(200),
+            batches: 3,
+            warmup: Duration::from_micros(100),
+        });
+        let r = b.bench("spin", || (0..100u64).sum::<u64>());
+        assert!(r.min_ns() > 0.0);
+        assert!(r.median_ns() >= r.min_ns());
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn formats_scale_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -5,7 +5,7 @@
 //! regularizes the small training sets the same way it does real images.
 
 use forms_tensor::Tensor;
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::data::Dataset;
 
@@ -95,8 +95,7 @@ impl Augment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn image() -> Tensor {
         Tensor::from_fn(&[1, 4, 4], |i| i as f32)

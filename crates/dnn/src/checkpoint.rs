@@ -189,8 +189,7 @@ mod tests {
     use super::*;
     use crate::{models, Layer};
     use forms_tensor::Tensor as T;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn net(seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);

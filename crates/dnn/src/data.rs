@@ -9,7 +9,7 @@
 //! the paper reports (see `DESIGN.md` §2).
 
 use forms_tensor::Tensor;
-use rand::Rng;
+use forms_rng::Rng;
 
 /// A labelled dataset of `[N, C, H, W]` images.
 #[derive(Clone, Debug)]
@@ -119,8 +119,7 @@ impl Dataset {
 ///
 /// ```
 /// use forms_dnn::data::SyntheticSpec;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use forms_rng::StdRng;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let (train, test) = SyntheticSpec::mnist_like().generate(&mut rng);
@@ -277,7 +276,7 @@ impl SyntheticSpec {
     }
 }
 
-/// Standard-normal sample via Box–Muller (keeps `rand_distr` out of this
+/// Standard-normal sample via Box–Muller (keeps the distribution types out of this
 /// crate's dependencies).
 fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
@@ -288,8 +287,7 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn generate_counts_and_shapes() {

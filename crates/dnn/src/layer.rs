@@ -6,7 +6,7 @@
 //! without downcasting.
 
 use forms_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Tensor};
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::Param;
 
@@ -816,7 +816,7 @@ pub enum Layer {
 #[derive(Clone, Debug)]
 pub struct Dropout {
     rate: f32,
-    rng: rand::rngs::StdRng,
+    rng: forms_rng::StdRng,
     mask: Option<Vec<f32>>,
 }
 
@@ -828,10 +828,9 @@ impl Dropout {
     /// Panics if `rate` is outside `[0, 1)`.
     pub fn new(rate: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
-        use rand::SeedableRng;
         Self {
             rate,
-            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            rng: forms_rng::StdRng::seed_from_u64(seed),
             mask: None,
         }
     }
@@ -846,7 +845,7 @@ impl Dropout {
             self.mask = None;
             return x.clone();
         }
-        use rand::Rng as _;
+        use forms_rng::Rng as _;
         let keep = 1.0 - self.rate;
         let mask: Vec<f32> = (0..x.len())
             .map(|_| {
@@ -1069,8 +1068,7 @@ impl Layer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(1234)

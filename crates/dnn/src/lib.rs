@@ -24,8 +24,7 @@
 //! ```
 //! use forms_dnn::{Layer, Network};
 //! use forms_tensor::Tensor;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use forms_rng::StdRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut net = Network::new(vec![

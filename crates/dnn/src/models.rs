@@ -7,7 +7,7 @@
 //! tensors, which is preserved. Each constructor documents its stand-in
 //! scale.
 
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::{Layer, Network, ResidualBlock};
 
@@ -250,8 +250,7 @@ pub fn mlp<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use forms_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

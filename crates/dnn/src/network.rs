@@ -15,8 +15,7 @@ use crate::{Layer, Param};
 /// ```
 /// use forms_dnn::{Layer, Network};
 /// use forms_tensor::Tensor;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use forms_rng::StdRng;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut net = Network::new(vec![
@@ -149,8 +148,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn small_net(seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -28,8 +28,7 @@ pub trait Optimizer {
 ///
 /// ```
 /// use forms_dnn::{Layer, Network, Optimizer, Sgd};
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use forms_rng::StdRng;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut net = Network::new(vec![Layer::linear(&mut rng, 4, 2)]);
@@ -191,8 +190,7 @@ mod tests {
     use super::*;
     use crate::Layer;
     use forms_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     /// Minimize ||Wx - y||² on a fixed (x, y) pair and check the loss drops.
     fn fit_linear(opt: &mut dyn Optimizer, steps: usize) -> (f32, f32) {

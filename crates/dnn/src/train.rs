@@ -1,6 +1,6 @@
 //! Training and evaluation loops.
 
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::data::Dataset;
 use crate::{accuracy, softmax_cross_entropy, top_k_accuracy, Network, Optimizer};
@@ -118,8 +118,7 @@ mod tests {
     use super::*;
     use crate::data::SyntheticSpec;
     use crate::{models, Sgd};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn training_learns_synthetic_task() {

@@ -7,8 +7,8 @@
 //! susceptible* to this noise than coarse designs (§II-C); this model makes
 //! that claim testable.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
+use forms_rng::Rng;
+use forms_rng::{Distribution, Normal};
 
 /// Additive Gaussian current noise, in the crossbar's code units.
 ///
@@ -100,8 +100,7 @@ impl Default for CurrentNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn none_is_identity() {

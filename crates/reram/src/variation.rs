@@ -1,8 +1,8 @@
 //! Device non-idealities: log-normal conductance variation and stuck-at
 //! faults (paper §V-E).
 
-use rand::Rng;
-use rand_distr::{Distribution, LogNormal};
+use forms_rng::Rng;
+use forms_rng::{Distribution, LogNormal};
 
 use crate::Crossbar;
 
@@ -123,8 +123,7 @@ impl StuckAtFault {
 mod tests {
     use super::*;
     use crate::CellSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn zero_sigma_is_deterministic_identity() {

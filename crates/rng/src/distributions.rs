@@ -1,0 +1,191 @@
+//! The sampling distributions the simulator uses: Gaussian (read noise,
+//! half-normal activations), exponential (activation tails) and log-normal
+//! (device variation).
+
+use std::fmt;
+
+use crate::Rng;
+
+/// A distribution that can draw values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// One standard-normal draw via Box–Muller (deterministic: exactly two
+/// uniforms per call).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: shift the 53-bit uniform off zero so ln() is finite.
+    let u1 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) + f64::MIN_POSITIVE;
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or either parameter is not
+    /// finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError("mean must be finite"));
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistError("standard deviation must be finite and non-negative"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(DistError("rate must be finite and positive"));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u is in (0, 1] so ln() is finite.
+        let u: f64 = rng.gen();
+        -(1.0 - u).max(f64::MIN_POSITIVE).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the log-space parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sigma` is negative or either parameter is not
+    /// finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StdRng;
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_normal_is_constant() {
+        let d = Normal::new(1.5, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..10).all(|_| d.sample(&mut rng) == 1.5));
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn log_normal_log_stats_match() {
+        let d = LogNormal::new(0.25, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let logs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / n as f64;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "log mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.005, "log std {}", var.sqrt());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(LogNormal::new(0.0, -0.5).is_err());
+    }
+}

@@ -4,7 +4,7 @@
 //! are available offline), so initialization quality matters for reaching
 //! the accuracies the compression experiments are measured against.
 
-use rand::Rng;
+use forms_rng::Rng;
 
 use crate::Tensor;
 
@@ -56,8 +56,7 @@ pub fn xavier_uniform<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn uniform_respects_bound() {

@@ -6,8 +6,8 @@
 //! here capture that shape with tunable sharpness so the EIC experiments
 //! (Fig. 8) can sweep it.
 
-use rand::Rng;
-use rand_distr::{Distribution, Exp, Normal};
+use forms_rng::Rng;
+use forms_rng::{Distribution, Exp, Normal};
 
 use forms_tensor::FixedSpec;
 
@@ -115,8 +115,7 @@ impl ActivationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -47,8 +47,7 @@ fn forward_capture(layer: &mut Layer, x: &Tensor, captured: &mut Vec<Tensor>) ->
 mod tests {
     use super::*;
     use forms_dnn::ResidualBlock;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use forms_rng::StdRng;
 
     #[test]
     fn captures_one_tensor_per_weight_layer() {

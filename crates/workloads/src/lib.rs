@@ -15,8 +15,7 @@
 //!
 //! ```
 //! use forms_workloads::ActivationModel;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use forms_rng::StdRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let codes = ActivationModel::half_normal(0.1).sample_codes(&mut rng, 1024, 16);

@@ -13,8 +13,7 @@ use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{evaluate, train_epoch, Layer, Network, Sgd};
 use forms::hwmodel::McuConfig;
 use forms::reram::{CellSpec, LogNormalVariation};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(21);

@@ -11,8 +11,7 @@ use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{train_epoch, Layer, Network, Sgd};
 use forms::reram::{CellSpec, IrDropModel, LogNormalVariation, StuckAtFault, StuckAtKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(13);

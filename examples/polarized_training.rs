@@ -12,8 +12,7 @@ use forms::admm::{
 };
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{evaluate, models, train_epoch, Sgd};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);

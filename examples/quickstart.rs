@@ -10,8 +10,7 @@ use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{evaluate, train_epoch, Layer, Network, Sgd};
 use forms::reram::CellSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);

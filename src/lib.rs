@@ -7,6 +7,7 @@
 //! This crate simply re-exports the workspace crates under one roof so
 //! examples and downstream users can depend on a single crate:
 //!
+//! - [`rng`] — deterministic in-tree PRNG and sampling distributions
 //! - [`tensor`] — dense tensors, fixed-point formats, conv lowering
 //! - [`dnn`] — layers, backprop, optimizers, model zoo, synthetic datasets
 //! - [`admm`] — ADMM-regularized pruning / polarization / quantization
@@ -34,5 +35,6 @@ pub use forms_baselines as baselines;
 pub use forms_dnn as dnn;
 pub use forms_hwmodel as hwmodel;
 pub use forms_reram as reram;
+pub use forms_rng as rng;
 pub use forms_tensor as tensor;
 pub use forms_workloads as workloads;

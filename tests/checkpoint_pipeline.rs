@@ -10,8 +10,7 @@ use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
 use forms::dnn::{checkpoint, Layer, Network, WeightLayerMut};
 use forms::reram::CellSpec;
 use forms::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn build_net(seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -7,10 +7,9 @@ use forms::admm::{
 };
 use forms::arch::{Accelerator, AcceleratorConfig, MapError, MappingConfig};
 use forms::dnn::data::SyntheticSpec;
-use forms::dnn::{evaluate, models, train_epoch, Network, Optimizer, Sgd};
+use forms::dnn::{evaluate, train_epoch, Network, Sgd};
 use forms::reram::CellSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn small_accel_config(fragment: usize) -> AcceleratorConfig {
     AcceleratorConfig {

@@ -18,7 +18,7 @@ fn polarized_matrix(rows: usize, cols: usize) -> Tensor {
 fn fps_model_and_throughput_model_agree_on_relative_speed() {
     // Both models must rank ISAAC vs FORMS-fragment-8 identically for an
     // uncompressed dense layer.
-    let layer = |mcu: &McuConfig| LayerPerf {
+    let layer = |_mcu: &McuConfig| LayerPerf {
         positions: 1024,
         crossbars: 64,
         input_cycles: 16.0,

@@ -5,8 +5,7 @@
 use forms::arch::{MappedLayer, MappingConfig};
 use forms::reram::{CellSpec, CurrentNoise, IrDropModel};
 use forms::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 /// All-positive magnitudes: polarized at every fragment size, so the same
 /// matrix serves the whole sweep.

@@ -1,4 +1,8 @@
 //! Property-based tests over the core invariants of the reproduction.
+//!
+//! Formerly `proptest`-based; now deterministic seeded property loops over
+//! the in-tree generator, so every run explores exactly the same cases and
+//! a failure reproduces bit-identically from the printed case index.
 
 use forms::admm::{
     fragment_signs, polarization_violations, project_polarization, project_quantization,
@@ -10,142 +14,223 @@ use forms::arch::{
 };
 use forms::hwmodel::{Activity, EnergyModel, McuConfig};
 use forms::reram::{BitSlicer, CellSpec, CurrentNoise, IrDropModel};
+use forms::rng::{Rng, StdRng};
 use forms::tensor::{FixedSpec, QuantizedTensor, Shape, Tensor};
-use proptest::prelude::*;
 
-fn small_matrix() -> impl Strategy<Value = Tensor> {
-    (
-        1usize..6,
-        1usize..5,
-        proptest::collection::vec(-1.0f32..1.0, 1..30),
-    )
-        .prop_map(|(rows, cols, data)| {
-            let n = rows * cols;
-            let mut d = data;
-            d.resize(n, 0.25);
-            Tensor::from_vec(d, &[rows, cols])
-        })
+/// Runs `body` over `n` deterministic random cases. The case index is in
+/// scope for failure messages.
+fn cases(n: usize, seed: u64, mut body: impl FnMut(usize, &mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..n {
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #[test]
-    fn shape_offset_index_round_trip(dims in proptest::collection::vec(1usize..5, 1..4)) {
+fn random_vec_f32(rng: &mut StdRng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+fn random_vec_u32(rng: &mut StdRng, len: usize, below: u32) -> Vec<u32> {
+    (0..len).map(|_| rng.gen_range(0..below)).collect()
+}
+
+/// A random small matrix with entries in `[-1, 1)`.
+fn small_matrix(rng: &mut StdRng) -> Tensor {
+    let rows = rng.gen_range(1..6usize);
+    let cols = rng.gen_range(1..5usize);
+    let data = random_vec_f32(rng, rows * cols, -1.0, 1.0);
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+#[test]
+fn shape_offset_index_round_trip() {
+    cases(128, 0x5A01, |case, rng| {
+        let rank = rng.gen_range(1..4usize);
+        let dims: Vec<usize> = (0..rank).map(|_| rng.gen_range(1..5usize)).collect();
         let shape = Shape::new(&dims);
         for off in 0..shape.len() {
-            prop_assert_eq!(shape.offset(&shape.index(off)), off);
+            assert_eq!(
+                shape.offset(&shape.index(off)),
+                off,
+                "case {case}: dims {dims:?} offset {off}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantizer_error_bounded(values in proptest::collection::vec(0.0f32..10.0, 1..64), bits in 4u32..16) {
-        let t = Tensor::from_vec(values.clone(), &[values.len()]);
+#[test]
+fn quantizer_error_bounded() {
+    cases(128, 0x5A02, |case, rng| {
+        let len = rng.gen_range(1..64usize);
+        let values = random_vec_f32(rng, len, 0.0, 10.0);
+        let bits = rng.gen_range(4..16u32);
+        let t = Tensor::from_vec(values, &[len]);
         let q = QuantizedTensor::quantize(&t, bits);
         let err = t.max_abs_diff(&q.dequantize());
-        prop_assert!(err <= q.spec().scale() / 2.0 + 1e-5);
-    }
+        assert!(
+            err <= q.spec().scale() / 2.0 + 1e-5,
+            "case {case}: err {err} at {bits} bits"
+        );
+    });
+}
 
-    #[test]
-    fn fixed_spec_quantize_saturates(v in -100.0f32..100.0, bits in 2u32..16) {
+#[test]
+fn fixed_spec_quantize_saturates() {
+    cases(256, 0x5A03, |case, rng| {
+        let v = rng.gen_range(-100.0f32..100.0);
+        let bits = rng.gen_range(2..16u32);
         let spec = FixedSpec::new(bits, 0.01);
         let code = spec.quantize(v);
-        prop_assert!(code <= spec.max_code());
-    }
+        assert!(code <= spec.max_code(), "case {case}: {v} at {bits} bits");
+    });
+}
 
-    #[test]
-    fn polarization_projection_feasible_and_idempotent(m in small_matrix(), frag in 1usize..6) {
+#[test]
+fn polarization_projection_feasible_and_idempotent() {
+    cases(96, 0x5A04, |case, rng| {
+        let m = small_matrix(rng);
+        let frag = rng.gen_range(1..6usize);
         let signs = fragment_signs(&m, frag);
         let z = project_polarization(&m, frag, &signs);
         // Feasible after a fixed-point iteration (zeroing can retire rows):
         let mut zz = z;
         for _ in 0..16 {
-            if polarization_violations(&zz, frag) == 0 { break; }
+            if polarization_violations(&zz, frag) == 0 {
+                break;
+            }
             let s = fragment_signs(&zz, frag);
             zz = project_polarization(&zz, frag, &s);
         }
-        prop_assert_eq!(polarization_violations(&zz, frag), 0);
+        assert_eq!(
+            polarization_violations(&zz, frag),
+            0,
+            "case {case}: fragment {frag}"
+        );
         // Idempotent at the fixed point:
         let s = fragment_signs(&zz, frag);
         let z2 = project_polarization(&zz, frag, &s);
-        prop_assert_eq!(z2, zz);
-    }
+        assert_eq!(z2, zz, "case {case}: projection not idempotent");
+    });
+}
 
-    #[test]
-    fn pruning_projection_structure(m in small_matrix()) {
+#[test]
+fn pruning_projection_structure() {
+    cases(96, 0x5A05, |case, rng| {
+        let m = small_matrix(rng);
         let rows = m.dims()[0];
         let cols = m.dims()[1];
         let keep_r = (rows + 1) / 2;
         let keep_c = (cols + 1) / 2;
         let z = project_structured_pruning(&m, keep_r, keep_c);
-        let nz_rows = (0..rows).filter(|&r| (0..cols).any(|c| z.get(&[r, c]) != 0.0)).count();
-        let nz_cols = (0..cols).filter(|&c| (0..rows).any(|r| z.get(&[r, c]) != 0.0)).count();
-        prop_assert!(nz_rows <= keep_r);
-        prop_assert!(nz_cols <= keep_c);
+        let nz_rows = (0..rows)
+            .filter(|&r| (0..cols).any(|c| z.get(&[r, c]) != 0.0))
+            .count();
+        let nz_cols = (0..cols)
+            .filter(|&c| (0..rows).any(|r| z.get(&[r, c]) != 0.0))
+            .count();
+        assert!(nz_rows <= keep_r, "case {case}");
+        assert!(nz_cols <= keep_c, "case {case}");
         // Projection never changes a surviving entry.
         for i in 0..z.len() {
             let zv = z.data()[i];
-            prop_assert!(zv == 0.0 || zv == m.data()[i]);
+            assert!(zv == 0.0 || zv == m.data()[i], "case {case} entry {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantization_projection_on_grid(m in small_matrix(), bits in 3u32..9) {
+#[test]
+fn quantization_projection_on_grid() {
+    cases(96, 0x5A06, |case, rng| {
+        let m = small_matrix(rng);
+        let bits = rng.gen_range(3..9u32);
         let step = quantization_step(&m, bits);
         let z = project_quantization(&m, step, bits);
         for &v in z.data() {
             let code = v / step;
-            prop_assert!((code - code.round()).abs() < 1e-4);
+            assert!(
+                (code - code.round()).abs() < 1e-4,
+                "case {case}: {v} off-grid at step {step}"
+            );
         }
-        prop_assert_eq!(project_quantization(&z, step, bits), z.clone());
-    }
+        assert_eq!(
+            project_quantization(&z, step, bits),
+            z.clone(),
+            "case {case}: not idempotent"
+        );
+    });
+}
 
-    #[test]
-    fn effective_bits_bounds(code in 0u32..65536) {
+#[test]
+fn effective_bits_bounds() {
+    cases(2048, 0x5A07, |case, rng| {
+        let code = rng.gen_range(0..65536u32);
         let e = effective_bits(code);
-        prop_assert!(e <= 16);
+        assert!(e <= 16, "case {case}");
         if code > 0 {
-            prop_assert!(code >= 1 << (e - 1));
-            prop_assert!(u64::from(code) < 1u64 << e);
+            assert!(code >= 1 << (e - 1), "case {case}: code {code} bits {e}");
+            assert!(u64::from(code) < 1u64 << e, "case {case}: code {code} bits {e}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn eic_is_max_and_monotone(codes in proptest::collection::vec(0u32..65536, 1..32)) {
+#[test]
+fn eic_is_max_and_monotone() {
+    cases(256, 0x5A08, |case, rng| {
+        let len = rng.gen_range(1..32usize);
+        let codes = random_vec_u32(rng, len, 65536);
         let eic = fragment_eic(&codes);
-        prop_assert_eq!(eic, codes.iter().map(|&c| effective_bits(c)).max().unwrap());
+        assert_eq!(
+            eic,
+            codes.iter().map(|&c| effective_bits(c)).max().unwrap(),
+            "case {case}"
+        );
         // Monotone under extension.
         let mut extended = codes.clone();
         extended.push(0);
-        prop_assert_eq!(fragment_eic(&extended), eic);
-    }
+        assert_eq!(fragment_eic(&extended), eic, "case {case}");
+    });
+}
 
-    #[test]
-    fn shift_bank_reconstructs_and_stops_at_eic(codes in proptest::collection::vec(0u32..65536, 1..16)) {
+#[test]
+fn shift_bank_reconstructs_and_stops_at_eic() {
+    cases(256, 0x5A09, |case, rng| {
+        let len = rng.gen_range(1..16usize);
+        let codes = random_vec_u32(rng, len, 65536);
         let planes = ShiftRegisterBank::load(&codes).drain();
-        prop_assert_eq!(planes.len() as u32, fragment_eic(&codes));
+        assert_eq!(planes.len() as u32, fragment_eic(&codes), "case {case}");
         let mut rebuilt = vec![0u32; codes.len()];
         for (cycle, bits) in planes.iter().enumerate() {
             for (r, &b) in rebuilt.iter_mut().zip(bits) {
                 *r |= (b as u32) << cycle;
             }
         }
-        prop_assert_eq!(rebuilt, codes);
-    }
+        assert_eq!(rebuilt, codes, "case {case}");
+    });
+}
 
-    #[test]
-    fn bit_slicer_round_trip(magnitude in 0u32..65536, cell_bits in 1u32..5) {
+#[test]
+fn bit_slicer_round_trip() {
+    cases(512, 0x5A0A, |case, rng| {
+        let magnitude = rng.gen_range(0..65536u32);
+        let cell_bits = rng.gen_range(1..5u32);
         let slicer = BitSlicer::new(16, cell_bits);
         let slices = slicer.slice(magnitude);
         let results: Vec<u64> = slices.iter().map(|&s| u64::from(s)).collect();
-        prop_assert_eq!(slicer.recombine(&results), u64::from(magnitude));
+        assert_eq!(
+            slicer.recombine(&results),
+            u64::from(magnitude),
+            "case {case}: {magnitude} at {cell_bits} bits/cell"
+        );
         let max_cell = (1u32 << cell_bits) - 1;
-        prop_assert!(slices.iter().all(|&s| s <= max_cell));
-    }
+        assert!(slices.iter().all(|&s| s <= max_cell), "case {case}");
+    });
+}
 
-    #[test]
-    fn mapped_matvec_matches_digital_reference(
-        seed_vals in proptest::collection::vec(0.01f32..1.0, 8),
-        inputs in proptest::collection::vec(0u32..256, 8),
-    ) {
+#[test]
+fn mapped_matvec_matches_digital_reference() {
+    cases(48, 0x5A0B, |case, rng| {
+        let seed_vals = random_vec_f32(rng, 8, 0.01, 1.0);
+        let inputs = random_vec_u32(rng, 8, 256);
         // Build a polarized 8×2 matrix from positive magnitudes.
         let m = Tensor::from_fn(&[8, 2], |i| {
             let (r, c) = (i / 2, i % 2);
@@ -167,36 +252,49 @@ proptest! {
             .transpose()
             .matvec(&inputs.iter().map(|&v| v as f32).collect::<Vec<_>>());
         for (a, r) in analog.iter().zip(&reference) {
-            prop_assert!((a - r).abs() < 1e-2 * r.abs().max(1.0), "{a} vs {r}");
+            assert!(
+                (a - r).abs() < 1e-2 * r.abs().max(1.0),
+                "case {case}: {a} vs {r}"
+            );
         }
-        prop_assert!(stats.cycles <= stats.cycles_without_skip);
-    }
+        assert!(stats.cycles <= stats.cycles_without_skip, "case {case}");
+    });
 }
 
-proptest! {
-    #[test]
-    fn noise_sigma_is_monotone_in_signal(
-        floor in 0.0f64..2.0,
-        per_unit in 0.0f64..0.5,
-        a in 0.0f64..100.0,
-        b in 0.0f64..100.0,
-    ) {
+#[test]
+fn noise_sigma_is_monotone_in_signal() {
+    cases(512, 0x5A0C, |case, rng| {
+        let floor = rng.gen_range(0.0f64..2.0);
+        let per_unit = rng.gen_range(0.0f64..0.5);
+        let a = rng.gen_range(0.0f64..100.0);
+        let b = rng.gen_range(0.0f64..100.0);
         let n = CurrentNoise::new(floor, per_unit);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(n.sigma_at(lo) <= n.sigma_at(hi) + 1e-12);
-    }
+        assert!(
+            n.sigma_at(lo) <= n.sigma_at(hi) + 1e-12,
+            "case {case}: sigma not monotone at ({lo}, {hi})"
+        );
+    });
+}
 
-    #[test]
-    fn ir_drop_error_monotone_in_window(w1 in 1usize..64, extra in 1usize..64) {
+#[test]
+fn ir_drop_error_monotone_in_window() {
+    cases(256, 0x5A0D, |case, rng| {
+        let w1 = rng.gen_range(1..64usize);
+        let extra = rng.gen_range(1..64usize);
         let m = IrDropModel::typical();
         let e1 = m.worst_case_relative_error(w1, 61.0);
         let e2 = m.worst_case_relative_error(w1 + extra, 61.0);
-        prop_assert!(e2 >= e1);
-        prop_assert!((0.0..1.0).contains(&e1));
-    }
+        assert!(e2 >= e1, "case {case}: window {w1}+{extra}");
+        assert!((0.0..1.0).contains(&e1), "case {case}");
+    });
+}
 
-    #[test]
-    fn energy_is_monotone_in_activity(cycles in 0u64..10_000, conversions in 0u64..10_000) {
+#[test]
+fn energy_is_monotone_in_activity() {
+    cases(256, 0x5A0E, |case, rng| {
+        let cycles = rng.gen_range(0..10_000u64);
+        let conversions = rng.gen_range(0..10_000u64);
         let model = EnergyModel::from_mcu(&McuConfig::forms(8));
         let base = Activity {
             shift_cycles: cycles,
@@ -211,42 +309,53 @@ proptest! {
             shift_add_ops: conversions + 1,
             ..base
         };
-        prop_assert!(model.energy_pj(&more) > model.energy_pj(&base));
-        prop_assert!(model.energy_pj(&base) >= 0.0);
-    }
+        assert!(
+            model.energy_pj(&more) > model.energy_pj(&base),
+            "case {case}"
+        );
+        assert!(model.energy_pj(&base) >= 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn placement_covers_all_layers_within_capacity(
-        crossbar_counts in proptest::collection::vec(1usize..300, 1..12),
-    ) {
+#[test]
+fn placement_covers_all_layers_within_capacity() {
+    cases(128, 0x5A0F, |case, rng| {
+        let count = rng.gen_range(1..12usize);
+        let crossbar_counts: Vec<usize> =
+            (0..count).map(|_| rng.gen_range(1..300usize)).collect();
         let mcu = McuConfig::forms(8);
         let layers: Vec<LayerPlacement> = crossbar_counts
             .iter()
-            .map(|&c| LayerPlacement { crossbars: c, output_bytes: 64 })
+            .map(|&c| LayerPlacement {
+                crossbars: c,
+                output_bytes: 64,
+            })
             .collect();
         match ChipPlacement::place(&mcu, &layers) {
             Ok(p) => {
-                prop_assert_eq!(p.assignments().len(), layers.len());
+                assert_eq!(p.assignments().len(), layers.len(), "case {case}");
                 // Assignments are disjoint and ordered.
                 let mut next = 0;
                 for a in p.assignments() {
-                    prop_assert_eq!(a.first_tile, next);
+                    assert_eq!(a.first_tile, next, "case {case}");
                     next += a.tiles;
                 }
-                prop_assert!(p.total_tiles() <= 168);
+                assert!(p.total_tiles() <= 168, "case {case}");
             }
             Err(_) => {
                 // Only oversized models may fail.
                 let tiles: usize = layers.iter().map(|l| l.crossbars.div_ceil(96)).sum();
-                prop_assert!(tiles > 168);
+                assert!(tiles > 168, "case {case}: spurious placement failure");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pipeline_total_bounded_by_serial_and_parallel(
-        shifts in proptest::collection::vec(0u32..17, 1..40),
-    ) {
+#[test]
+fn pipeline_total_bounded_by_serial_and_parallel() {
+    cases(256, 0x5A10, |case, rng| {
+        let len = rng.gen_range(1..40usize);
+        let shifts: Vec<u32> = (0..len).map(|_| rng.gen_range(0..17u32)).collect();
         let p = Pipeline::new(16, false);
         let ops: Vec<PipelineOp> = shifts
             .iter()
@@ -256,11 +365,8 @@ proptest! {
         // Lower bound: the bottleneck section's total work; upper bound:
         // fully serial execution.
         let work: u64 = shifts.iter().map(|&s| u64::from(s.clamp(1, 16))).sum();
-        let serial: u64 = shifts
-            .iter()
-            .map(|&s| 6 + u64::from(s.clamp(1, 16)))
-            .sum();
-        prop_assert!(total >= work);
-        prop_assert!(total <= serial);
-    }
+        let serial: u64 = shifts.iter().map(|&s| 6 + u64::from(s.clamp(1, 16))).sum();
+        assert!(total >= work, "case {case}: {total} < {work}");
+        assert!(total <= serial, "case {case}: {total} > {serial}");
+    });
 }

@@ -4,8 +4,7 @@
 use forms::arch::{MappedLayer, MappingConfig};
 use forms::reram::{CellSpec, LogNormalVariation, StuckAtFault, StuckAtKind};
 use forms::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forms::rng::StdRng;
 
 fn polarized_matrix() -> Tensor {
     Tensor::from_fn(&[16, 4], |i| {
