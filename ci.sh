@@ -10,6 +10,12 @@ cargo build --release --offline
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== docs (rustdoc must build warning-free) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps
+
 echo "== dependency freeze =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be an in-tree forms-* path crate. Anything else means

@@ -1,6 +1,12 @@
 //! End-to-end FORMS accelerator simulation: a whole DNN mapped onto
 //! polarized crossbars and executed through the mixed-signal path.
 //!
+//! The network walk, im2col, activation quantization and batch execution
+//! live in the shared execution core ([`forms_exec::Executor`]); this
+//! module binds it to the polarized [`MappedLayer`] engine and adds the
+//! FORMS-specific pieces — mapping configuration, row-permutation
+//! construction and device-variation injection (§V-E).
+//!
 //! Convolution and linear layers run on [`MappedLayer`]s (im2col → bit-
 //! serial crossbar MVMs → sign-indicator accumulation); pooling, ReLU,
 //! batch-norm and the residual adds run in the digital units, exactly as in
@@ -9,12 +15,12 @@
 //! Activations must be non-negative (the post-ReLU guarantee the paper's
 //! designs rely on); quantization clamps at zero.
 
-use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_exec::{ExecError, Executor};
 use forms_reram::LogNormalVariation;
-use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
+use forms_tensor::Tensor;
 use forms_rng::Rng;
 
-use crate::mapping::{MapError, MappedLayer, MappingConfig, MvmStats};
+use crate::mapping::{MappedLayer, MappingConfig, MvmStats};
 
 /// Accelerator configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,19 +43,14 @@ impl AcceleratorConfig {
 
 /// A DNN mapped onto the FORMS accelerator.
 ///
-/// Holds a copy of the network (for the digital layers and layer shapes)
-/// plus one [`MappedLayer`] per weight layer, and executes inference
-/// through the analog path while accumulating cycle statistics.
+/// A thin wrapper over the shared [`Executor`] driving [`MappedLayer`]
+/// engines: it holds a copy of the network (for the digital layers and
+/// layer shapes) plus one mapped layer per weight layer, and executes
+/// inference through the analog path while accumulating cycle statistics.
 #[derive(Clone, Debug)]
 pub struct Accelerator {
-    net: Network,
-    mapped: Vec<MappedLayer>,
-    perms: Vec<Option<Vec<usize>>>,
+    exec: Executor<MappedLayer>,
     config: AcceleratorConfig,
-    stats: MvmStats,
-    layer_stats: Vec<MvmStats>,
-    /// Matrix-vector activations per weight layer since the last reset.
-    layer_mvms: Vec<u64>,
 }
 
 impl Accelerator {
@@ -57,14 +58,16 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns the first layer's [`MapError`] if any weight layer is not
+    /// Returns the first layer's [`ExecError`] if any weight layer is not
     /// polarized (or is all zero).
-    pub fn map_network(net: &Network, config: AcceleratorConfig) -> Result<Self, MapError> {
-        let count = {
-            let mut n = net.clone();
-            n.weight_layer_count()
-        };
-        Self::with_permutations(net, config, vec![None; count])
+    pub fn map_network(
+        net: &forms_dnn::Network,
+        config: AcceleratorConfig,
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
+            exec: Executor::map_network(net, &config.mapping, config.activation_bits)?,
+            config,
+        })
     }
 
     /// Maps a network whose polarization was trained under per-layer row
@@ -74,46 +77,24 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns a [`MapError`] if a layer cannot be mapped.
+    /// Returns an [`ExecError`] if a layer cannot be mapped.
     ///
     /// # Panics
     ///
     /// Panics if `perms.len()` differs from the weight-layer count.
     pub fn with_permutations(
-        net: &Network,
+        net: &forms_dnn::Network,
         config: AcceleratorConfig,
         perms: Vec<Option<Vec<usize>>>,
-    ) -> Result<Self, MapError> {
-        let mut net = net.clone();
-        let mut matrices = Vec::new();
-        net.for_each_weight_layer(&mut |wl| {
-            matrices.push(match wl {
-                WeightLayerMut::Conv(c) => c.weight_matrix(),
-                WeightLayerMut::Linear(l) => l.weight_matrix(),
-            });
-        });
-        assert_eq!(
-            matrices.len(),
-            perms.len(),
-            "need one permutation slot per weight layer"
-        );
-        let mut mapped = Vec::with_capacity(matrices.len());
-        for (m, perm) in matrices.iter().zip(&perms) {
-            let policy_m = match perm {
-                Some(p) => permute_rows(m, p),
-                None => m.clone(),
-            };
-            mapped.push(MappedLayer::map(&policy_m, config.mapping)?);
-        }
-        let count = mapped.len();
+    ) -> Result<Self, ExecError> {
         Ok(Self {
-            net,
-            mapped,
-            perms,
+            exec: Executor::with_permutations(
+                net,
+                &config.mapping,
+                config.activation_bits,
+                perms,
+            )?,
             config,
-            stats: MvmStats::default(),
-            layer_stats: vec![MvmStats::default(); count],
-            layer_mvms: vec![0; count],
         })
     }
 
@@ -124,35 +105,38 @@ impl Accelerator {
 
     /// The mapped weight layers, in visit order.
     pub fn mapped_layers(&self) -> &[MappedLayer] {
-        &self.mapped
+        self.exec.engines()
     }
 
     /// Mutable access to the mapped layers (variation/fault injection).
     pub fn mapped_layers_mut(&mut self) -> &mut [MappedLayer] {
-        &mut self.mapped
+        self.exec.engines_mut()
     }
 
     /// Total physical crossbars used by the whole network.
     pub fn total_crossbars(&self) -> usize {
-        self.mapped.iter().map(MappedLayer::crossbar_count).sum()
+        self.exec.total_crossbars()
     }
 
     /// Accumulated MVM statistics since the last reset.
     pub fn stats(&self) -> MvmStats {
-        self.stats
+        self.exec.stats()
     }
 
     /// Clears accumulated statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = MvmStats::default();
-        self.layer_stats = vec![MvmStats::default(); self.mapped.len()];
-        self.layer_mvms = vec![0; self.mapped.len()];
+        self.exec.reset_stats();
     }
 
     /// Accumulated statistics per weight layer (visit order) since the
     /// last reset.
     pub fn layer_stats(&self) -> &[MvmStats] {
-        &self.layer_stats
+        self.exec.layer_stats()
+    }
+
+    /// Matrix-vector activations per weight layer since the last reset.
+    pub fn layer_mvms(&self) -> &[u64] {
+        self.exec.layer_mvms()
     }
 
     /// Builds the per-layer inputs of the frame-rate model from the
@@ -165,34 +149,13 @@ impl Accelerator {
     /// Panics if no inference has been run since the last reset or
     /// `images` is zero.
     pub fn layer_perfs(&self, images: usize) -> Vec<crate::LayerPerf> {
-        assert!(images > 0, "images must be positive");
-        assert!(
-            self.layer_mvms.iter().any(|&m| m > 0),
-            "run at least one inference before extracting layer perfs"
-        );
-        self.mapped
-            .iter()
-            .zip(&self.layer_stats)
-            .zip(&self.layer_mvms)
-            .map(|((layer, stats), &mvms)| {
-                let mean_eic = if stats.fragments_total == 0 {
-                    self.config.mapping.input_bits as f64
-                } else {
-                    (stats.cycles as f64 / stats.fragments_total as f64).max(1.0)
-                };
-                crate::LayerPerf {
-                    positions: (mvms as usize / images).max(1),
-                    crossbars: layer.crossbar_count(),
-                    input_cycles: mean_eic,
-                }
-            })
-            .collect()
+        self.exec.layer_perfs(images)
     }
 
     /// Applies log-normal device variation to every crossbar of every
     /// layer (paper §V-E).
     pub fn apply_variation<R: Rng + ?Sized>(&mut self, v: &LogNormalVariation, rng: &mut R) {
-        for layer in &mut self.mapped {
+        for layer in self.exec.engines_mut() {
             for xbar in layer.crossbars_mut() {
                 v.apply(xbar, rng);
             }
@@ -201,123 +164,7 @@ impl Accelerator {
 
     /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut layers = std::mem::take(&mut self.net).into_layers();
-        let mut widx = 0;
-        let mut y = x.clone();
-        for layer in &mut layers {
-            y = self.forward_layer(layer, &y, &mut widx);
-        }
-        self.net = Network::new(layers);
-        y
-    }
-
-    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
-        match layer {
-            Layer::Conv2d(conv) => {
-                let idx = *widx;
-                *widx += 1;
-                let geom = Conv2dGeometry::new(
-                    conv.in_channels(),
-                    x.dims()[2],
-                    x.dims()[3],
-                    conv.kernel(),
-                    conv.kernel(),
-                    conv.stride(),
-                    conv.padding(),
-                );
-                let bias = conv.bias().value.clone();
-                self.conv_forward(idx, x, &geom, &bias)
-            }
-            Layer::Linear(lin) => {
-                let idx = *widx;
-                *widx += 1;
-                let bias = lin.bias().value.clone();
-                self.linear_forward(idx, x, &bias)
-            }
-            Layer::Residual(block) => {
-                let mut y = x.clone();
-                for l in block.body_mut() {
-                    y = self.forward_layer(l, &y, widx);
-                }
-                let shortcut = match block.projection_mut() {
-                    Some(p) => self.forward_layer(p, x, widx),
-                    None => x.clone(),
-                };
-                // Digital add + ReLU.
-                y.zip(&shortcut, |a, b| (a + b).max(0.0))
-            }
-            other => other.forward(x, false),
-        }
-    }
-
-    /// Quantizes a non-negative activation tensor with a shared per-call
-    /// scale.
-    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
-        let spec = FixedSpec::for_max_value(self.config.activation_bits, t.max());
-        QuantizedTensor::quantize_with(t, spec)
-    }
-
-    fn conv_forward(
-        &mut self,
-        idx: usize,
-        x: &Tensor,
-        geom: &Conv2dGeometry,
-        bias: &Tensor,
-    ) -> Tensor {
-        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        let f = bias.len();
-        let positions = geom.out_positions();
-        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
-        for s in 0..n {
-            let sample = Tensor::from_vec(
-                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
-                &[c, h, w],
-            );
-            let cols = im2col(&sample, geom);
-            let q = self.quantize_activations(&cols);
-            let patch = geom.patch_len();
-            for p in 0..positions {
-                let mut codes: Vec<u32> =
-                    (0..patch).map(|r| q.codes()[r * positions + p]).collect();
-                if let Some(perm) = &self.perms[idx] {
-                    codes = perm.iter().map(|&src| codes[src]).collect();
-                }
-                let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
-                self.stats.merge(stats);
-                self.layer_stats[idx].merge(stats);
-                self.layer_mvms[idx] += 1;
-                for (fi, v) in vals.iter().enumerate() {
-                    out.data_mut()[((s * f + fi) * geom.out_h) * geom.out_w + p] =
-                        v + bias.data()[fi];
-                }
-            }
-        }
-        out
-    }
-
-    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
-        let (n, in_features) = (x.dims()[0], x.dims()[1]);
-        let o = bias.len();
-        let mut out = Tensor::zeros(&[n, o]);
-        for s in 0..n {
-            let row = Tensor::from_vec(
-                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
-                &[in_features],
-            );
-            let q = self.quantize_activations(&row);
-            let mut codes = q.codes().to_vec();
-            if let Some(perm) = &self.perms[idx] {
-                codes = perm.iter().map(|&src| codes[src]).collect();
-            }
-            let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
-            self.stats.merge(stats);
-            self.layer_stats[idx].merge(stats);
-            self.layer_mvms[idx] += 1;
-            for (j, v) in vals.iter().enumerate() {
-                out.data_mut()[s * o + j] = v + bias.data()[j];
-            }
-        }
-        out
+        self.exec.forward(x)
     }
 
     /// Runs inference on a `[N, ...]` batch with samples distributed over
@@ -329,90 +176,35 @@ impl Accelerator {
     ///
     /// Panics if `workers` is zero.
     pub fn forward_parallel(&mut self, x: &Tensor, workers: usize) -> Tensor {
-        assert!(workers > 0, "need at least one worker");
-        let n = x.dims()[0];
-        if n == 0 || workers == 1 {
-            return self.forward(x);
-        }
-        let workers = workers.min(n);
-        let sample_len = x.len() / n;
-        let sample_dims = &x.dims()[1..];
-        let chunk = n.div_ceil(workers);
-        type WorkerResult = (Tensor, MvmStats, Vec<MvmStats>, Vec<u64>);
-        let mut results: Vec<Option<WorkerResult>> = vec![None; workers];
-        std::thread::scope(|scope| {
-            for (w, slot) in results.iter_mut().enumerate() {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                let mut dims = vec![hi - lo];
-                dims.extend_from_slice(sample_dims);
-                let part =
-                    Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
-                let mut worker_accel = self.clone();
-                worker_accel.reset_stats();
-                scope.spawn(move || {
-                    let y = worker_accel.forward(&part);
-                    let layer_stats = worker_accel.layer_stats().to_vec();
-                    let layer_mvms = worker_accel.layer_mvms.clone();
-                    *slot = Some((y, worker_accel.stats(), layer_stats, layer_mvms));
-                });
-            }
-        });
-        // Stitch outputs back in order.
-        let mut out_data = Vec::new();
-        let mut out_dims: Option<Vec<usize>> = None;
-        for slot in results.into_iter().flatten() {
-            let (y, stats, layer_stats, layer_mvms) = slot;
-            self.stats.merge(stats);
-            for (acc, st) in self.layer_stats.iter_mut().zip(&layer_stats) {
-                acc.merge(*st);
-            }
-            for (acc, &m) in self.layer_mvms.iter_mut().zip(&layer_mvms) {
-                *acc += m;
-            }
-            if out_dims.is_none() {
-                out_dims = Some(y.dims().to_vec());
-            }
-            out_data.extend_from_slice(y.data());
-        }
-        let mut dims = out_dims.expect("at least one worker ran");
-        dims[0] = n;
-        Tensor::from_vec(out_data, &dims)
+        self.exec.forward_parallel(x, workers)
     }
 
     /// Classification accuracy of the mapped model on a dataset.
     pub fn evaluate(&mut self, data: &forms_dnn::data::Dataset, batch_size: usize) -> f32 {
-        assert!(batch_size > 0, "batch size must be positive");
-        if data.is_empty() {
-            return 0.0;
-        }
-        let mut correct = 0.0;
-        for (x, labels) in data.batches(batch_size) {
-            let logits = self.forward(&x);
-            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
-        }
-        correct / data.len() as f32
+        self.exec.evaluate(data, batch_size)
     }
-}
 
-/// Permutes matrix rows: `out[i] = in[perm[i]]`.
-fn permute_rows(m: &Tensor, perm: &[usize]) -> Tensor {
-    let (rows, cols) = (m.dims()[0], m.dims()[1]);
-    assert_eq!(perm.len(), rows, "permutation length mismatch");
-    let mut out = Tensor::zeros(&[rows, cols]);
-    for (i, &src) in perm.iter().enumerate() {
-        out.data_mut()[i * cols..(i + 1) * cols]
-            .copy_from_slice(&m.data()[src * cols..(src + 1) * cols]);
+    /// [`evaluate`](Self::evaluate) with each batch distributed over
+    /// `workers` threads through the shared executor's parallel path; the
+    /// accuracy is bitwise identical to the serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `workers` is zero.
+    pub fn evaluate_parallel(
+        &mut self,
+        data: &forms_dnn::data::Dataset,
+        batch_size: usize,
+        workers: usize,
+    ) -> f32 {
+        self.exec.evaluate_parallel(data, batch_size, workers)
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use forms_dnn::{Layer, Network, WeightLayerMut};
     use forms_rng::StdRng;
 
     /// Polarizes a network in place with the ADMM projection (iterated to a
@@ -464,7 +256,7 @@ mod tests {
     fn unpolarized_network_is_rejected() {
         let net = small_net(0);
         let err = Accelerator::map_network(&net, small_config(4)).unwrap_err();
-        assert!(matches!(err, MapError::NotPolarized { .. }));
+        assert!(matches!(err, ExecError::NotPolarized { .. }));
     }
 
     #[test]
@@ -505,7 +297,7 @@ mod tests {
         ]);
         polarize_net(&mut net, 4);
         let mut acc = Accelerator::map_network(&net, small_config(4)).unwrap();
-        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32 / 16.0));
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32 / 16.0);
         let digital = net.clone().forward(&x);
         let analog = acc.forward(&x);
         let err = analog.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
@@ -541,6 +333,31 @@ mod tests {
         let ys = serial.forward(&x);
         let yp = parallel.forward_parallel(&x, 3);
         assert_eq!(ys, yp);
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(serial.layer_stats(), parallel.layer_stats());
+        assert_eq!(serial.layer_mvms(), parallel.layer_mvms());
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let spec = forms_dnn::data::SyntheticSpec {
+            classes: 3,
+            channels: 1,
+            height: 8,
+            width: 8,
+            train_per_class: 2,
+            test_per_class: 4,
+            noise: 0.1,
+        };
+        let (_, test) = spec.generate(&mut rng);
+        let mut net = small_net(14);
+        polarize_net(&mut net, 4);
+        let mut serial = Accelerator::map_network(&net, small_config(4)).unwrap();
+        let mut parallel = serial.clone();
+        let a = serial.evaluate(&test, 4);
+        let b = parallel.evaluate_parallel(&test, 4, 3);
+        assert_eq!(a, b);
         assert_eq!(serial.stats(), parallel.stats());
     }
 
@@ -585,7 +402,7 @@ mod tests {
             let (rows, cols) = (m.dims()[0], m.dims()[1]);
             let dense = Tensor::from_fn(&[rows, cols], |i| {
                 let (r, c) = (i / cols, i % cols);
-                let sign = if ((r / fragment) + c) % 2 == 0 {
+                let sign = if ((r / fragment) + c).is_multiple_of(2) {
                     1.0
                 } else {
                     -1.0

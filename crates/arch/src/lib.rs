@@ -38,7 +38,8 @@ mod zero_skip;
 
 pub use accelerator::{Accelerator, AcceleratorConfig};
 pub use dse::{DesignPoint, DesignSpace};
-pub use mapping::{MapError, MappedLayer, MappingConfig, MvmStats};
+pub use forms_exec::{CrossbarEngine, ExecError, Executor, Merge};
+pub use mapping::{FormsActivity, MappedLayer, MappingConfig, MvmStats};
 pub use noc::{ChipPlacement, LayerPlacement, PlacementError, TileAssignment};
 pub use perf::{FpsModel, LayerPerf};
 pub use pipeline::{Pipeline, PipelineOp, PipelineStage};

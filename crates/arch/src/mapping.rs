@@ -7,8 +7,7 @@
 //! sub-arrays. Each fragment's single sign bit lives in the 1R *sign
 //! indicator* and is applied during digital accumulation.
 
-use std::fmt;
-
+use forms_exec::{CrossbarEngine, ExecError, Merge};
 use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
 use forms_tensor::Tensor;
 use forms_rng::Rng;
@@ -71,34 +70,6 @@ impl MappingConfig {
     }
 }
 
-/// Why a matrix could not be mapped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MapError {
-    /// The matrix violates fragment polarization; mapping magnitude-only
-    /// weights would silently change signs. Carries the violation count.
-    NotPolarized {
-        /// Number of weights whose sign disagrees with their fragment.
-        violations: usize,
-    },
-    /// The matrix has no non-zero weights at all.
-    AllZero,
-}
-
-impl fmt::Display for MapError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MapError::NotPolarized { violations } => write!(
-                f,
-                "matrix is not fragment-polarized ({violations} sign violations); \
-                 run ADMM polarization first"
-            ),
-            MapError::AllZero => write!(f, "matrix has no non-zero weights"),
-        }
-    }
-}
-
-impl std::error::Error for MapError {}
-
 /// Statistics of one mapped matrix-vector multiplication.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MvmStats {
@@ -114,16 +85,17 @@ pub struct MvmStats {
     pub fragments_total: u64,
 }
 
-impl MvmStats {
-    /// Accumulates another stats record.
-    pub fn merge(&mut self, other: MvmStats) {
+impl Merge for MvmStats {
+    fn merge(&mut self, other: MvmStats) {
         self.cycles += other.cycles;
         self.cycles_without_skip += other.cycles_without_skip;
         self.adc_conversions += other.adc_conversions;
         self.fragments_skipped += other.fragments_skipped;
         self.fragments_total += other.fragments_total;
     }
+}
 
+impl MvmStats {
     /// Fraction of input cycles saved by zero-skipping.
     pub fn cycles_saved_fraction(&self) -> f64 {
         if self.cycles_without_skip == 0 {
@@ -147,7 +119,30 @@ impl MvmStats {
 
     /// Dynamic energy of this activity on an MCU configuration, in pJ.
     pub fn energy_pj(&self, config: &MappingConfig, mcu: &forms_hwmodel::McuConfig) -> f64 {
-        forms_hwmodel::EnergyModel::from_mcu(mcu).energy_pj(&self.activity(config))
+        use forms_hwmodel::DynamicActivity;
+        FormsActivity {
+            stats: *self,
+            config: *config,
+        }
+        .energy_pj(mcu)
+    }
+}
+
+/// FORMS statistics bound to their mapping configuration — the
+/// [`forms_hwmodel::DynamicActivity`] record through which FORMS costs
+/// reach the shared energy model (ISAAC's counterpart is
+/// `forms_baselines::IsaacActivity`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FormsActivity {
+    /// The accumulated MVM statistics.
+    pub stats: MvmStats,
+    /// The mapping configuration the statistics were produced under.
+    pub config: MappingConfig,
+}
+
+impl forms_hwmodel::DynamicActivity for FormsActivity {
+    fn activity(&self) -> forms_hwmodel::Activity {
+        self.stats.activity(&self.config)
     }
 }
 
@@ -185,18 +180,22 @@ impl MappedLayer {
     ///
     /// # Errors
     ///
-    /// Returns [`MapError::NotPolarized`] if any fragment mixes signs and
-    /// [`MapError::AllZero`] for an all-zero matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `matrix` is not rank-2.
-    pub fn map(matrix: &Tensor, config: MappingConfig) -> Result<Self, MapError> {
-        assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
-        assert!(
-            config.fragment_size > 0 && config.crossbar_dim.is_multiple_of(config.fragment_size),
-            "fragment size must divide the crossbar dimension"
-        );
+    /// Returns [`ExecError::NotPolarized`] if any fragment mixes signs,
+    /// [`ExecError::AllZero`] for an all-zero matrix,
+    /// [`ExecError::NotMatrix`] when `matrix` is not rank-2 and
+    /// [`ExecError::UnsupportedConfig`] when the fragment size does not
+    /// divide the crossbar dimension.
+    pub fn map(matrix: &Tensor, config: MappingConfig) -> Result<Self, ExecError> {
+        if matrix.shape().rank() != 2 {
+            return Err(ExecError::NotMatrix {
+                rank: matrix.shape().rank(),
+            });
+        }
+        if config.fragment_size == 0 || !config.crossbar_dim.is_multiple_of(config.fragment_size) {
+            return Err(ExecError::UnsupportedConfig {
+                reason: "fragment size must divide the crossbar dimension",
+            });
+        }
         let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
         let m = config.fragment_size;
 
@@ -205,7 +204,7 @@ impl MappedLayer {
         let row_index: Vec<usize> = (0..rows).filter(|&r| (0..cols).any(|c| nz(r, c))).collect();
         let col_index: Vec<usize> = (0..cols).filter(|&c| (0..rows).any(|r| nz(r, c))).collect();
         if row_index.is_empty() || col_index.is_empty() {
-            return Err(MapError::AllZero);
+            return Err(ExecError::AllZero);
         }
 
         let compact_rows = row_index.len();
@@ -232,7 +231,7 @@ impl MappedLayer {
             }
         }
         if violations > 0 {
-            return Err(MapError::NotPolarized { violations });
+            return Err(ExecError::NotPolarized { violations });
         }
 
         // Magnitude quantization.
@@ -485,6 +484,32 @@ impl MappedLayer {
     }
 }
 
+impl CrossbarEngine for MappedLayer {
+    type Config = MappingConfig;
+    type Stats = MvmStats;
+
+    fn map_matrix(matrix: &Tensor, config: &MappingConfig) -> Result<Self, ExecError> {
+        MappedLayer::map(matrix, *config)
+    }
+
+    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, MvmStats) {
+        MappedLayer::matvec(self, input_codes, input_scale)
+    }
+
+    fn crossbar_count(&self) -> usize {
+        MappedLayer::crossbar_count(self)
+    }
+
+    fn mean_input_cycles(stats: &MvmStats) -> Option<f64> {
+        (stats.fragments_total > 0)
+            .then(|| (stats.cycles as f64 / stats.fragments_total as f64).max(1.0))
+    }
+
+    fn max_input_cycles(config: &MappingConfig) -> f64 {
+        f64::from(config.input_bits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,7 +521,7 @@ mod tests {
         Tensor::from_fn(&[rows, cols], |i| {
             let (r, c) = (i / cols, i % cols);
             let frag = r / m;
-            let sign = if (frag + c) % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (frag + c).is_multiple_of(2) { 1.0 } else { -1.0 };
             sign * ((i % 7) as f32 + 1.0) / 8.0
         })
     }
@@ -516,7 +541,7 @@ mod tests {
     fn rejects_unpolarized_matrix() {
         let w = Tensor::from_vec(vec![1.0, -1.0, 2.0, 1.0], &[4, 1]);
         let err = MappedLayer::map(&w, small_config(4)).unwrap_err();
-        assert!(matches!(err, MapError::NotPolarized { violations: 1 }));
+        assert!(matches!(err, ExecError::NotPolarized { violations: 1 }));
     }
 
     #[test]
@@ -524,7 +549,7 @@ mod tests {
         let w = Tensor::zeros(&[4, 2]);
         assert_eq!(
             MappedLayer::map(&w, small_config(4)).unwrap_err(),
-            MapError::AllZero
+            ExecError::AllZero
         );
     }
 

@@ -11,18 +11,7 @@
 
 use forms_hwmodel::{McuConfig, CHIP_TILES, MCUS_PER_TILE};
 
-/// Per-layer inputs to the FPS model.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct LayerPerf {
-    /// Matrix-vector activations per image (conv: `out_h × out_w`;
-    /// linear: 1).
-    pub positions: usize,
-    /// Physical crossbars the layer's weights occupy.
-    pub crossbars: usize,
-    /// Average input cycles per fragment activation (16 without
-    /// zero-skipping; the measured mean EIC with it).
-    pub input_cycles: f64,
-}
+pub use forms_exec::LayerPerf;
 
 /// Whole-model frame-rate model on a given MCU configuration.
 #[derive(Clone, Debug, PartialEq)]

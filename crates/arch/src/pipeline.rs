@@ -196,8 +196,8 @@ mod tests {
     #[test]
     fn zero_skipping_speeds_up_streams() {
         let p = Pipeline::new(16, false);
-        let full = p.run(&vec![PipelineOp { shift_cycles: 16 }; 50]);
-        let skipped = p.run(&vec![PipelineOp { shift_cycles: 10 }; 50]);
+        let full = p.run(&[PipelineOp { shift_cycles: 16 }; 50]);
+        let skipped = p.run(&[PipelineOp { shift_cycles: 10 }; 50]);
         assert!(skipped < full);
         // Ratio approaches 16/10 for long streams.
         let ratio = full as f64 / skipped as f64;
@@ -220,7 +220,7 @@ mod tests {
         // Totals differ only through pipeline scheduling, not work; both
         // are bounded by fill + Σ shift.
         for t in [a, b] {
-            assert!(t >= 22 && t <= 22 + 27);
+            assert!((22..=22 + 27).contains(&t));
         }
     }
 

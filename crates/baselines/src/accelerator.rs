@@ -2,12 +2,19 @@
 //! offset-encoded crossbars — the apples-to-apples counterpart of
 //! `forms_arch::Accelerator`, used by the comparative experiments.
 //!
+//! Both accelerators drive the same shared execution core
+//! ([`forms_exec::Executor`]): the network walk, im2col, activation
+//! quantization, per-layer statistics and parallel batch execution are
+//! identical code, so any measured difference between the designs comes
+//! from the crossbar engines themselves, not the harness.
+//!
 //! Unlike FORMS, ISAAC needs no polarization: any trained network maps
 //! directly. The price is the per-input-bit ones-counting and offset
 //! subtraction, which the statistics expose.
 
-use forms_dnn::{Layer, Network, WeightLayerMut};
-use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
+use forms_exec::{CrossbarEngine, ExecError, Executor, LayerPerf};
+use forms_hwmodel::{Activity, DynamicActivity};
+use forms_tensor::Tensor;
 
 use crate::isaac::{IsaacLayer, IsaacStats};
 
@@ -35,199 +42,188 @@ impl IsaacConfig {
             input_bits: 16,
         }
     }
+
+    /// ReRAM cells per offset-encoded weight (bit slices).
+    pub fn cells_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.cell.bits()) as usize
+    }
+}
+
+impl CrossbarEngine for IsaacLayer {
+    type Config = IsaacConfig;
+    type Stats = IsaacStats;
+
+    fn map_matrix(matrix: &Tensor, config: &IsaacConfig) -> Result<Self, ExecError> {
+        IsaacLayer::map_with(
+            matrix,
+            config.weight_bits,
+            config.input_bits,
+            config.crossbar_dim,
+            config.cell,
+        )
+    }
+
+    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
+        IsaacLayer::matvec(self, input_codes, input_scale)
+    }
+
+    fn crossbar_count(&self) -> usize {
+        IsaacLayer::crossbar_count(self)
+    }
+
+    fn mean_input_cycles(stats: &IsaacStats) -> Option<f64> {
+        // No zero-skipping: always `input_bits` cycles per row block, but
+        // derive it from the measurements for symmetry with FORMS.
+        (stats.row_blocks > 0).then(|| (stats.cycles as f64 / stats.row_blocks as f64).max(1.0))
+    }
+
+    fn max_input_cycles(config: &IsaacConfig) -> f64 {
+        f64::from(config.input_bits)
+    }
+}
+
+/// [`IsaacStats`] paired with its [`IsaacConfig`], convertible into the
+/// energy model's [`Activity`] record (the ISAAC counterpart of
+/// `forms_arch::FormsActivity`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsaacActivity {
+    /// The measured statistics.
+    pub stats: IsaacStats,
+    /// The configuration they were measured under.
+    pub config: IsaacConfig,
+}
+
+impl DynamicActivity for IsaacActivity {
+    fn activity(&self) -> Activity {
+        Activity {
+            shift_cycles: self.stats.cycles,
+            adc_conversions: self.stats.adc_conversions,
+            // ISAAC activates every row of a crossbar block each cycle.
+            rows_per_cycle: self.config.crossbar_dim as u64,
+            cells_per_conversion: self.config.cells_per_weight() as u64,
+            // One shift-&-add per conversion plus one per offset
+            // subtraction (the correction is extra digital work).
+            shift_add_ops: self.stats.adc_conversions + self.stats.offset_subtractions,
+        }
+    }
 }
 
 /// A DNN mapped onto offset-encoded ISAAC crossbars.
+///
+/// A thin wrapper over the shared [`Executor`] driving [`IsaacLayer`]
+/// engines — same network walk and quantization as the FORMS accelerator.
 #[derive(Clone, Debug)]
 pub struct IsaacAccelerator {
-    net: Network,
-    mapped: Vec<IsaacLayer>,
-    config: IsaacConfig,
-    stats: IsaacStats,
+    exec: Executor<IsaacLayer>,
 }
 
 impl IsaacAccelerator {
     /// Maps any trained network — signed weights are fine.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a weight layer is entirely zero.
-    pub fn map_network(net: &Network, config: IsaacConfig) -> Self {
-        let mut net = net.clone();
-        let mut mapped = Vec::new();
-        net.for_each_weight_layer(&mut |wl| {
-            let m = match wl {
-                WeightLayerMut::Conv(c) => c.weight_matrix(),
-                WeightLayerMut::Linear(l) => l.weight_matrix(),
-            };
-            mapped.push(IsaacLayer::map_with(
-                &m,
-                config.weight_bits,
-                config.input_bits,
-                config.crossbar_dim,
-                config.cell,
-            ));
-        });
-        Self {
-            net,
-            mapped,
-            config,
-            stats: IsaacStats::default(),
-        }
+    /// Returns an [`ExecError`] if a weight layer is entirely zero (or the
+    /// configuration is unusable).
+    pub fn map_network(net: &forms_dnn::Network, config: IsaacConfig) -> Result<Self, ExecError> {
+        Ok(Self {
+            exec: Executor::map_network(net, &config, config.input_bits)?,
+        })
     }
 
     /// The configuration.
     pub fn config(&self) -> &IsaacConfig {
-        &self.config
+        self.exec.engine_config()
+    }
+
+    /// The mapped weight layers, in visit order.
+    pub fn mapped_layers(&self) -> &[IsaacLayer] {
+        self.exec.engines()
+    }
+
+    /// Mutable access to the mapped layers (variation injection).
+    pub fn mapped_layers_mut(&mut self) -> &mut [IsaacLayer] {
+        self.exec.engines_mut()
     }
 
     /// Total crossbars used.
     pub fn total_crossbars(&self) -> usize {
-        self.mapped.iter().map(IsaacLayer::crossbar_count).sum()
+        self.exec.total_crossbars()
     }
 
     /// Accumulated statistics since the last reset.
     pub fn stats(&self) -> IsaacStats {
-        self.stats
+        self.exec.stats()
+    }
+
+    /// Accumulated statistics per weight layer (visit order) since the
+    /// last reset.
+    pub fn layer_stats(&self) -> &[IsaacStats] {
+        self.exec.layer_stats()
+    }
+
+    /// Matrix-vector activations per weight layer since the last reset.
+    pub fn layer_mvms(&self) -> &[u64] {
+        self.exec.layer_mvms()
     }
 
     /// Clears accumulated statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = IsaacStats::default();
+        self.exec.reset_stats();
     }
 
-    fn merge(&mut self, s: IsaacStats) {
-        self.stats.cycles += s.cycles;
-        self.stats.adc_conversions += s.adc_conversions;
-        self.stats.ones_counted += s.ones_counted;
-        self.stats.offset_subtractions += s.offset_subtractions;
+    /// Per-layer inputs of the frame-rate model from the inferences run
+    /// since the last reset (see `forms_arch::FpsModel`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference has been run since the last reset or
+    /// `images` is zero.
+    pub fn layer_perfs(&self, images: usize) -> Vec<LayerPerf> {
+        self.exec.layer_perfs(images)
     }
 
     /// Runs inference on a `[N, ...]` batch through the offset-encoded
     /// analog path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut layers = std::mem::take(&mut self.net).into_layers();
-        let mut widx = 0;
-        let mut y = x.clone();
-        for layer in &mut layers {
-            y = self.forward_layer(layer, &y, &mut widx);
-        }
-        self.net = Network::new(layers);
-        y
+        self.exec.forward(x)
     }
 
-    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
-        match layer {
-            Layer::Conv2d(conv) => {
-                let idx = *widx;
-                *widx += 1;
-                let geom = Conv2dGeometry::new(
-                    conv.in_channels(),
-                    x.dims()[2],
-                    x.dims()[3],
-                    conv.kernel(),
-                    conv.kernel(),
-                    conv.stride(),
-                    conv.padding(),
-                );
-                let bias = conv.bias().value.clone();
-                self.conv_forward(idx, x, &geom, &bias)
-            }
-            Layer::Linear(lin) => {
-                let idx = *widx;
-                *widx += 1;
-                let bias = lin.bias().value.clone();
-                self.linear_forward(idx, x, &bias)
-            }
-            Layer::Residual(block) => {
-                let mut y = x.clone();
-                for l in block.body_mut() {
-                    y = self.forward_layer(l, &y, widx);
-                }
-                let shortcut = match block.projection_mut() {
-                    Some(p) => self.forward_layer(p, x, widx),
-                    None => x.clone(),
-                };
-                y.zip(&shortcut, |a, b| (a + b).max(0.0))
-            }
-            other => other.forward(x, false),
-        }
-    }
-
-    fn quantize(&self, t: &Tensor) -> QuantizedTensor {
-        let spec = FixedSpec::for_max_value(self.config.input_bits, t.max());
-        QuantizedTensor::quantize_with(t, spec)
-    }
-
-    fn conv_forward(
-        &mut self,
-        idx: usize,
-        x: &Tensor,
-        geom: &Conv2dGeometry,
-        bias: &Tensor,
-    ) -> Tensor {
-        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        let f = bias.len();
-        let positions = geom.out_positions();
-        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
-        for s in 0..n {
-            let sample = Tensor::from_vec(
-                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
-                &[c, h, w],
-            );
-            let cols = im2col(&sample, geom);
-            let q = self.quantize(&cols);
-            let patch = geom.patch_len();
-            for p in 0..positions {
-                let codes: Vec<u32> = (0..patch).map(|r| q.codes()[r * positions + p]).collect();
-                let (vals, stats) = self.mapped[idx].matvec(&codes, q.spec().scale());
-                self.merge(stats);
-                for (fi, v) in vals.iter().enumerate() {
-                    out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
-                }
-            }
-        }
-        out
-    }
-
-    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
-        let (n, in_features) = (x.dims()[0], x.dims()[1]);
-        let o = bias.len();
-        let mut out = Tensor::zeros(&[n, o]);
-        for s in 0..n {
-            let row = Tensor::from_vec(
-                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
-                &[in_features],
-            );
-            let q = self.quantize(&row);
-            let (vals, stats) = self.mapped[idx].matvec(q.codes(), q.spec().scale());
-            self.merge(stats);
-            for (j, v) in vals.iter().enumerate() {
-                out.data_mut()[s * o + j] = v + bias.data()[j];
-            }
-        }
-        out
+    /// Runs inference with samples distributed over `workers` threads;
+    /// outputs are bitwise identical to [`forward`](Self::forward) and the
+    /// statistics of all workers are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn forward_parallel(&mut self, x: &Tensor, workers: usize) -> Tensor {
+        self.exec.forward_parallel(x, workers)
     }
 
     /// Classification accuracy of the mapped model on a dataset.
     pub fn evaluate(&mut self, data: &forms_dnn::data::Dataset, batch_size: usize) -> f32 {
-        assert!(batch_size > 0, "batch size must be positive");
-        if data.is_empty() {
-            return 0.0;
-        }
-        let mut correct = 0.0;
-        for (x, labels) in data.batches(batch_size) {
-            let logits = self.forward(&x);
-            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
-        }
-        correct / data.len() as f32
+        self.exec.evaluate(data, batch_size)
+    }
+
+    /// [`evaluate`](Self::evaluate) with each batch distributed over
+    /// `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `workers` is zero.
+    pub fn evaluate_parallel(
+        &mut self,
+        data: &forms_dnn::data::Dataset,
+        batch_size: usize,
+        workers: usize,
+    ) -> f32 {
+        self.exec.evaluate_parallel(data, batch_size, workers)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forms_dnn::Layer;
+    use forms_dnn::{Layer, Network};
     use forms_rng::StdRng;
 
     fn small_config() -> IsaacConfig {
@@ -239,17 +235,21 @@ mod tests {
         }
     }
 
-    #[test]
-    fn unpolarized_network_runs_and_tracks_reference() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let net = Network::new(vec![
+    fn small_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
             Layer::conv2d(&mut rng, 1, 4, 3, 1, 1),
             Layer::relu(),
             Layer::max_pool(2),
             Layer::flatten(),
             Layer::linear(&mut rng, 4 * 4 * 4, 3),
-        ]);
-        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        ])
+    }
+
+    #[test]
+    fn unpolarized_network_runs_and_tracks_reference() {
+        let net = small_net(4);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config()).unwrap();
         let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 7) as f32 / 8.0);
         let digital = net.clone().forward(&x);
         let analog = isaac.forward(&x);
@@ -262,7 +262,7 @@ mod tests {
     fn stats_reset() {
         let mut rng = StdRng::seed_from_u64(5);
         let net = Network::new(vec![Layer::flatten(), Layer::linear(&mut rng, 16, 2)]);
-        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config()).unwrap();
         isaac.forward(&Tensor::ones(&[1, 1, 4, 4]));
         assert!(isaac.stats().cycles > 0);
         isaac.reset_stats();
@@ -287,11 +287,109 @@ mod tests {
             Layer::flatten(),
             Layer::linear(&mut rng, 2 * 4 * 4, 2),
         ]);
-        let mut isaac = IsaacAccelerator::map_network(&net, small_config());
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config()).unwrap();
         let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32 / 16.0);
         let digital = net.clone().forward(&x);
         let analog = isaac.forward(&x);
         let err = analog.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
         assert!(err < 0.08, "relative error {err}");
+    }
+
+    #[test]
+    fn layer_stats_partition_the_totals() {
+        let net = small_net(7);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config()).unwrap();
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        isaac.forward(&x);
+        let per_layer = isaac.layer_stats();
+        assert_eq!(per_layer.len(), 2); // conv + linear
+        let mut sum = IsaacStats::default();
+        for s in per_layer {
+            forms_exec::Merge::merge(&mut sum, *s);
+        }
+        assert_eq!(sum, isaac.stats());
+        // Conv: 64 positions × 2 images; linear: 1 × 2 images.
+        assert_eq!(isaac.layer_mvms(), &[128, 2]);
+    }
+
+    #[test]
+    fn layer_perfs_report_full_input_cycles() {
+        let net = small_net(8);
+        let mut isaac = IsaacAccelerator::map_network(&net, small_config()).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        isaac.forward(&x);
+        let perfs = isaac.layer_perfs(1);
+        // No zero-skipping: mean cycles per block is exactly input_bits.
+        assert!(perfs
+            .iter()
+            .all(|p| (p.input_cycles - 12.0).abs() < 1e-9 && p.crossbars > 0));
+    }
+
+    #[test]
+    fn parallel_forward_matches_serial() {
+        let net = small_net(9);
+        let mut serial = IsaacAccelerator::map_network(&net, small_config()).unwrap();
+        let mut parallel = serial.clone();
+        let x = Tensor::from_fn(&[5, 1, 8, 8], |i| (i % 9) as f32 / 9.0);
+        let ys = serial.forward(&x);
+        let yp = parallel.forward_parallel(&x, 3);
+        assert_eq!(ys, yp, "parallel output must be bitwise identical");
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(serial.layer_stats(), parallel.layer_stats());
+        assert_eq!(serial.layer_mvms(), parallel.layer_mvms());
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let spec = forms_dnn::data::SyntheticSpec {
+            classes: 3,
+            channels: 1,
+            height: 8,
+            width: 8,
+            train_per_class: 2,
+            test_per_class: 4,
+            noise: 0.1,
+        };
+        let (_, test) = spec.generate(&mut rng);
+        let net = small_net(11);
+        let mut serial = IsaacAccelerator::map_network(&net, small_config()).unwrap();
+        let mut parallel = serial.clone();
+        let a = serial.evaluate(&test, 4);
+        let b = parallel.evaluate_parallel(&test, 4, 3);
+        assert_eq!(a, b);
+        assert_eq!(serial.stats(), parallel.stats());
+    }
+
+    #[test]
+    fn all_zero_layer_surfaces_as_error() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut net = Network::new(vec![Layer::flatten(), Layer::linear(&mut rng, 16, 2)]);
+        net.for_each_weight_layer(&mut |wl| {
+            if let forms_dnn::WeightLayerMut::Linear(l) = wl {
+                let z = Tensor::zeros(l.weight_matrix().dims());
+                l.set_weight_matrix(&z);
+            }
+        });
+        let err = IsaacAccelerator::map_network(&net, small_config()).unwrap_err();
+        assert!(matches!(err, ExecError::AllZero));
+    }
+
+    #[test]
+    fn isaac_activity_matches_manual_record() {
+        let config = small_config();
+        let stats = IsaacStats {
+            cycles: 120,
+            adc_conversions: 480,
+            ones_counted: 300,
+            offset_subtractions: 300,
+            row_blocks: 10,
+        };
+        let a = IsaacActivity { stats, config }.activity();
+        assert_eq!(a.shift_cycles, 120);
+        assert_eq!(a.adc_conversions, 480);
+        assert_eq!(a.rows_per_cycle, 16);
+        assert_eq!(a.cells_per_conversion, 4);
+        assert_eq!(a.shift_add_ops, 480 + 300);
     }
 }

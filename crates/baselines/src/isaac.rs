@@ -1,5 +1,6 @@
 //! The ISAAC offset-encoding crossbar model (paper §II-B and ref. \[18\]).
 
+use forms_exec::{ExecError, Merge};
 use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar};
 use forms_tensor::Tensor;
 
@@ -16,6 +17,19 @@ pub struct IsaacStats {
     /// Offset subtractions performed (one per counted `1`, as the paper
     /// describes the overhead).
     pub offset_subtractions: u64,
+    /// Row-block activations (denominator of the mean-cycles-per-block
+    /// figure the frame-rate model consumes).
+    pub row_blocks: u64,
+}
+
+impl Merge for IsaacStats {
+    fn merge(&mut self, other: Self) {
+        self.cycles += other.cycles;
+        self.adc_conversions += other.adc_conversions;
+        self.ones_counted += other.ones_counted;
+        self.offset_subtractions += other.offset_subtractions;
+        self.row_blocks += other.row_blocks;
+    }
 }
 
 /// A signed weight matrix mapped with ISAAC's offset encoding.
@@ -43,37 +57,45 @@ impl IsaacLayer {
     /// Maps a signed matrix with the paper's 128×128 / 2-bit-cell
     /// configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `matrix` is not rank-2 or entirely zero.
-    pub fn map(matrix: &Tensor, weight_bits: u32, input_bits: u32) -> Self {
+    /// Returns an [`ExecError`] if `matrix` is not rank-2 or entirely zero.
+    pub fn map(matrix: &Tensor, weight_bits: u32, input_bits: u32) -> Result<Self, ExecError> {
         Self::map_with(matrix, weight_bits, input_bits, 128, CellSpec::paper_2bit())
     }
 
     /// Maps with explicit crossbar dimension and cell spec (small arrays
     /// for tests).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `matrix` is not rank-2 or entirely zero, or if
-    /// `weight_bits < 2`.
+    /// Returns an [`ExecError`] if `matrix` is not rank-2 or entirely
+    /// zero, or if `weight_bits < 2` (the offset encoding needs a sign
+    /// bit's worth of bias).
     pub fn map_with(
         matrix: &Tensor,
         weight_bits: u32,
         input_bits: u32,
         crossbar_dim: usize,
         cell: CellSpec,
-    ) -> Self {
-        assert_eq!(matrix.shape().rank(), 2, "expected a [rows, cols] matrix");
-        assert!(weight_bits >= 2, "need at least 2 weight bits");
+    ) -> Result<Self, ExecError> {
+        if matrix.shape().rank() != 2 {
+            return Err(ExecError::NotMatrix {
+                rank: matrix.shape().rank(),
+            });
+        }
+        if weight_bits < 2 {
+            return Err(ExecError::UnsupportedConfig {
+                reason: "offset encoding needs at least 2 weight bits",
+            });
+        }
         let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
         let nz = |r: usize, c: usize| matrix.data()[r * cols + c] != 0.0;
         let row_index: Vec<usize> = (0..rows).filter(|&r| (0..cols).any(|c| nz(r, c))).collect();
         let col_index: Vec<usize> = (0..cols).filter(|&c| (0..rows).any(|r| nz(r, c))).collect();
-        assert!(
-            !row_index.is_empty() && !col_index.is_empty(),
-            "cannot map an all-zero matrix"
-        );
+        if row_index.is_empty() || col_index.is_empty() {
+            return Err(ExecError::AllZero);
+        }
 
         let levels = ((1u64 << (weight_bits - 1)) - 1) as f32;
         let abs_max = matrix.abs_max();
@@ -102,7 +124,7 @@ impl IsaacLayer {
         }
 
         let adc = Adc::ideal_for(crossbar_dim, &cell);
-        Self {
+        Ok(Self {
             crossbar_dim,
             input_bits,
             bias,
@@ -115,7 +137,7 @@ impl IsaacLayer {
             xb_cols,
             adc,
             slicer,
-        }
+        })
     }
 
     /// Weight quantization step.
@@ -192,6 +214,7 @@ impl IsaacLayer {
                 })
                 .collect();
             stats.cycles += u64::from(self.input_bits);
+            stats.row_blocks += 1;
             let window = 0..codes.len();
 
             // Offset term shared by every column of the block:
@@ -259,7 +282,7 @@ mod tests {
     #[test]
     fn matvec_matches_signed_reference() {
         let w = signed_matrix(12, 3);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
         let x = Tensor::from_fn(&[12], |i| (i as f32 * 0.21).fract());
         let q = QuantizedTensor::quantize(&x, 8);
         let (got, _) = layer.matvec(q.codes(), q.spec().scale());
@@ -275,7 +298,7 @@ mod tests {
     #[test]
     fn encoding_stores_only_nonnegative_codes() {
         let w = signed_matrix(8, 2);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit()).expect("map");
         // All conductances are valid by construction; decode a negative
         // weight and verify the stored code was biased.
         let back = layer.dequantized_matrix();
@@ -285,7 +308,7 @@ mod tests {
     #[test]
     fn dequantized_round_trip_within_step() {
         let w = signed_matrix(16, 4);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
         let err = w.max_abs_diff(&layer.dequantized_matrix());
         assert!(err <= layer.step() / 2.0 + 1e-6, "error {err}");
     }
@@ -293,7 +316,7 @@ mod tests {
     #[test]
     fn no_zero_skipping_means_full_cycles() {
         let w = signed_matrix(8, 2);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit()).expect("map");
         // Tiny inputs whose effective bits are 1 — ISAAC still pays 8
         // cycles.
         let (_, stats) = layer.matvec(&[1; 8], 1.0);
@@ -303,7 +326,7 @@ mod tests {
     #[test]
     fn offset_work_scales_with_input_ones() {
         let w = signed_matrix(8, 2);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit()).expect("map");
         let (_, sparse) = layer.matvec(&[1; 8], 1.0); // 8 ones total
         let (_, dense) = layer.matvec(&[255; 8], 1.0); // 64 ones total
         assert_eq!(sparse.ones_counted, 8);
@@ -315,7 +338,7 @@ mod tests {
     fn multi_block_layers_accumulate_correctly() {
         // More rows than the crossbar dimension → several blocks.
         let w = signed_matrix(40, 2);
-        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
         assert!(layer.crossbar_count() >= 3);
         let x = Tensor::from_fn(&[40], |i| (i as f32 * 0.037).fract());
         let q = QuantizedTensor::quantize(&x, 8);
@@ -330,8 +353,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "all-zero")]
     fn all_zero_matrix_rejected() {
-        IsaacLayer::map(&Tensor::zeros(&[4, 4]), 8, 8);
+        let err = IsaacLayer::map(&Tensor::zeros(&[4, 4]), 8, 8).unwrap_err();
+        assert!(matches!(err, ExecError::AllZero));
+    }
+
+    #[test]
+    fn single_weight_bit_rejected() {
+        let w = signed_matrix(4, 4);
+        let err = IsaacLayer::map(&w, 1, 8).unwrap_err();
+        assert!(matches!(err, ExecError::UnsupportedConfig { .. }));
+    }
+
+    #[test]
+    fn non_matrix_rejected() {
+        let err = IsaacLayer::map(&Tensor::ones(&[2, 2, 2]), 8, 8).unwrap_err();
+        assert!(matches!(err, ExecError::NotMatrix { rank: 3 }));
     }
 }

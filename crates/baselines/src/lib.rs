@@ -23,7 +23,7 @@
 //!
 //! // Signed weights — no polarization required.
 //! let w = Tensor::from_vec(vec![0.5, -0.25, -1.0, 0.75], &[2, 2]);
-//! let layer = IsaacLayer::map(&w, 8, 8);
+//! let layer = IsaacLayer::map(&w, 8, 8).expect("signed weights map directly");
 //! let (y, _) = layer.matvec(&[3, 1], 1.0);
 //! let reference = layer.dequantized_matrix().transpose().matvec(&[3.0, 1.0]);
 //! assert!((y[0] - reference[0]).abs() < 1e-4);
@@ -37,7 +37,8 @@ mod isaac;
 mod puma;
 mod split;
 
-pub use accelerator::{IsaacAccelerator, IsaacConfig};
+pub use accelerator::{IsaacAccelerator, IsaacActivity, IsaacConfig};
+pub use forms_exec::ExecError;
 pub use isaac::{IsaacLayer, IsaacStats};
 pub use puma::PumaModel;
 pub use split::SplitLayer;

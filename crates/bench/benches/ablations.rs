@@ -16,7 +16,7 @@ use forms_tensor::Tensor;
 fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
     Tensor::from_fn(&[rows, cols], |i| {
         let (r, c) = (i / cols, i % cols);
-        let sign = if ((r / fragment) + c) % 2 == 0 {
+        let sign = if ((r / fragment) + c).is_multiple_of(2) {
             1.0
         } else {
             -1.0

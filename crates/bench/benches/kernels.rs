@@ -14,7 +14,7 @@ use forms_tensor::Tensor;
 fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
     Tensor::from_fn(&[rows, cols], |i| {
         let (r, c) = (i / cols, i % cols);
-        let sign = if ((r / fragment) + c) % 2 == 0 {
+        let sign = if ((r / fragment) + c).is_multiple_of(2) {
             1.0
         } else {
             -1.0
@@ -46,7 +46,7 @@ fn main() {
     let codes = input_codes(128);
     b.bench("forms_matvec_128x16_frag8", || mapped.matvec(&codes, 1.0));
 
-    let isaac = IsaacLayer::map(&w, 8, 16);
+    let isaac = IsaacLayer::map(&w, 8, 16).unwrap();
     b.bench("isaac_matvec_128x16", || isaac.matvec(&codes, 1.0));
 
     let w_map = polarized_matrix(128, 64, 8);

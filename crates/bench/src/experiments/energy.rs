@@ -7,8 +7,8 @@
 //! and compares the per-inference energy of FORMS and ISAAC executions.
 
 use forms_arch::{Accelerator, AcceleratorConfig, MappingConfig};
-use forms_baselines::{IsaacAccelerator, IsaacConfig};
-use forms_hwmodel::{Activity, EnergyModel, McuConfig};
+use forms_baselines::{IsaacAccelerator, IsaacActivity, IsaacConfig};
+use forms_hwmodel::{DynamicActivity, McuConfig};
 use forms_reram::CellSpec;
 
 use crate::report::{f2, pct, Experiment};
@@ -78,17 +78,15 @@ pub fn run() -> Experiment {
             weight_bits: 8,
             input_bits: 16,
         };
-        let mut isaac = IsaacAccelerator::map_network(&compressed.net, isaac_cfg);
+        let mut isaac =
+            IsaacAccelerator::map_network(&compressed.net, isaac_cfg).expect("maps");
         isaac.forward(&x);
         let stats = isaac.stats();
-        let activity = Activity {
-            shift_cycles: stats.cycles,
-            adc_conversions: stats.adc_conversions,
-            rows_per_cycle: 32,
-            cells_per_conversion: 4,
-            shift_add_ops: stats.adc_conversions + stats.offset_subtractions,
-        };
-        let energy = EnergyModel::from_mcu(&McuConfig::isaac()).energy_pj(&activity) * 1e-6;
+        let energy = IsaacActivity {
+            stats,
+            config: isaac_cfg,
+        }
+        .energy_uj(&McuConfig::isaac());
         rows.push((
             "ISAAC (offset-encoded)".to_string(),
             stats.cycles,

@@ -121,7 +121,7 @@ mod tests {
         let mut saw_padding = false;
         for _ in 0..32 {
             let out = policy.apply_image(&img, &mut rng);
-            if out.data().iter().any(|&v| v == 0.0) {
+            if out.data().contains(&0.0) {
                 saw_padding = true;
             }
             // Content is never invented.

@@ -1,0 +1,68 @@
+//! The crossbar engine abstraction: what a per-layer analog MVM backend
+//! must provide for the generic [`Executor`](crate::Executor) to drive it.
+
+use std::fmt;
+
+use forms_tensor::Tensor;
+
+use crate::error::ExecError;
+
+/// Accumulation of per-MVM statistics records.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// One weight layer mapped onto physical crossbars by some encoding scheme
+/// (FORMS polarized magnitudes, ISAAC offset encoding, …).
+///
+/// The engine owns everything encoding-specific — how a matrix becomes
+/// conductances, how an input bit stream becomes column currents and
+/// digital codes, and what per-MVM costs to count. Everything
+/// *network-level* (layer walk, im2col, activation quantization, batching,
+/// stats registry) lives in the shared [`Executor`](crate::Executor).
+pub trait CrossbarEngine: Clone + Send + fmt::Debug + Sized {
+    /// Mapping-time configuration (crossbar dimension, cell spec, bit
+    /// widths, …).
+    type Config: Clone + Send + Sync + fmt::Debug;
+    /// Per-MVM cost record.
+    type Stats: Default + Copy + Merge + Send + fmt::Debug;
+
+    /// Maps a `[rows, cols]` weight matrix onto crossbars.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] when the matrix cannot be represented
+    /// under this engine's encoding (wrong rank, all zero, polarization
+    /// violated, unsupported configuration).
+    fn map_matrix(matrix: &Tensor, config: &Self::Config) -> Result<Self, ExecError>;
+
+    /// Executes one matrix-vector product on quantized input codes
+    /// (length = original rows), returning real-valued outputs (length =
+    /// original columns) and the cost record of this MVM.
+    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, Self::Stats);
+
+    /// Physical crossbars this layer occupies.
+    fn crossbar_count(&self) -> usize;
+
+    /// Mean input cycles per fragment/row-block activation recorded in
+    /// `stats`, or `None` when the record holds no activations.
+    fn mean_input_cycles(stats: &Self::Stats) -> Option<f64>;
+
+    /// Input cycles per activation when nothing was measured — the input
+    /// bit width (a design with zero-skipping never exceeds it).
+    fn max_input_cycles(config: &Self::Config) -> f64;
+}
+
+/// Per-layer inputs to the frame-rate model (`forms_arch::FpsModel`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerPerf {
+    /// Matrix-vector activations per image (conv: `out_h × out_w`;
+    /// linear: 1).
+    pub positions: usize,
+    /// Physical crossbars the layer's weights occupy.
+    pub crossbars: usize,
+    /// Average input cycles per fragment activation (16 without
+    /// zero-skipping; the measured mean EIC with it).
+    pub input_cycles: f64,
+}

@@ -1,0 +1,86 @@
+//! The workspace-level mapping/execution error type.
+
+use std::fmt;
+
+/// Why a weight matrix could not be mapped onto a crossbar engine.
+///
+/// Absorbs the old `forms_arch::MapError` and replaces the panic-based
+/// ISAAC mapping API, so every engine's mapping path reports failures the
+/// same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The matrix violates fragment polarization; mapping magnitude-only
+    /// weights would silently change signs. Carries the violation count.
+    NotPolarized {
+        /// Number of weights whose sign disagrees with their fragment.
+        violations: usize,
+    },
+    /// The matrix has no non-zero weights at all.
+    AllZero,
+    /// The weight tensor is not a rank-2 `[rows, cols]` matrix.
+    NotMatrix {
+        /// The offending tensor's rank.
+        rank: usize,
+    },
+    /// The engine configuration cannot express this mapping.
+    UnsupportedConfig {
+        /// Human-readable description of the constraint that failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NotPolarized { violations } => write!(
+                f,
+                "matrix is not fragment-polarized ({violations} sign violations); \
+                 run ADMM polarization first"
+            ),
+            ExecError::AllZero => write!(f, "matrix has no non-zero weights"),
+            ExecError::NotMatrix { rank } => {
+                write!(f, "expected a rank-2 [rows, cols] matrix, got rank {rank}")
+            }
+            ExecError::UnsupportedConfig { reason } => {
+                write!(f, "unsupported engine configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_cause() {
+        let cases = [
+            (
+                ExecError::NotPolarized { violations: 3 },
+                "3 sign violations",
+            ),
+            (ExecError::AllZero, "no non-zero"),
+            (ExecError::NotMatrix { rank: 3 }, "rank 3"),
+            (
+                ExecError::UnsupportedConfig {
+                    reason: "need at least 2 weight bits",
+                },
+                "2 weight bits",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_trait_is_object_safe() {
+        let err: Box<dyn std::error::Error> = Box::new(ExecError::AllZero);
+        assert!(err.to_string().contains("non-zero"));
+    }
+}

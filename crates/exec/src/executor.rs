@@ -1,0 +1,572 @@
+//! The generic whole-network inference engine.
+//!
+//! One `Executor` owns everything that is identical between the FORMS
+//! accelerator and the crossbar baselines: the recursive network walk over
+//! conv/linear/residual/digital layers, im2col and conv geometry,
+//! activation quantization, optional per-layer row permutations, the
+//! per-sample MVM loop, the per-layer statistics registry and the
+//! scoped-thread parallel batch path. The encoding-specific work — mapping
+//! a matrix to conductances and executing one MVM — is delegated to a
+//! [`CrossbarEngine`].
+
+use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
+
+use crate::engine::{CrossbarEngine, LayerPerf, Merge};
+use crate::error::ExecError;
+
+/// A DNN mapped onto crossbar engines and executed through the
+/// mixed-signal path.
+///
+/// Holds a copy of the network (for the digital layers and layer shapes)
+/// plus one engine per weight layer, and runs inference while accumulating
+/// whole-network and per-layer cost statistics.
+#[derive(Clone, Debug)]
+pub struct Executor<E: CrossbarEngine> {
+    net: Network,
+    engines: Vec<E>,
+    perms: Vec<Option<Vec<usize>>>,
+    config: E::Config,
+    activation_bits: u32,
+    stats: E::Stats,
+    layer_stats: Vec<E::Stats>,
+    /// Matrix-vector activations per weight layer since the last reset.
+    layer_mvms: Vec<u64>,
+}
+
+impl<E: CrossbarEngine> Executor<E> {
+    /// Maps a network with identity row order.
+    ///
+    /// `activation_bits` is the quantization width applied to every
+    /// activation tensor entering the analog path (with a shared per-call
+    /// scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing layer's [`ExecError`].
+    pub fn map_network(
+        net: &Network,
+        config: &E::Config,
+        activation_bits: u32,
+    ) -> Result<Self, ExecError> {
+        let count = net.clone().weight_layer_count();
+        Self::with_permutations(net, config, activation_bits, vec![None; count])
+    }
+
+    /// Maps a network whose weight layers were trained under per-layer row
+    /// permutations. `perms[i]` must be the policy permutation of weight
+    /// layer `i` in visit order (`None` = identity): the matrix rows are
+    /// reordered before mapping and the matching input codes are reordered
+    /// on every MVM, so results are permutation-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if a layer cannot be mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms.len()` differs from the weight-layer count.
+    pub fn with_permutations(
+        net: &Network,
+        config: &E::Config,
+        activation_bits: u32,
+        perms: Vec<Option<Vec<usize>>>,
+    ) -> Result<Self, ExecError> {
+        let mut net = net.clone();
+        let mut matrices = Vec::new();
+        net.for_each_weight_layer(&mut |wl| {
+            matrices.push(match wl {
+                WeightLayerMut::Conv(c) => c.weight_matrix(),
+                WeightLayerMut::Linear(l) => l.weight_matrix(),
+            });
+        });
+        assert_eq!(
+            matrices.len(),
+            perms.len(),
+            "need one permutation slot per weight layer"
+        );
+        let mut engines = Vec::with_capacity(matrices.len());
+        for (m, perm) in matrices.iter().zip(&perms) {
+            let policy_m = match perm {
+                Some(p) => permute_rows(m, p),
+                None => m.clone(),
+            };
+            engines.push(E::map_matrix(&policy_m, config)?);
+        }
+        let count = engines.len();
+        Ok(Self {
+            net,
+            engines,
+            perms,
+            config: config.clone(),
+            activation_bits,
+            stats: E::Stats::default(),
+            layer_stats: vec![E::Stats::default(); count],
+            layer_mvms: vec![0; count],
+        })
+    }
+
+    /// The engine configuration every layer was mapped with.
+    pub fn engine_config(&self) -> &E::Config {
+        &self.config
+    }
+
+    /// Activation quantization bits.
+    pub fn activation_bits(&self) -> u32 {
+        self.activation_bits
+    }
+
+    /// The mapped weight-layer engines, in visit order.
+    pub fn engines(&self) -> &[E] {
+        &self.engines
+    }
+
+    /// Mutable access to the engines (variation/fault injection).
+    pub fn engines_mut(&mut self) -> &mut [E] {
+        &mut self.engines
+    }
+
+    /// Total physical crossbars used by the whole network.
+    pub fn total_crossbars(&self) -> usize {
+        self.engines.iter().map(E::crossbar_count).sum()
+    }
+
+    /// Accumulated statistics since the last reset.
+    pub fn stats(&self) -> E::Stats {
+        self.stats
+    }
+
+    /// Accumulated statistics per weight layer (visit order) since the
+    /// last reset.
+    pub fn layer_stats(&self) -> &[E::Stats] {
+        &self.layer_stats
+    }
+
+    /// Matrix-vector activations per weight layer since the last reset.
+    pub fn layer_mvms(&self) -> &[u64] {
+        &self.layer_mvms
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = E::Stats::default();
+        self.layer_stats = vec![E::Stats::default(); self.engines.len()];
+        self.layer_mvms = vec![0; self.engines.len()];
+    }
+
+    /// Builds the per-layer inputs of the frame-rate model from the
+    /// statistics of the inferences run so far: each layer's measured mean
+    /// input cycles, its crossbar footprint and its matrix-vector
+    /// activations per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inference has been run since the last reset or
+    /// `images` is zero.
+    pub fn layer_perfs(&self, images: usize) -> Vec<LayerPerf> {
+        assert!(images > 0, "images must be positive");
+        assert!(
+            self.layer_mvms.iter().any(|&m| m > 0),
+            "run at least one inference before extracting layer perfs"
+        );
+        self.engines
+            .iter()
+            .zip(&self.layer_stats)
+            .zip(&self.layer_mvms)
+            .map(|((engine, stats), &mvms)| LayerPerf {
+                positions: (mvms as usize / images).max(1),
+                crossbars: engine.crossbar_count(),
+                input_cycles: E::mean_input_cycles(stats)
+                    .unwrap_or_else(|| E::max_input_cycles(&self.config))
+                    .max(1.0),
+            })
+            .collect()
+    }
+
+    /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut layers = std::mem::take(&mut self.net).into_layers();
+        let mut widx = 0;
+        let mut y = x.clone();
+        for layer in &mut layers {
+            y = self.forward_layer(layer, &y, &mut widx);
+        }
+        self.net = Network::new(layers);
+        y
+    }
+
+    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
+        match layer {
+            Layer::Conv2d(conv) => {
+                let idx = *widx;
+                *widx += 1;
+                let geom = Conv2dGeometry::new(
+                    conv.in_channels(),
+                    x.dims()[2],
+                    x.dims()[3],
+                    conv.kernel(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.padding(),
+                );
+                let bias = conv.bias().value.clone();
+                self.conv_forward(idx, x, &geom, &bias)
+            }
+            Layer::Linear(lin) => {
+                let idx = *widx;
+                *widx += 1;
+                let bias = lin.bias().value.clone();
+                self.linear_forward(idx, x, &bias)
+            }
+            Layer::Residual(block) => {
+                let mut y = x.clone();
+                for l in block.body_mut() {
+                    y = self.forward_layer(l, &y, widx);
+                }
+                let shortcut = match block.projection_mut() {
+                    Some(p) => self.forward_layer(p, x, widx),
+                    None => x.clone(),
+                };
+                // Digital add + ReLU.
+                y.zip(&shortcut, |a, b| (a + b).max(0.0))
+            }
+            other => other.forward(x, false),
+        }
+    }
+
+    /// Quantizes an activation tensor with a shared per-call scale.
+    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
+        let spec = FixedSpec::for_max_value(self.activation_bits, t.max());
+        QuantizedTensor::quantize_with(t, spec)
+    }
+
+    fn record(&mut self, idx: usize, stats: E::Stats) {
+        self.stats.merge(stats);
+        self.layer_stats[idx].merge(stats);
+        self.layer_mvms[idx] += 1;
+    }
+
+    fn conv_forward(
+        &mut self,
+        idx: usize,
+        x: &Tensor,
+        geom: &Conv2dGeometry,
+        bias: &Tensor,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let f = bias.len();
+        let positions = geom.out_positions();
+        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+        for s in 0..n {
+            let sample = Tensor::from_vec(
+                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
+                &[c, h, w],
+            );
+            let cols = im2col(&sample, geom);
+            let q = self.quantize_activations(&cols);
+            let patch = geom.patch_len();
+            for p in 0..positions {
+                let mut codes: Vec<u32> =
+                    (0..patch).map(|r| q.codes()[r * positions + p]).collect();
+                if let Some(perm) = &self.perms[idx] {
+                    codes = perm.iter().map(|&src| codes[src]).collect();
+                }
+                let (vals, stats) = self.engines[idx].matvec(&codes, q.spec().scale());
+                self.record(idx, stats);
+                for (fi, v) in vals.iter().enumerate() {
+                    out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        let (n, in_features) = (x.dims()[0], x.dims()[1]);
+        let o = bias.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        for s in 0..n {
+            let row = Tensor::from_vec(
+                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
+                &[in_features],
+            );
+            let q = self.quantize_activations(&row);
+            let mut codes = q.codes().to_vec();
+            if let Some(perm) = &self.perms[idx] {
+                codes = perm.iter().map(|&src| codes[src]).collect();
+            }
+            let (vals, stats) = self.engines[idx].matvec(&codes, q.spec().scale());
+            self.record(idx, stats);
+            for (j, v) in vals.iter().enumerate() {
+                out.data_mut()[s * o + j] = v + bias.data()[j];
+            }
+        }
+        out
+    }
+
+    /// Runs inference on a `[N, ...]` batch with samples distributed over
+    /// worker threads (one executor clone per worker — the crossbars are
+    /// read-only during inference, so results are identical to
+    /// [`forward`](Self::forward)). Statistics from all workers are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn forward_parallel(&mut self, x: &Tensor, workers: usize) -> Tensor {
+        assert!(workers > 0, "need at least one worker");
+        let n = x.dims()[0];
+        if n == 0 || workers == 1 {
+            return self.forward(x);
+        }
+        let workers = workers.min(n);
+        let sample_len = x.len() / n;
+        let sample_dims = &x.dims()[1..];
+        let chunk = n.div_ceil(workers);
+        type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>);
+        let mut results: Vec<Option<WorkerResult<E::Stats>>> = vec![None; workers];
+        std::thread::scope(|scope| {
+            for (w, slot) in results.iter_mut().enumerate() {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut dims = vec![hi - lo];
+                dims.extend_from_slice(sample_dims);
+                let part =
+                    Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
+                let mut worker_exec = self.clone();
+                worker_exec.reset_stats();
+                scope.spawn(move || {
+                    let y = worker_exec.forward(&part);
+                    let layer_stats = worker_exec.layer_stats.clone();
+                    let layer_mvms = worker_exec.layer_mvms.clone();
+                    *slot = Some((y, worker_exec.stats, layer_stats, layer_mvms));
+                });
+            }
+        });
+        // Stitch outputs back in order.
+        let mut out_data = Vec::new();
+        let mut out_dims: Option<Vec<usize>> = None;
+        for slot in results.into_iter().flatten() {
+            let (y, stats, layer_stats, layer_mvms) = slot;
+            self.stats.merge(stats);
+            for (acc, st) in self.layer_stats.iter_mut().zip(&layer_stats) {
+                acc.merge(*st);
+            }
+            for (acc, &m) in self.layer_mvms.iter_mut().zip(&layer_mvms) {
+                *acc += m;
+            }
+            if out_dims.is_none() {
+                out_dims = Some(y.dims().to_vec());
+            }
+            out_data.extend_from_slice(y.data());
+        }
+        let mut dims = out_dims.expect("at least one worker ran");
+        dims[0] = n;
+        Tensor::from_vec(out_data, &dims)
+    }
+
+    /// Classification accuracy of the mapped model on a dataset.
+    pub fn evaluate(&mut self, data: &forms_dnn::data::Dataset, batch_size: usize) -> f32 {
+        self.evaluate_parallel(data, batch_size, 1)
+    }
+
+    /// [`evaluate`](Self::evaluate) with each batch distributed over
+    /// `workers` threads via [`forward_parallel`](Self::forward_parallel);
+    /// the accuracy is bitwise identical to the serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `workers` is zero.
+    pub fn evaluate_parallel(
+        &mut self,
+        data: &forms_dnn::data::Dataset,
+        batch_size: usize,
+        workers: usize,
+    ) -> f32 {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(workers > 0, "need at least one worker");
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0.0;
+        for (x, labels) in data.batches(batch_size) {
+            let logits = if workers == 1 {
+                self.forward(&x)
+            } else {
+                self.forward_parallel(&x, workers)
+            };
+            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+        }
+        correct / data.len() as f32
+    }
+}
+
+/// Permutes matrix rows: `out[i] = in[perm[i]]`.
+fn permute_rows(m: &Tensor, perm: &[usize]) -> Tensor {
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    assert_eq!(perm.len(), rows, "permutation length mismatch");
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for (i, &src) in perm.iter().enumerate() {
+        out.data_mut()[i * cols..(i + 1) * cols]
+            .copy_from_slice(&m.data()[src * cols..(src + 1) * cols]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_rng::StdRng;
+
+    /// A digital mock engine: exact f32 matvec, one cycle per MVM. Tests
+    /// the executor's network walk, quantization and stats plumbing in
+    /// isolation from any analog model.
+    #[derive(Clone, Debug)]
+    struct DigitalEngine {
+        weights: Tensor,
+    }
+
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct DigitalStats {
+        mvms: u64,
+        cycles: u64,
+    }
+
+    impl Merge for DigitalStats {
+        fn merge(&mut self, other: Self) {
+            self.mvms += other.mvms;
+            self.cycles += other.cycles;
+        }
+    }
+
+    impl CrossbarEngine for DigitalEngine {
+        type Config = u32; // input bits
+        type Stats = DigitalStats;
+
+        fn map_matrix(matrix: &Tensor, _config: &u32) -> Result<Self, ExecError> {
+            if matrix.shape().rank() != 2 {
+                return Err(ExecError::NotMatrix {
+                    rank: matrix.shape().rank(),
+                });
+            }
+            if matrix.data().iter().all(|&v| v == 0.0) {
+                return Err(ExecError::AllZero);
+            }
+            Ok(Self {
+                weights: matrix.clone(),
+            })
+        }
+
+        fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, DigitalStats) {
+            let x: Vec<f32> = input_codes
+                .iter()
+                .map(|&c| c as f32 * input_scale)
+                .collect();
+            let y = self.weights.transpose().matvec(&x);
+            (y, DigitalStats { mvms: 1, cycles: 1 })
+        }
+
+        fn crossbar_count(&self) -> usize {
+            1
+        }
+
+        fn mean_input_cycles(stats: &DigitalStats) -> Option<f64> {
+            (stats.mvms > 0).then(|| stats.cycles as f64 / stats.mvms as f64)
+        }
+
+        fn max_input_cycles(config: &u32) -> f64 {
+            f64::from(*config)
+        }
+    }
+
+    fn small_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::conv2d(&mut rng, 1, 4, 3, 1, 1),
+            Layer::relu(),
+            Layer::max_pool(2),
+            Layer::flatten(),
+            Layer::linear(&mut rng, 4 * 4 * 4, 3),
+        ])
+    }
+
+    #[test]
+    fn digital_engine_tracks_network_reference() {
+        let net = small_net(1);
+        let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 7) as f32 / 8.0);
+        let digital = net.clone().forward(&x);
+        let out = exec.forward(&x);
+        assert_eq!(out.dims(), digital.dims());
+        let err = out.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
+        assert!(err < 0.01, "relative error {err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_merges_stats() {
+        let net = small_net(2);
+        let mut serial = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let mut parallel = serial.clone();
+        let x = Tensor::from_fn(&[5, 1, 8, 8], |i| (i % 9) as f32 / 9.0);
+        let ys = serial.forward(&x);
+        let yp = parallel.forward_parallel(&x, 3);
+        assert_eq!(ys, yp);
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(serial.layer_stats(), parallel.layer_stats());
+        assert_eq!(serial.layer_mvms(), parallel.layer_mvms());
+    }
+
+    #[test]
+    fn layer_registry_counts_mvms_per_layer() {
+        let net = small_net(3);
+        let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        exec.forward(&x);
+        // Conv: 64 positions per image; linear: 1 — both over 2 images.
+        assert_eq!(exec.layer_mvms(), &[128, 2]);
+        let perfs = exec.layer_perfs(2);
+        assert_eq!(perfs.len(), 2);
+        assert_eq!(perfs[0].positions, 64);
+        assert_eq!(perfs[1].positions, 1);
+        exec.reset_stats();
+        assert_eq!(exec.stats(), DigitalStats::default());
+        assert_eq!(exec.layer_mvms(), &[0, 0]);
+    }
+
+    #[test]
+    fn mapping_errors_propagate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::new(vec![Layer::flatten(), Layer::linear(&mut rng, 4, 2)]);
+        net.for_each_weight_layer(&mut |wl| {
+            if let WeightLayerMut::Linear(l) = wl {
+                l.set_weight_matrix(&Tensor::zeros(&[4, 2]));
+            }
+        });
+        let err = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap_err();
+        assert_eq!(err, ExecError::AllZero);
+    }
+
+    #[test]
+    fn evaluate_parallel_matches_serial_evaluate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = forms_dnn::data::SyntheticSpec {
+            classes: 3,
+            channels: 1,
+            height: 8,
+            width: 8,
+            train_per_class: 2,
+            test_per_class: 4,
+            noise: 0.1,
+        };
+        let (_, test) = spec.generate(&mut rng);
+        let net = small_net(6);
+        let mut a = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let mut b = a.clone();
+        let serial = a.evaluate(&test, 4);
+        let parallel = b.evaluate_parallel(&test, 4, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(a.stats(), b.stats());
+    }
+}

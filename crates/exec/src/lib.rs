@@ -1,0 +1,72 @@
+//! # forms-exec
+//!
+//! The shared crossbar execution core of the FORMS reproduction.
+//!
+//! The paper's headline results are *comparative* — FORMS vs. ISAAC on the
+//! same networks — so both executors must be apples-to-apples. This crate
+//! owns the single generic inference engine they share:
+//!
+//! - [`CrossbarEngine`] — what a per-layer analog backend must provide:
+//!   mapping a weight matrix onto crossbars, executing one MVM on
+//!   quantized input codes, and reporting its cost record.
+//! - [`Executor`] — the whole-network engine: recursive layer walk,
+//!   im2col/conv geometry, activation quantization, optional row
+//!   permutations, per-layer statistics registry, serial and
+//!   scoped-thread parallel batch execution, dataset evaluation.
+//! - [`ExecError`] — the workspace-level mapping/execution error type.
+//!
+//! `forms_arch::Accelerator` (polarized FORMS engine) and
+//! `forms_baselines::IsaacAccelerator` (offset-encoded ISAAC engine) are
+//! thin wrappers over `Executor<MappedLayer>` / `Executor<IsaacLayer>`.
+//!
+//! # Example
+//!
+//! A backend only implements the per-layer encoding; everything
+//! network-level comes from the executor:
+//!
+//! ```
+//! use forms_exec::{CrossbarEngine, ExecError, Merge};
+//! use forms_tensor::Tensor;
+//!
+//! #[derive(Clone, Copy, Debug, Default)]
+//! struct Count(u64);
+//! impl Merge for Count {
+//!     fn merge(&mut self, other: Self) {
+//!         self.0 += other.0;
+//!     }
+//! }
+//!
+//! #[derive(Clone, Debug)]
+//! struct Digital(Tensor);
+//! impl CrossbarEngine for Digital {
+//!     type Config = u32;
+//!     type Stats = Count;
+//!     fn map_matrix(m: &Tensor, _: &u32) -> Result<Self, ExecError> {
+//!         Ok(Self(m.clone()))
+//!     }
+//!     fn matvec(&self, codes: &[u32], scale: f32) -> (Vec<f32>, Count) {
+//!         let x: Vec<f32> = codes.iter().map(|&c| c as f32 * scale).collect();
+//!         (self.0.transpose().matvec(&x), Count(1))
+//!     }
+//!     fn crossbar_count(&self) -> usize {
+//!         1
+//!     }
+//!     fn mean_input_cycles(_: &Count) -> Option<f64> {
+//!         None
+//!     }
+//!     fn max_input_cycles(bits: &u32) -> f64 {
+//!         f64::from(*bits)
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod error;
+mod executor;
+
+pub use engine::{CrossbarEngine, LayerPerf, Merge};
+pub use error::ExecError;
+pub use executor::Executor;

@@ -94,6 +94,25 @@ impl EnergyModel {
     }
 }
 
+/// Anything whose recorded work converts into an [`Activity`] record — the
+/// single seam through which every crossbar engine's statistics (FORMS
+/// `MvmStats`, ISAAC `IsaacStats`, …) reach the energy model, so the
+/// comparative experiments charge both designs through the same formula.
+pub trait DynamicActivity {
+    /// The dynamic activity this record represents.
+    fn activity(&self) -> Activity;
+
+    /// Dynamic energy on an MCU configuration, in picojoules.
+    fn energy_pj(&self, mcu: &McuConfig) -> f64 {
+        EnergyModel::from_mcu(mcu).energy_pj(&self.activity())
+    }
+
+    /// Dynamic energy on an MCU configuration, in microjoules.
+    fn energy_uj(&self, mcu: &McuConfig) -> f64 {
+        self.energy_pj(mcu) * 1e-6
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +159,21 @@ mod tests {
         let forms = EnergyModel::from_mcu(&McuConfig::forms(8));
         let isaac = EnergyModel::from_mcu(&McuConfig::isaac());
         assert!(forms.adc_pj_per_conversion() < isaac.adc_pj_per_conversion());
+    }
+
+    #[test]
+    fn dynamic_activity_trait_matches_direct_model() {
+        struct Fixed(Activity);
+        impl DynamicActivity for Fixed {
+            fn activity(&self) -> Activity {
+                self.0
+            }
+        }
+        let mcu = McuConfig::forms(8);
+        let record = Fixed(activity(100, 400));
+        let direct = EnergyModel::from_mcu(&mcu).energy_pj(&activity(100, 400));
+        assert_eq!(record.energy_pj(&mcu), direct);
+        assert_eq!(record.energy_uj(&mcu), direct * 1e-6);
     }
 
     #[test]

@@ -311,13 +311,9 @@ mod tests {
         let inputs = [1.0, 0.0, 1.0, 1.0];
         let currents = xb.column_currents(&inputs, 0..4);
         let bits = [1u8, 0, 1, 1];
-        for c in 0..2 {
+        for (c, got) in currents.iter().enumerate() {
             let want = xb.reference_dot(c, &bits, 0..4) as f64;
-            assert!(
-                (currents[c] - want).abs() < 1e-9,
-                "col {c}: {} vs {want}",
-                currents[c]
-            );
+            assert!((got - want).abs() < 1e-9, "col {c}: {got} vs {want}");
         }
     }
 

@@ -196,12 +196,11 @@ mod tests {
         let inputs = [1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0];
         let bits = [1u8, 0, 1, 1, 0, 1, 0, 1];
         let currents = xbar.column_currents(&inputs, 0..8);
-        for c in 0..4 {
+        for (c, got) in currents.iter().enumerate() {
             let want = xbar.reference_dot(c, &bits, 0..8) as f64;
             assert!(
-                (currents[c] - want).abs() < 0.5,
-                "col {c}: {} vs {want} (write-verify tolerance)",
-                currents[c]
+                (got - want).abs() < 0.5,
+                "col {c}: {got} vs {want} (write-verify tolerance)"
             );
         }
     }

@@ -45,6 +45,10 @@ fn main() {
     println!();
     println!("fragment | accuracy | cycles saved | crossbars | est. fps (scaled chip)");
 
+    // Batches are spread over worker threads through the shared execution
+    // core; results are bitwise identical to the serial path.
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+
     for fragment in [4usize, 8, 16] {
         // Re-polarize at this fragment size.
         let mut net = base.clone();
@@ -78,7 +82,7 @@ fn main() {
             activation_bits: 12,
         };
         let mut accel = Accelerator::map_network(&net, accel_config).expect("maps");
-        let acc = accel.evaluate(&test, 8);
+        let acc = accel.evaluate_parallel(&test, 8, workers);
         let stats = accel.stats();
 
         // Frame-rate estimate on a paper-scale MCU, driven by the measured
@@ -134,9 +138,9 @@ fn main() {
         activation_bits: 12,
     };
     let mut accel = Accelerator::map_network(&net, accel_config).expect("maps");
-    let clean = accel.evaluate(&test, 8);
+    let clean = accel.evaluate_parallel(&test, 8, workers);
     accel.apply_variation(&LogNormalVariation::paper(), &mut rng);
-    let noisy = accel.evaluate(&test, 8);
+    let noisy = accel.evaluate_parallel(&test, 8, workers);
     println!(
         "device variation σ=0.1: accuracy {:.1}% → {:.1}%",
         100.0 * clean,

@@ -11,6 +11,7 @@
 //! - [`tensor`] — dense tensors, fixed-point formats, conv lowering
 //! - [`dnn`] — layers, backprop, optimizers, model zoo, synthetic datasets
 //! - [`admm`] — ADMM-regularized pruning / polarization / quantization
+//! - [`exec`] — the shared crossbar execution core (engine trait + executor)
 //! - [`reram`] — behavioural ReRAM crossbar and converter simulation
 //! - [`arch`] — the FORMS accelerator (mapping, zero-skipping, pipeline)
 //! - [`baselines`] — ISAAC / PUMA / DaDianNao comparators
@@ -33,6 +34,7 @@ pub use forms_admm as admm;
 pub use forms_arch as arch;
 pub use forms_baselines as baselines;
 pub use forms_dnn as dnn;
+pub use forms_exec as exec;
 pub use forms_hwmodel as hwmodel;
 pub use forms_reram as reram;
 pub use forms_rng as rng;

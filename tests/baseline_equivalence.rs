@@ -12,7 +12,7 @@ use forms::tensor::{QuantizedTensor, Tensor};
 fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
     Tensor::from_fn(&[rows, cols], |i| {
         let (r, c) = (i / cols, i % cols);
-        let sign = if ((r / fragment) + c) % 2 == 0 {
+        let sign = if ((r / fragment) + c).is_multiple_of(2) {
             1.0
         } else {
             -1.0
@@ -41,7 +41,7 @@ fn all_three_mappings_agree_on_polarized_weights() {
     let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
     let (forms_out, _) = forms.matvec(q.codes(), q.spec().scale());
 
-    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
     let (isaac_out, _) = isaac.matvec(q.codes(), q.spec().scale());
 
     let split = SplitLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
@@ -78,7 +78,7 @@ fn isaac_handles_arbitrary_signs_that_forms_rejects() {
     // Row-alternating signs violate every fragment of 4.
     let w = Tensor::from_fn(&[8, 2], |i| if (i / 2) % 2 == 0 { 0.5 } else { -0.5 });
     assert!(MappedLayer::map(&w, mapping_config(4)).is_err());
-    let isaac = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 8, CellSpec::paper_2bit()).expect("map");
     let (out, _) = isaac.matvec(&[1; 8], 1.0);
     let reference = w.transpose().matvec(&[1.0; 8]);
     for c in 0..2 {
@@ -98,7 +98,7 @@ fn cost_ordering_matches_the_paper() {
     let w = polarized_matrix(16, 4, 4);
     let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
     let split = SplitLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
-    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
 
     assert_eq!(
         split.crossbar_count(),
@@ -125,7 +125,7 @@ fn zero_skipping_advantage_is_unique_to_forms() {
     let codes: Vec<u32> = (0..16).map(|i| (i % 2) as u32).collect();
     let forms = MappedLayer::map(&w, mapping_config(4)).expect("polarized");
     let (_, fs) = forms.matvec(&codes, 1.0);
-    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit());
+    let isaac = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
     let (_, is) = isaac.matvec(&codes, 1.0);
     assert!(fs.cycles < fs.cycles_without_skip, "FORMS saved nothing");
     assert_eq!(is.cycles, 8, "ISAAC always pays the full bit width");

@@ -5,7 +5,8 @@ use forms::admm::{
     AdmmConfig, AdmmTrainer, LayerConstraints, PolarizationPolicy, PolarizeSpec, PruneSpec,
     QuantSpec,
 };
-use forms::arch::{Accelerator, AcceleratorConfig, MapError, MappingConfig};
+use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
+use forms::exec::ExecError;
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{evaluate, train_epoch, Network, Sgd};
 use forms::reram::CellSpec;
@@ -60,7 +61,7 @@ fn admm_to_accelerator_pipeline() {
     // An unpolarized net must be rejected by the mapper.
     assert!(matches!(
         Accelerator::map_network(&net, small_accel_config(4)),
-        Err(MapError::NotPolarized { .. })
+        Err(ExecError::NotPolarized { .. })
     ));
 
     // Compress with the full FORMS stack.

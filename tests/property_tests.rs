@@ -119,8 +119,8 @@ fn pruning_projection_structure() {
         let m = small_matrix(rng);
         let rows = m.dims()[0];
         let cols = m.dims()[1];
-        let keep_r = (rows + 1) / 2;
-        let keep_c = (cols + 1) / 2;
+        let keep_r = rows.div_ceil(2);
+        let keep_c = cols.div_ceil(2);
         let z = project_structured_pruning(&m, keep_r, keep_c);
         let nz_rows = (0..rows)
             .filter(|&r| (0..cols).any(|c| z.get(&[r, c]) != 0.0))
