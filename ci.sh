@@ -16,6 +16,12 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 echo "== docs (rustdoc must build warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps
 
+echo "== MVM hot-path bench (smoke) =="
+# Runs the packed-kernel throughput suite on tiny shapes and re-validates
+# the BENCH_mvm.json it writes through forms_bench::json; the binary exits
+# non-zero if the file is malformed.
+FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin mvm -- --smoke
+
 echo "== dependency freeze =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be an in-tree forms-* path crate. Anything else means

@@ -54,10 +54,7 @@ pub fn sensitivity_sweep(
         keeps.iter().all(|&k| k > 0.0 && k <= 1.0),
         "keep fractions must be in (0, 1]"
     );
-    let count = {
-        let mut n = net.clone();
-        n.weight_layer_count()
-    };
+    let count = net.weight_layer_count();
     let mut out = Vec::with_capacity(count);
     for layer in 0..count {
         let mut accuracy_at_keep = Vec::with_capacity(keeps.len());

@@ -423,7 +423,7 @@ mod tests {
         // with their corresponding inputs" invariant).
         let mut net = small_net(7);
         dense_polarize_net(&mut net, 4); // dense, polarized in natural order
-        let count = net.clone().weight_layer_count();
+        let count = net.weight_layer_count();
         let identity = Accelerator::map_network(&net, small_config(4)).unwrap();
         // An involutive permutation that preserves fragments: swap adjacent
         // pairs within each fragment of 4.

@@ -8,11 +8,11 @@
 //! indicator* and is applied during digital accumulation.
 
 use forms_exec::{CrossbarEngine, ExecError, Merge};
-use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
+use forms_reram::{pack_bit_planes, Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
 use forms_tensor::Tensor;
 use forms_rng::Rng;
 
-use crate::zero_skip::ShiftRegisterBank;
+use crate::zero_skip::{fragment_eic, ShiftRegisterBank};
 
 /// Configuration of the mapping.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -144,6 +144,31 @@ impl forms_hwmodel::DynamicActivity for FormsActivity {
     fn activity(&self) -> forms_hwmodel::Activity {
         self.stats.activity(&self.config)
     }
+}
+
+/// Reusable working memory of one [`MappedLayer`] MVM.
+///
+/// Owned by the caller (one per inference worker) and grown on first use;
+/// with a warm scratch the packed kernel performs no heap allocation. The
+/// default value is an empty scratch that fits any layer.
+#[derive(Clone, Debug, Default)]
+pub struct MvmScratch {
+    /// Gathered input codes of the current fragment.
+    codes: Vec<u32>,
+    /// Packed bit planes of the fragment's codes, LSB plane first
+    /// (`words` u64 words per plane — see [`pack_bit_planes`]).
+    planes: Vec<u64>,
+    /// Raw pre-ADC column currents, plane-major: plane `cycle` covers
+    /// `cycle * cell_cols ..` over all mapped cell columns.
+    currents: Vec<f64>,
+    /// Per-slice shift-&-add accumulators of the current weight column.
+    slice_acc: Vec<u64>,
+    /// Signed digital accumulators, one per compact weight column.
+    accs: Vec<i64>,
+    /// Dequantized cell values of the current fragment window, row-major
+    /// over all mapped cell columns — the division by the conductance step
+    /// is paid once per cell instead of once per cell per input cycle.
+    cell_vals: Vec<f64>,
 }
 
 /// A weight matrix mapped onto polarized physical crossbars.
@@ -366,7 +391,28 @@ impl MappedLayer {
     /// Panics if `input_codes.len()` differs from the original row count or
     /// any code exceeds `input_bits`.
     pub fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, MvmStats) {
-        self.matvec_impl(input_codes, input_scale, |c| c)
+        let mut scratch = MvmScratch::default();
+        let mut out = vec![0.0f32; self.orig_cols];
+        let stats = self.matvec_into(input_codes, input_scale, &mut scratch, &mut out);
+        (out, stats)
+    }
+
+    /// The allocation-free hot path: [`matvec`](Self::matvec) into a
+    /// caller-owned output buffer (length = original columns, overwritten)
+    /// with caller-owned reusable [`MvmScratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does, and if `out.len()` differs
+    /// from the original column count.
+    pub fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut MvmScratch,
+        out: &mut [f32],
+    ) -> MvmStats {
+        self.matvec_packed(input_codes, input_scale, |c| c, scratch, out)
     }
 
     /// Like [`matvec`](Self::matvec) but with additive read noise on every
@@ -383,7 +429,193 @@ impl MappedLayer {
         noise: &CurrentNoise,
         rng: &mut R,
     ) -> (Vec<f32>, MvmStats) {
+        let mut scratch = MvmScratch::default();
+        let mut out = vec![0.0f32; self.orig_cols];
+        let stats = self.matvec_packed(
+            input_codes,
+            input_scale,
+            |c| noise.perturb(c, rng),
+            &mut scratch,
+            &mut out,
+        );
+        (out, stats)
+    }
+
+    /// The legacy allocating kernel, kept as the bitwise oracle for the
+    /// packed path and as the pre-optimization baseline for the MVM
+    /// benchmark. Results are bitwise identical to
+    /// [`matvec`](Self::matvec).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does.
+    pub fn matvec_reference(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, MvmStats) {
+        self.matvec_impl(input_codes, input_scale, |c| c)
+    }
+
+    /// [`matvec_noisy`](Self::matvec_noisy) through the legacy allocating
+    /// kernel — the bitwise oracle for the noisy packed path (the noise
+    /// draw order is preserved, so the same RNG seed yields bitwise equal
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does.
+    pub fn matvec_noisy_reference<R: Rng + ?Sized>(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        noise: &CurrentNoise,
+        rng: &mut R,
+    ) -> (Vec<f32>, MvmStats) {
         self.matvec_impl(input_codes, input_scale, |c| noise.perturb(c, rng))
+    }
+
+    /// Validates the whole input vector in one pass (length + range), so
+    /// the per-fragment gather loops stay assert-free.
+    fn validate_input_codes(&self, input_codes: &[u32]) {
+        assert_eq!(
+            input_codes.len(),
+            self.orig_rows,
+            "need one input code per original row"
+        );
+        let limit = 1u64 << self.config.input_bits;
+        assert!(
+            self.row_index
+                .iter()
+                .all(|&r| u64::from(input_codes[r]) < limit),
+            "input code exceeds {} bits",
+            self.config.input_bits
+        );
+    }
+
+    /// The packed bit-plane kernel behind every public matvec entry point.
+    ///
+    /// Per fragment it gathers codes, computes the effective input cycles,
+    /// packs the driven bit planes into `u64` masks and reads *raw* column
+    /// currents plane-major into the scratch — then perturbs and
+    /// ADC-converts them in the legacy column → cycle → slice order, so
+    /// both the float summation order and the noise draw order match
+    /// [`matvec_reference`](Self::matvec_reference) bitwise. With a warm
+    /// scratch the kernel allocates nothing.
+    fn matvec_packed(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        mut perturb: impl FnMut(f64) -> f64,
+        scratch: &mut MvmScratch,
+        out: &mut [f32],
+    ) -> MvmStats {
+        self.validate_input_codes(input_codes);
+        assert_eq!(
+            out.len(),
+            self.orig_cols,
+            "need one output slot per original column"
+        );
+        let m = self.config.fragment_size;
+        let dim = self.config.crossbar_dim;
+        let cpw = self.config.cells_per_weight();
+        let cell_bits = self.config.cell.bits();
+        let cell_cols = self.col_index.len() * cpw;
+        let mut stats = MvmStats::default();
+        out.fill(0.0);
+        scratch.accs.clear();
+        scratch.accs.resize(self.col_index.len(), 0);
+
+        for frag in 0..self.fragments_per_col {
+            let lo = frag * m;
+            let hi = ((frag + 1) * m).min(self.row_index.len());
+            scratch.codes.clear();
+            scratch
+                .codes
+                .extend((lo..hi).map(|i| input_codes[self.row_index[i]]));
+            stats.fragments_total += 1;
+            stats.cycles_without_skip += u64::from(self.config.input_bits);
+
+            // Planes driven this fragment (LSB first):
+            // `ShiftRegisterBank::drain` yields exactly the fragment's EIC
+            // planes, so the packed path uses the EIC directly.
+            let n_planes = if self.config.zero_skipping {
+                fragment_eic(&scratch.codes)
+            } else {
+                self.config.input_bits
+            };
+            stats.cycles += u64::from(n_planes);
+            if n_planes == 0 {
+                stats.fragments_skipped += 1;
+                continue;
+            }
+            let words = pack_bit_planes(&scratch.codes, n_planes, &mut scratch.planes);
+            let (xr, row_lo) = (lo / dim, lo % dim);
+            let frag_rows = scratch.codes.len();
+
+            // Dequantized cell values of the fragment window, cached once
+            // so the per-plane reads below are pure adds.
+            scratch.cell_vals.clear();
+            scratch.cell_vals.resize(frag_rows * cell_cols, 0.0);
+            for r in 0..frag_rows {
+                let row = &mut scratch.cell_vals[r * cell_cols..(r + 1) * cell_cols];
+                for xc in 0..self.xb_cols {
+                    let col_lo = xc * dim;
+                    if col_lo >= cell_cols {
+                        break;
+                    }
+                    let col_hi = (col_lo + dim).min(cell_cols);
+                    self.crossbars[xr * self.xb_cols + xc]
+                        .dequant_row_into(row_lo + r, &mut row[col_lo..col_hi]);
+                }
+            }
+
+            // Raw (pre-perturbation) currents for every plane × cell
+            // column: active rows accumulate in ascending order, matching
+            // the legacy per-column summation order bitwise.
+            scratch.currents.clear();
+            scratch.currents.resize(n_planes as usize * cell_cols, 0.0);
+            let (currents, cell_vals) = (&mut scratch.currents, &scratch.cell_vals);
+            for (cycle, plane) in scratch.planes.chunks_exact(words).enumerate() {
+                let row = &mut currents[cycle * cell_cols..(cycle + 1) * cell_cols];
+                forms_reram::for_each_set_bit(plane, |i| {
+                    if i >= frag_rows {
+                        return;
+                    }
+                    let vals = &cell_vals[i * cell_cols..(i + 1) * cell_cols];
+                    for (acc, &v) in row.iter_mut().zip(vals) {
+                        *acc += v;
+                    }
+                });
+            }
+
+            // Perturbation + ADC + shift-&-add in the legacy loop order
+            // (column, then cycle, then slice).
+            for (ci, acc) in scratch.accs.iter_mut().enumerate() {
+                scratch.slice_acc.clear();
+                scratch.slice_acc.resize(cpw, 0);
+                for cycle in 0..n_planes as usize {
+                    let currents = &scratch.currents[cycle * cell_cols..];
+                    for (k, acc_k) in scratch.slice_acc.iter_mut().enumerate() {
+                        let current = perturb(currents[ci * cpw + k]);
+                        let code = self.adc.convert(current, &self.config.cell);
+                        stats.adc_conversions += 1;
+                        *acc_k += u64::from(code) << cycle;
+                    }
+                }
+                let mut frag_total = 0u64;
+                for &s in &scratch.slice_acc {
+                    frag_total = (frag_total << cell_bits) + s;
+                }
+                // The sign indicator steers the accumulator add/subtract.
+                let positive = self.signs[ci * self.fragments_per_col + frag];
+                *acc += if positive {
+                    frag_total as i64
+                } else {
+                    -(frag_total as i64)
+                };
+            }
+        }
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            out[c] = scratch.accs[ci] as f32 * self.step * input_scale;
+        }
+        stats
     }
 
     fn matvec_impl(
@@ -392,11 +624,7 @@ impl MappedLayer {
         input_scale: f32,
         mut perturb: impl FnMut(f64) -> f64,
     ) -> (Vec<f32>, MvmStats) {
-        assert_eq!(
-            input_codes.len(),
-            self.orig_rows,
-            "need one input code per original row"
-        );
+        self.validate_input_codes(input_codes);
         let m = self.config.fragment_size;
         let dim = self.config.crossbar_dim;
         let cpw = self.config.cells_per_weight();
@@ -411,17 +639,7 @@ impl MappedLayer {
         for frag in 0..self.fragments_per_col {
             let lo = frag * m;
             let hi = ((frag + 1) * m).min(self.row_index.len());
-            let codes: Vec<u32> = (lo..hi)
-                .map(|i| {
-                    let code = input_codes[self.row_index[i]];
-                    assert!(
-                        u64::from(code) < (1u64 << self.config.input_bits),
-                        "input code exceeds {} bits",
-                        self.config.input_bits
-                    );
-                    code
-                })
-                .collect();
+            let codes: Vec<u32> = (lo..hi).map(|i| input_codes[self.row_index[i]]).collect();
             stats.fragments_total += 1;
             stats.cycles_without_skip += u64::from(self.config.input_bits);
 
@@ -487,13 +705,24 @@ impl MappedLayer {
 impl CrossbarEngine for MappedLayer {
     type Config = MappingConfig;
     type Stats = MvmStats;
+    type Scratch = MvmScratch;
 
     fn map_matrix(matrix: &Tensor, config: &MappingConfig) -> Result<Self, ExecError> {
         MappedLayer::map(matrix, *config)
     }
 
-    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, MvmStats) {
-        MappedLayer::matvec(self, input_codes, input_scale)
+    fn output_len(&self) -> usize {
+        self.orig_cols
+    }
+
+    fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut MvmScratch,
+        out: &mut [f32],
+    ) -> MvmStats {
+        MappedLayer::matvec_into(self, input_codes, input_scale, scratch, out)
     }
 
     fn crossbar_count(&self) -> usize {
@@ -707,6 +936,98 @@ mod tests {
         let noise = forms_reram::CurrentNoise::new(1.0, 0.0);
         let (noisy, _) = mapped.matvec_noisy(&codes, 1.0, &noise, &mut rng);
         assert_ne!(clean, noisy, "strong noise must move some outputs");
+    }
+
+    #[test]
+    fn packed_kernel_is_bitwise_identical_to_reference() {
+        // The tentpole invariant: packed == legacy bit-for-bit, zero-skip
+        // on and off, over matrices that exercise pruning, partial tail
+        // fragments and multiple crossbar columns.
+        for &(rows, cols, m) in &[(16usize, 4usize, 4usize), (10, 3, 4), (40, 5, 8)] {
+            let mut w = polarized_matrix(rows, cols, m);
+            // Prune one whole fragment of rows (keeps the remaining rows
+            // fragment-aligned) and one column to exercise compaction.
+            for r in m..(2 * m).min(rows) {
+                for c in 0..cols {
+                    w.data_mut()[r * cols + c] = 0.0;
+                }
+            }
+            for r in 0..rows {
+                w.data_mut()[r * cols + 1] = 0.0;
+            }
+            for zero_skipping in [true, false] {
+                let cfg = MappingConfig {
+                    fragment_size: m,
+                    zero_skipping,
+                    ..small_config(m)
+                };
+                let mapped = MappedLayer::map(&w, cfg).unwrap();
+                for seed in 0..4u64 {
+                    let codes: Vec<u32> = (0..rows)
+                        .map(|i| ((i as u64 * 37 + seed * 101) % 251) as u32)
+                        .collect();
+                    let (reference, ref_stats) = mapped.matvec_reference(&codes, 0.031);
+                    let (packed, packed_stats) = mapped.matvec(&codes, 0.031);
+                    assert_eq!(reference, packed, "zero_skipping={zero_skipping}");
+                    assert_eq!(ref_stats, packed_stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scratch_is_reusable_across_layers_and_inputs() {
+        // One warm scratch threaded through MVMs of different shapes must
+        // keep producing bitwise-reference results.
+        let mut scratch = MvmScratch::default();
+        for &(rows, cols, m) in &[(40usize, 5usize, 8usize), (16, 4, 4), (8, 2, 4)] {
+            let w = polarized_matrix(rows, cols, m);
+            let cfg = MappingConfig {
+                fragment_size: m,
+                ..small_config(m)
+            };
+            let mapped = MappedLayer::map(&w, cfg).unwrap();
+            let mut out = vec![0.0f32; cols];
+            for seed in 0..3u32 {
+                let codes: Vec<u32> = (0..rows).map(|i| (i as u32 * 13 + seed) % 256).collect();
+                let stats = mapped.matvec_into(&codes, 1.0, &mut scratch, &mut out);
+                let (reference, ref_stats) = mapped.matvec_reference(&codes, 1.0);
+                assert_eq!(reference, out);
+                assert_eq!(ref_stats, stats);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_packed_kernel_matches_reference_draw_for_draw() {
+        // The packed kernel must consume the noise RNG in exactly the
+        // legacy order, so the same seed gives bitwise equal noisy outputs.
+        let w = polarized_matrix(16, 4, 4);
+        let noise = forms_reram::CurrentNoise::new(0.3, 0.1);
+        for zero_skipping in [true, false] {
+            let cfg = MappingConfig {
+                zero_skipping,
+                ..small_config(4)
+            };
+            let mapped = MappedLayer::map(&w, cfg).unwrap();
+            let codes: Vec<u32> = (0..16).map(|i| (i * 11) as u32 % 97).collect();
+            let mut rng_a = forms_rng::StdRng::seed_from_u64(42);
+            let mut rng_b = forms_rng::StdRng::seed_from_u64(42);
+            let (reference, rs) =
+                mapped.matvec_noisy_reference(&codes, 0.5, &noise, &mut rng_a);
+            let (packed, ps) = mapped.matvec_noisy(&codes, 0.5, &noise, &mut rng_b);
+            assert_eq!(reference, packed, "zero_skipping={zero_skipping}");
+            assert_eq!(rs, ps);
+        }
+    }
+
+    #[test]
+    fn invalid_input_codes_are_rejected_up_front() {
+        let w = polarized_matrix(8, 2, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let codes = vec![256u32; 8]; // exceeds the 8-bit input width
+        let result = std::panic::catch_unwind(|| mapped.matvec(&codes, 1.0));
+        assert!(result.is_err(), "out-of-range codes must panic");
     }
 
     #[test]

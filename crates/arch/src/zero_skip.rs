@@ -273,6 +273,65 @@ mod tests {
     }
 
     #[test]
+    fn packed_planes_match_drained_planes_on_random_fragments() {
+        // Property check behind the packed MVM hot path: for any fragment,
+        // the `u64` bit planes from `pack_bit_planes` drive exactly the
+        // rows the shift-register bank's `drain()` planes drive, cycle for
+        // cycle — so dot products accumulated from either representation
+        // are bitwise identical.
+        use forms_reram::{for_each_set_bit, pack_bit_planes};
+        use forms_rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let input_bits = 10u32;
+        // Lengths cover sub-word, exact-word and multi-word partial tails.
+        for &len in &[1usize, 3, 8, 63, 64, 65, 70, 128, 130] {
+            for case in 0..8 {
+                let codes: Vec<u32> = match case {
+                    // All-zero fragment: zero planes on both sides.
+                    0 => vec![0; len],
+                    // A single driven row in an otherwise dead fragment.
+                    1 => (0..len).map(|i| u32::from(i == len / 2)).collect(),
+                    _ => (0..len)
+                        .map(|_| rng.next_u32() & ((1 << input_bits) - 1))
+                        .collect(),
+                };
+                let weights: Vec<f64> = (0..len)
+                    .map(|_| (rng.next_u32() % 97) as f64 * 0.25)
+                    .collect();
+                let drained = ShiftRegisterBank::load(&codes).drain();
+                let eic = fragment_eic(&codes);
+                assert_eq!(drained.len(), eic as usize);
+                let mut planes = Vec::new();
+                let words = pack_bit_planes(&codes, eic, &mut planes);
+                for (p, bits) in drained.iter().enumerate() {
+                    let mask = &planes[p * words..(p + 1) * words];
+                    let mut unpacked_dot = 0.0f64;
+                    let mut unpacked_rows = 0usize;
+                    for (i, &b) in bits.iter().enumerate() {
+                        if b {
+                            unpacked_dot += weights[i];
+                            unpacked_rows += 1;
+                        }
+                    }
+                    let mut packed_dot = 0.0f64;
+                    let mut packed_rows = 0usize;
+                    for_each_set_bit(mask, |i| {
+                        assert!(bits[i], "plane {p}: packed drives row {i}, bank does not");
+                        packed_dot += weights[i];
+                        packed_rows += 1;
+                    });
+                    assert_eq!(packed_rows, unpacked_rows, "plane {p} row count");
+                    assert_eq!(
+                        packed_dot.to_bits(),
+                        unpacked_dot.to_bits(),
+                        "plane {p}: dot products differ (len {len}, case {case})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn eic_stats_histogram_and_mean() {
         // Fragments of 2: [3, 0] → EIC 2; [1, 1] → 1; [0, 0] → 0.
         let stats = eic_stats(&[3, 0, 1, 1, 0, 0], 2, 16);

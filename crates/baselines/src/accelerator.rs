@@ -16,7 +16,7 @@ use forms_exec::{CrossbarEngine, ExecError, Executor, LayerPerf};
 use forms_hwmodel::{Activity, DynamicActivity};
 use forms_tensor::Tensor;
 
-use crate::isaac::{IsaacLayer, IsaacStats};
+use crate::isaac::{IsaacLayer, IsaacScratch, IsaacStats};
 
 /// Configuration of the ISAAC executor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,6 +52,7 @@ impl IsaacConfig {
 impl CrossbarEngine for IsaacLayer {
     type Config = IsaacConfig;
     type Stats = IsaacStats;
+    type Scratch = IsaacScratch;
 
     fn map_matrix(matrix: &Tensor, config: &IsaacConfig) -> Result<Self, ExecError> {
         IsaacLayer::map_with(
@@ -63,8 +64,18 @@ impl CrossbarEngine for IsaacLayer {
         )
     }
 
-    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
-        IsaacLayer::matvec(self, input_codes, input_scale)
+    fn output_len(&self) -> usize {
+        IsaacLayer::output_len(self)
+    }
+
+    fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut IsaacScratch,
+        out: &mut [f32],
+    ) -> IsaacStats {
+        IsaacLayer::matvec_into(self, input_codes, input_scale, scratch, out)
     }
 
     fn crossbar_count(&self) -> usize {

@@ -1,7 +1,7 @@
 //! The ISAAC offset-encoding crossbar model (paper §II-B and ref. \[18\]).
 
 use forms_exec::{ExecError, Merge};
-use forms_reram::{Adc, BitSlicer, CellSpec, Crossbar};
+use forms_reram::{pack_bit_planes, plane_ones, Adc, BitSlicer, CellSpec, Crossbar};
 use forms_tensor::Tensor;
 
 /// Statistics of one ISAAC matrix-vector multiplication.
@@ -30,6 +30,27 @@ impl Merge for IsaacStats {
         self.offset_subtractions += other.offset_subtractions;
         self.row_blocks += other.row_blocks;
     }
+}
+
+/// Reusable working memory of one [`IsaacLayer`] MVM — the ISAAC mirror of
+/// `forms_arch::MvmScratch`, so the FORMS-vs-ISAAC throughput comparison
+/// stays apples-to-apples (both hot paths are packed and allocation-free).
+#[derive(Clone, Debug, Default)]
+pub struct IsaacScratch {
+    /// Gathered input codes of the current row block.
+    codes: Vec<u32>,
+    /// Packed bit planes of the block's codes, LSB plane first.
+    planes: Vec<u64>,
+    /// Raw column currents, plane-major over all mapped cell columns.
+    currents: Vec<f64>,
+    /// Per-slice shift-&-add accumulators of the current weight column.
+    slice_acc: Vec<u64>,
+    /// Signed digital accumulators, one per compact weight column.
+    accs: Vec<i64>,
+    /// Dequantized cell values of the current block window, row-major over
+    /// all mapped cell columns — the division by the conductance step is
+    /// paid once per cell instead of once per cell per input bit plane.
+    cell_vals: Vec<f64>,
 }
 
 /// A signed weight matrix mapped with ISAAC's offset encoding.
@@ -145,6 +166,11 @@ impl IsaacLayer {
         self.step
     }
 
+    /// Length of the layer's output vector (= original weight columns).
+    pub fn output_len(&self) -> usize {
+        self.orig_cols
+    }
+
     /// Physical crossbars used.
     pub fn crossbar_count(&self) -> usize {
         self.crossbars.len()
@@ -189,11 +215,155 @@ impl IsaacLayer {
     /// Panics if `input_codes.len()` differs from the original row count or
     /// any code exceeds `input_bits`.
     pub fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
+        let mut scratch = IsaacScratch::default();
+        let mut out = vec![0.0f32; self.orig_cols];
+        let stats = self.matvec_into(input_codes, input_scale, &mut scratch, &mut out);
+        (out, stats)
+    }
+
+    /// The allocation-free packed hot path: [`matvec`](Self::matvec) into a
+    /// caller-owned output buffer (length = original columns, overwritten)
+    /// with caller-owned reusable [`IsaacScratch`]. Results are bitwise
+    /// identical to [`matvec_reference`](Self::matvec_reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does, and if `out.len()` differs
+    /// from the original column count.
+    pub fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut IsaacScratch,
+        out: &mut [f32],
+    ) -> IsaacStats {
+        self.validate_input_codes(input_codes);
+        assert_eq!(
+            out.len(),
+            self.orig_cols,
+            "need one output slot per original column"
+        );
+        let dim = self.crossbar_dim;
+        let cpw = self.slicer.cells_per_weight();
+        let cell_bits = self.slicer.cell_bits();
+        let cell_cols = self.col_index.len() * cpw;
+        let mut stats = IsaacStats::default();
+        out.fill(0.0);
+        scratch.accs.clear();
+        scratch.accs.resize(self.col_index.len(), 0);
+
+        for (block, rows) in self.row_index.chunks(dim).enumerate() {
+            scratch.codes.clear();
+            scratch.codes.extend(rows.iter().map(|&r| input_codes[r]));
+            stats.cycles += u64::from(self.input_bits);
+            stats.row_blocks += 1;
+            let words = pack_bit_planes(&scratch.codes, self.input_bits, &mut scratch.planes);
+
+            // Offset term shared by every column of the block:
+            // bias × Σ_planes ones(plane) << plane — popcounted straight
+            // off the packed planes.
+            let mut offset = 0u64;
+            for (plane, mask) in scratch.planes.chunks_exact(words).enumerate() {
+                let ones = plane_ones(mask);
+                stats.ones_counted += ones;
+                stats.offset_subtractions += ones;
+                offset += (self.bias * ones) << plane;
+            }
+
+            // Dequantized cell values of the block window, cached once so
+            // the per-plane reads below are pure adds.
+            let block_rows = scratch.codes.len();
+            scratch.cell_vals.clear();
+            scratch.cell_vals.resize(block_rows * cell_cols, 0.0);
+            for r in 0..block_rows {
+                let row = &mut scratch.cell_vals[r * cell_cols..(r + 1) * cell_cols];
+                for xc in 0..self.xb_cols {
+                    let col_lo = xc * dim;
+                    if col_lo >= cell_cols {
+                        break;
+                    }
+                    let col_hi = (col_lo + dim).min(cell_cols);
+                    self.crossbars[block * self.xb_cols + xc]
+                        .dequant_row_into(r, &mut row[col_lo..col_hi]);
+                }
+            }
+
+            // Raw currents for every plane × cell column: active rows
+            // accumulate in ascending order, matching the legacy per-column
+            // summation order bitwise.
+            scratch.currents.clear();
+            scratch
+                .currents
+                .resize(self.input_bits as usize * cell_cols, 0.0);
+            let (currents, cell_vals) = (&mut scratch.currents, &scratch.cell_vals);
+            for (plane, mask) in scratch.planes.chunks_exact(words).enumerate() {
+                let row = &mut currents[plane * cell_cols..(plane + 1) * cell_cols];
+                forms_reram::for_each_set_bit(mask, |i| {
+                    if i >= block_rows {
+                        return;
+                    }
+                    let vals = &cell_vals[i * cell_cols..(i + 1) * cell_cols];
+                    for (acc, &v) in row.iter_mut().zip(vals) {
+                        *acc += v;
+                    }
+                });
+            }
+
+            for (ci, acc) in scratch.accs.iter_mut().enumerate() {
+                scratch.slice_acc.clear();
+                scratch.slice_acc.resize(cpw, 0);
+                for plane in 0..self.input_bits as usize {
+                    let currents = &scratch.currents[plane * cell_cols..];
+                    for (k, acc_k) in scratch.slice_acc.iter_mut().enumerate() {
+                        let code = self
+                            .adc
+                            .convert(currents[ci * cpw + k], self.crossbars[0].spec());
+                        stats.adc_conversions += 1;
+                        *acc_k += u64::from(code) << plane;
+                    }
+                }
+                let mut encoded_total = 0u64;
+                for &s in &scratch.slice_acc {
+                    encoded_total = (encoded_total << cell_bits) + s;
+                }
+                *acc += encoded_total as i64 - offset as i64;
+            }
+        }
+
+        for (ci, &c) in self.col_index.iter().enumerate() {
+            out[c] = scratch.accs[ci] as f32 * self.step * input_scale;
+        }
+        stats
+    }
+
+    /// Validates the whole input vector in one pass (length + range), so
+    /// the per-block gather loops stay assert-free.
+    fn validate_input_codes(&self, input_codes: &[u32]) {
         assert_eq!(
             input_codes.len(),
             self.orig_rows,
             "need one input code per original row"
         );
+        let limit = 1u64 << self.input_bits;
+        assert!(
+            self.row_index
+                .iter()
+                .all(|&r| u64::from(input_codes[r]) < limit),
+            "input code exceeds {} bits",
+            self.input_bits
+        );
+    }
+
+    /// The legacy allocating kernel, kept as the bitwise oracle for the
+    /// packed path and as the pre-optimization baseline for the MVM
+    /// benchmark. Results are bitwise identical to
+    /// [`matvec`](Self::matvec).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`matvec`](Self::matvec) does.
+    pub fn matvec_reference(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
+        self.validate_input_codes(input_codes);
         let dim = self.crossbar_dim;
         let cpw = self.slicer.cells_per_weight();
         let cell_bits = self.slicer.cell_bits();
@@ -201,18 +371,7 @@ impl IsaacLayer {
         let mut accs = vec![0i64; self.col_index.len()];
 
         for (block, rows) in self.row_index.chunks(dim).enumerate() {
-            let codes: Vec<u32> = rows
-                .iter()
-                .map(|&r| {
-                    let code = input_codes[r];
-                    assert!(
-                        u64::from(code) < (1u64 << self.input_bits),
-                        "input code exceeds {} bits",
-                        self.input_bits
-                    );
-                    code
-                })
-                .collect();
+            let codes: Vec<u32> = rows.iter().map(|&r| input_codes[r]).collect();
             stats.cycles += u64::from(self.input_bits);
             stats.row_blocks += 1;
             let window = 0..codes.len();
@@ -349,6 +508,44 @@ mod tests {
             .matvec(q.dequantize().data());
         for (g, r) in got.iter().zip(&reference) {
             assert!((g - r).abs() < 2e-3, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn packed_kernel_is_bitwise_identical_to_reference() {
+        // Mirror of the FORMS equivalence gate: the ISAAC packed kernel
+        // must match the legacy allocating path bit-for-bit, including on
+        // multi-block and pruned layers.
+        for &(rows, cols) in &[(12usize, 3usize), (40, 5), (8, 2)] {
+            let mut w = signed_matrix(rows, cols);
+            for r in 0..rows {
+                w.data_mut()[r * cols + 1] = 0.0; // prune a column
+            }
+            let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+            for seed in 0..4u64 {
+                let codes: Vec<u32> = (0..rows)
+                    .map(|i| ((i as u64 * 29 + seed * 67) % 256) as u32)
+                    .collect();
+                let (reference, ref_stats) = layer.matvec_reference(&codes, 0.017);
+                let (packed, packed_stats) = layer.matvec(&codes, 0.017);
+                assert_eq!(reference, packed);
+                assert_eq!(ref_stats, packed_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scratch_is_reusable_across_blocks_and_inputs() {
+        let w = signed_matrix(40, 4);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+        let mut scratch = IsaacScratch::default();
+        let mut out = vec![0.0f32; layer.output_len()];
+        for seed in 0..3u32 {
+            let codes: Vec<u32> = (0..40).map(|i| (i as u32 * 7 + seed) % 256).collect();
+            let stats = layer.matvec_into(&codes, 1.0, &mut scratch, &mut out);
+            let (reference, ref_stats) = layer.matvec_reference(&codes, 1.0);
+            assert_eq!(reference, out);
+            assert_eq!(ref_stats, stats);
         }
     }
 

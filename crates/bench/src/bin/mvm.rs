@@ -1,0 +1,80 @@
+//! MVM hot-path throughput suite — writes and validates `BENCH_mvm.json`.
+//!
+//! Usage: `cargo run --release -p forms-bench --bin mvm [-- --smoke]`.
+//! `--smoke` (or `FORMS_BENCH_FAST=1` for the timing batches alone) runs a
+//! seconds-scale variant with the same code paths and JSON schema; CI uses
+//! it to catch hot-path and schema regressions. The binary re-reads the
+//! file it wrote and validates it with `forms_bench::json::parse` +
+//! `forms_bench::mvm::validate`, exiting non-zero on any mismatch.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use forms_bench::json::parse;
+use forms_bench::mvm::{run, validate, MvmBenchSpec};
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let spec = if smoke {
+        MvmBenchSpec::smoke()
+    } else {
+        MvmBenchSpec::full()
+    };
+    eprintln!(
+        "mvm suite ({} mode): {} — this measures, so expect it to take a while",
+        spec.mode, spec.layer_label
+    );
+    let report = run(&spec);
+
+    for k in &report.kernels {
+        println!(
+            "{:>5} {:<9} {:>12.0} MVMs/s ({:.0} ns/MVM)",
+            k.design, k.kernel, k.mvms_per_s, k.ns_per_mvm
+        );
+    }
+    for design in ["FORMS", "ISAAC"] {
+        if let Some(s) = report.speedup(design) {
+            println!("{design} packed/reference speedup: {s:.2}x");
+        }
+    }
+    for r in &report.images {
+        println!(
+            "{:>5} {:<8} ({} worker{}) {:>9.1} images/s",
+            r.design,
+            r.exec,
+            r.workers,
+            if r.workers == 1 { "" } else { "s" },
+            r.images_per_s
+        );
+    }
+
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mvm.json"));
+    let doc = report.to_json();
+    if let Err(err) = std::fs::write(path, doc.pretty() + "\n") {
+        eprintln!("could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Self-check: read the file back through the parser and validate its
+    // schema, so a malformed BENCH_mvm.json fails the run (and CI).
+    let written = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("could not re-read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let reparsed = match parse(&written) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("BENCH_mvm.json is not valid JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = validate(&reparsed) {
+        eprintln!("BENCH_mvm.json is malformed: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} (validated)", path.display());
+    ExitCode::SUCCESS
+}

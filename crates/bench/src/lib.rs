@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod mvm;
 pub mod report;
 pub mod suite;
 pub mod timing;

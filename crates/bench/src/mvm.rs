@@ -1,0 +1,503 @@
+//! MVM hot-path throughput suite (`BENCH_mvm.json`).
+//!
+//! Gates the packed bit-plane kernel rework: measures single-MVM
+//! throughput of the packed kernel against the legacy reference kernel
+//! (kept in-tree as `matvec_reference`) on a Table-V-style layer shape,
+//! for both the FORMS design and the ISAAC baseline, plus end-to-end
+//! images/s through the executor serially and across worker threads.
+//!
+//! The suite writes `BENCH_mvm.json` at the repository root and the
+//! `mvm` binary re-reads and validates the file with
+//! [`crate::json::parse`] before exiting, so CI fails on malformed
+//! output.
+
+use forms_arch::{Accelerator, AcceleratorConfig, MappedLayer, MappingConfig, MvmScratch};
+use forms_baselines::{IsaacAccelerator, IsaacConfig, IsaacLayer, IsaacScratch};
+use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_reram::CellSpec;
+use forms_rng::{Rng, StdRng};
+use forms_tensor::Tensor;
+
+use crate::json::JsonValue;
+use crate::timing::{BenchConfig, Bencher};
+
+/// How many distinct random input vectors each kernel cycles through, so
+/// timings are not flattered by a single cached activation pattern.
+const INPUT_ROTATION: usize = 8;
+
+/// Shapes and configurations for one suite run.
+#[derive(Clone, Debug)]
+pub struct MvmBenchSpec {
+    /// `"full"` or `"smoke"` — recorded in the JSON document.
+    pub mode: &'static str,
+    /// Human-readable label of the benchmarked layer shape.
+    pub layer_label: &'static str,
+    /// Lowered weight-matrix rows of the benchmarked layer.
+    pub rows: usize,
+    /// Lowered weight-matrix columns of the benchmarked layer.
+    pub cols: usize,
+    /// FORMS mapping parameters for the kernel bench.
+    pub mapping: MappingConfig,
+    /// Images per batch for the end-to-end executor bench.
+    pub batch: usize,
+    /// Worker threads for the parallel executor bench.
+    pub workers: usize,
+    /// Timing-harness configuration.
+    pub timing: BenchConfig,
+}
+
+impl MvmBenchSpec {
+    /// The real measurement point: a VGG-style `3x3x128 -> 128` conv layer
+    /// (1152x128 lowered matrix, as in the paper's Table V workloads) at
+    /// the paper's 128x128-crossbar configuration.
+    pub fn full() -> Self {
+        Self {
+            mode: "full",
+            layer_label: "VGG conv 3x3x128->128 (Table-V style, 1152x128 lowered)",
+            rows: 1152,
+            cols: 128,
+            mapping: MappingConfig::paper(8),
+            batch: 8,
+            workers: worker_count(),
+            timing: BenchConfig::from_env(),
+        }
+    }
+
+    /// A seconds-scale variant for CI: tiny shapes, fast timing batches,
+    /// same code paths and JSON schema as [`full`](Self::full).
+    pub fn smoke() -> Self {
+        Self {
+            mode: "smoke",
+            layer_label: "smoke conv 3x3x8->8 (72x8 lowered)",
+            rows: 72,
+            cols: 8,
+            mapping: MappingConfig {
+                crossbar_dim: 16,
+                fragment_size: 4,
+                weight_bits: 8,
+                cell: CellSpec::paper_2bit(),
+                input_bits: 8,
+                zero_skipping: true,
+            },
+            batch: 4,
+            workers: 2,
+            timing: BenchConfig::fast(),
+        }
+    }
+}
+
+fn worker_count() -> usize {
+    // At least two workers, so the parallel path (scoped threads sharing
+    // the engines immutably) is exercised even on a single-core host.
+    std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(2)
+}
+
+/// A dense polarized weight matrix: the sign is constant within every
+/// `(fragment, column)` group, magnitudes vary deterministically.
+pub fn polarized_matrix(rows: usize, cols: usize, fragment: usize) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        let (r, c) = (i / cols, i % cols);
+        let sign = if ((r / fragment) + c).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * (0.05 + ((r * 31 + c * 17) % 13) as f32 * 0.07)
+    })
+}
+
+/// Polarizes every weight layer of a network in place with the ADMM
+/// projection, iterated to a fixed point so it can be mapped onto FORMS.
+pub fn polarize_network(net: &mut Network, fragment: usize) {
+    net.for_each_weight_layer(&mut |wl| {
+        let mut z = match &wl {
+            WeightLayerMut::Conv(c) => c.weight_matrix(),
+            WeightLayerMut::Linear(l) => l.weight_matrix(),
+        };
+        while forms_admm::polarization_violations(&z, fragment) > 0 {
+            let signs = forms_admm::fragment_signs(&z, fragment);
+            z = forms_admm::project_polarization(&z, fragment, &signs);
+        }
+        match wl {
+            WeightLayerMut::Conv(c) => c.set_weight_matrix(&z),
+            WeightLayerMut::Linear(l) => l.set_weight_matrix(&z),
+        }
+    });
+}
+
+/// The small CNN used for the end-to-end images/s measurement.
+fn bench_network(spec: &MvmBenchSpec, rng: &mut StdRng) -> (Network, Tensor) {
+    let (c, hw, f) = if spec.mode == "full" {
+        (3, 16, 8)
+    } else {
+        (1, 8, 4)
+    };
+    let pooled = hw / 2;
+    let net = Network::new(vec![
+        Layer::conv2d(rng, c, f, 3, 1, 1),
+        Layer::relu(),
+        Layer::max_pool(2),
+        Layer::flatten(),
+        Layer::linear(rng, f * pooled * pooled, 10),
+    ]);
+    let x = Tensor::from_fn(&[spec.batch, c, hw, hw], |i| ((i * 7) % 11) as f32 / 11.0);
+    (net, x)
+}
+
+fn random_codes(n: usize, bits: u32, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    (0..INPUT_ROTATION)
+        .map(|_| (0..n).map(|_| rng.next_u32() & ((1 << bits) - 1)).collect())
+        .collect()
+}
+
+/// One kernel measurement: design, kernel flavour, and throughput.
+#[derive(Clone, Debug)]
+pub struct KernelResult {
+    /// `"FORMS"` or `"ISAAC"`.
+    pub design: &'static str,
+    /// `"packed"` (new hot path) or `"reference"` (legacy kernel).
+    pub kernel: &'static str,
+    /// Median nanoseconds per MVM.
+    pub ns_per_mvm: f64,
+    /// MVMs per second implied by the median.
+    pub mvms_per_s: f64,
+}
+
+/// One end-to-end measurement: design, execution mode, and images/s.
+#[derive(Clone, Debug)]
+pub struct ImageResult {
+    /// `"FORMS"` or `"ISAAC"`.
+    pub design: &'static str,
+    /// `"serial"` or `"parallel"`.
+    pub exec: &'static str,
+    /// Worker threads used (1 for serial).
+    pub workers: usize,
+    /// Images per second through the executor.
+    pub images_per_s: f64,
+}
+
+/// Everything a suite run produces.
+#[derive(Clone, Debug)]
+pub struct MvmBenchReport {
+    /// The spec the run used.
+    pub spec: MvmBenchSpec,
+    /// Per-kernel throughput results.
+    pub kernels: Vec<KernelResult>,
+    /// End-to-end images/s results.
+    pub images: Vec<ImageResult>,
+}
+
+impl MvmBenchReport {
+    /// Packed-over-reference MVM throughput ratio for a design, if both
+    /// kernels were measured.
+    pub fn speedup(&self, design: &str) -> Option<f64> {
+        let find = |kernel: &str| {
+            self.kernels
+                .iter()
+                .find(|k| k.design == design && k.kernel == kernel)
+                .map(|k| k.mvms_per_s)
+        };
+        Some(find("packed")? / find("reference")?)
+    }
+
+    /// Renders the report as the `BENCH_mvm.json` document.
+    pub fn to_json(&self) -> JsonValue {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                JsonValue::object(vec![
+                    ("design", JsonValue::String(k.design.into())),
+                    ("kernel", JsonValue::String(k.kernel.into())),
+                    ("ns_per_mvm", JsonValue::Number(k.ns_per_mvm)),
+                    ("mvms_per_s", JsonValue::Number(k.mvms_per_s)),
+                ])
+            })
+            .collect();
+        let images = self
+            .images
+            .iter()
+            .map(|r| {
+                JsonValue::object(vec![
+                    ("design", JsonValue::String(r.design.into())),
+                    ("exec", JsonValue::String(r.exec.into())),
+                    ("workers", JsonValue::Number(r.workers as f64)),
+                    ("images_per_s", JsonValue::Number(r.images_per_s)),
+                ])
+            })
+            .collect();
+        let mut speedup = Vec::new();
+        for design in ["FORMS", "ISAAC"] {
+            if let Some(s) = self.speedup(design) {
+                speedup.push((design, JsonValue::Number(s)));
+            }
+        }
+        JsonValue::object(vec![
+            ("bench", JsonValue::String("mvm".into())),
+            ("mode", JsonValue::String(self.spec.mode.into())),
+            (
+                "layer",
+                JsonValue::object(vec![
+                    ("label", JsonValue::String(self.spec.layer_label.into())),
+                    ("rows", JsonValue::Number(self.spec.rows as f64)),
+                    ("cols", JsonValue::Number(self.spec.cols as f64)),
+                ]),
+            ),
+            ("mvm", JsonValue::Array(kernels)),
+            ("speedup_packed_over_reference", JsonValue::object(speedup)),
+            ("images", JsonValue::Array(images)),
+        ])
+    }
+}
+
+/// Runs the whole suite for a spec.
+///
+/// # Panics
+///
+/// Panics if the benchmark layer cannot be mapped (a bug in the spec).
+pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
+    let mut rng = StdRng::seed_from_u64(0xF0435);
+    let mut bencher = Bencher::with_config(spec.timing);
+
+    // --- single-layer MVM kernels -----------------------------------
+    let matrix = polarized_matrix(spec.rows, spec.cols, spec.mapping.fragment_size);
+    let forms = MappedLayer::map(&matrix, spec.mapping).expect("bench layer maps");
+    let isaac = IsaacLayer::map_with(
+        &matrix,
+        spec.mapping.weight_bits,
+        spec.mapping.input_bits,
+        spec.mapping.crossbar_dim,
+        spec.mapping.cell,
+    )
+    .expect("bench layer maps on ISAAC");
+    let inputs = random_codes(spec.rows, spec.mapping.input_bits, &mut rng);
+    let scale = 1.0 / (1 << spec.mapping.input_bits) as f32;
+
+    let mut kernels = Vec::new();
+    {
+        let mut scratch = MvmScratch::default();
+        let mut out = vec![0.0f32; spec.cols];
+        let mut i = 0;
+        let r = bencher.bench("forms/packed", || {
+            let codes = &inputs[i % INPUT_ROTATION];
+            i += 1;
+            forms.matvec_into(codes, scale, &mut scratch, &mut out)
+        });
+        kernels.push(kernel_result("FORMS", "packed", r.median_ns()));
+    }
+    {
+        let mut i = 0;
+        let r = bencher.bench("forms/reference", || {
+            let codes = &inputs[i % INPUT_ROTATION];
+            i += 1;
+            forms.matvec_reference(codes, scale)
+        });
+        kernels.push(kernel_result("FORMS", "reference", r.median_ns()));
+    }
+    {
+        let mut scratch = IsaacScratch::default();
+        let mut out = vec![0.0f32; isaac.output_len()];
+        let mut i = 0;
+        let r = bencher.bench("isaac/packed", || {
+            let codes = &inputs[i % INPUT_ROTATION];
+            i += 1;
+            isaac.matvec_into(codes, scale, &mut scratch, &mut out)
+        });
+        kernels.push(kernel_result("ISAAC", "packed", r.median_ns()));
+    }
+    {
+        let mut i = 0;
+        let r = bencher.bench("isaac/reference", || {
+            let codes = &inputs[i % INPUT_ROTATION];
+            i += 1;
+            isaac.matvec_reference(codes, scale)
+        });
+        kernels.push(kernel_result("ISAAC", "reference", r.median_ns()));
+    }
+
+    // --- end-to-end images/s ----------------------------------------
+    let (mut net, x) = bench_network(spec, &mut rng);
+    polarize_network(&mut net, spec.mapping.fragment_size);
+    let acc_config = AcceleratorConfig {
+        mapping: spec.mapping,
+        activation_bits: spec.mapping.input_bits,
+    };
+    let mut forms_acc = Accelerator::map_network(&net, acc_config).expect("bench net maps");
+    let isaac_config = IsaacConfig {
+        crossbar_dim: spec.mapping.crossbar_dim,
+        cell: spec.mapping.cell,
+        weight_bits: spec.mapping.weight_bits,
+        input_bits: spec.mapping.input_bits,
+    };
+    let mut isaac_acc =
+        IsaacAccelerator::map_network(&net, isaac_config).expect("bench net maps on ISAAC");
+
+    let mut images = Vec::new();
+    let batch = spec.batch as f64;
+    let workers = spec.workers;
+    {
+        let r = bencher.bench("forms/images/serial", || forms_acc.forward(&x));
+        images.push(image_result("FORMS", "serial", 1, batch, r.median_ns()));
+    }
+    {
+        let r = bencher.bench("forms/images/parallel", || {
+            forms_acc.forward_parallel(&x, workers)
+        });
+        images.push(image_result("FORMS", "parallel", workers, batch, r.median_ns()));
+    }
+    {
+        let r = bencher.bench("isaac/images/serial", || isaac_acc.forward(&x));
+        images.push(image_result("ISAAC", "serial", 1, batch, r.median_ns()));
+    }
+    {
+        let r = bencher.bench("isaac/images/parallel", || {
+            isaac_acc.forward_parallel(&x, workers)
+        });
+        images.push(image_result("ISAAC", "parallel", workers, batch, r.median_ns()));
+    }
+
+    MvmBenchReport {
+        spec: spec.clone(),
+        kernels,
+        images,
+    }
+}
+
+fn kernel_result(design: &'static str, kernel: &'static str, ns: f64) -> KernelResult {
+    KernelResult {
+        design,
+        kernel,
+        ns_per_mvm: ns,
+        mvms_per_s: 1e9 / ns,
+    }
+}
+
+fn image_result(
+    design: &'static str,
+    exec: &'static str,
+    workers: usize,
+    batch: f64,
+    ns: f64,
+) -> ImageResult {
+    ImageResult {
+        design,
+        exec,
+        workers,
+        images_per_s: batch * 1e9 / ns,
+    }
+}
+
+/// Checks that a parsed `BENCH_mvm.json` document has the shape this
+/// suite writes: required top-level fields, all four kernel rows with
+/// positive finite throughput, and at least one serial and one parallel
+/// images/s row per design.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate(doc: &JsonValue) -> Result<(), String> {
+    if doc.get("bench").and_then(JsonValue::as_str) != Some("mvm") {
+        return Err("missing or wrong `bench` field".into());
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        _ => return Err("`mode` must be \"full\" or \"smoke\"".into()),
+    }
+    let layer = doc.get("layer").ok_or("missing `layer` object")?;
+    for key in ["rows", "cols"] {
+        let v = layer
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing numeric `layer.{key}`"))?;
+        if !(v.is_finite() && v >= 1.0) {
+            return Err(format!("`layer.{key}` must be a positive count"));
+        }
+    }
+    let kernels = doc
+        .get("mvm")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `mvm` array")?;
+    for design in ["FORMS", "ISAAC"] {
+        for kernel in ["packed", "reference"] {
+            let row = kernels
+                .iter()
+                .find(|k| {
+                    k.get("design").and_then(JsonValue::as_str) == Some(design)
+                        && k.get("kernel").and_then(JsonValue::as_str) == Some(kernel)
+                })
+                .ok_or_else(|| format!("missing mvm row for {design}/{kernel}"))?;
+            let rate = row
+                .get("mvms_per_s")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing `mvms_per_s` for {design}/{kernel}"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("non-positive `mvms_per_s` for {design}/{kernel}"));
+            }
+        }
+    }
+    let images = doc
+        .get("images")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `images` array")?;
+    for design in ["FORMS", "ISAAC"] {
+        for exec in ["serial", "parallel"] {
+            let row = images
+                .iter()
+                .find(|r| {
+                    r.get("design").and_then(JsonValue::as_str) == Some(design)
+                        && r.get("exec").and_then(JsonValue::as_str) == Some(exec)
+                })
+                .ok_or_else(|| format!("missing images row for {design}/{exec}"))?;
+            let rate = row
+                .get("images_per_s")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing `images_per_s` for {design}/{exec}"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("non-positive `images_per_s` for {design}/{exec}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn smoke_report_round_trips_and_validates() {
+        let report = run(&MvmBenchSpec::smoke());
+        let doc = report.to_json();
+        validate(&doc).unwrap();
+        let reparsed = parse(&doc.pretty()).unwrap();
+        validate(&reparsed).unwrap();
+        assert_eq!(reparsed, doc);
+        assert!(report.speedup("FORMS").unwrap() > 0.0);
+        assert!(report.speedup("ISAAC").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let report = run(&MvmBenchSpec::smoke());
+        let good = report.to_json();
+        validate(&good).unwrap();
+        // Drop a required top-level field.
+        let JsonValue::Object(fields) = &good else {
+            panic!("report is an object")
+        };
+        for missing in ["bench", "mode", "layer", "mvm", "images"] {
+            let broken = JsonValue::Object(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != missing)
+                    .cloned()
+                    .collect(),
+            );
+            assert!(validate(&broken).is_err(), "accepted doc without {missing}");
+        }
+        assert!(validate(&JsonValue::Null).is_err());
+    }
+}

@@ -1057,6 +1057,21 @@ impl Layer {
         }
     }
 
+    /// Number of weight-bearing (conv/linear) layers in this layer,
+    /// depth-first into residual blocks. Unlike
+    /// [`for_each_weight_layer`](Self::for_each_weight_layer) this needs no
+    /// mutable access, so callers can count without cloning the network.
+    pub fn weight_layer_count(&self) -> usize {
+        match self {
+            Layer::Conv2d(_) | Layer::Linear(_) => 1,
+            Layer::Residual(l) => {
+                l.body.iter().map(Layer::weight_layer_count).sum::<usize>()
+                    + l.projection.as_deref().map_or(0, Layer::weight_layer_count)
+            }
+            _ => 0,
+        }
+    }
+
     /// Number of trainable scalars in this layer.
     pub fn param_count(&mut self) -> usize {
         let mut n = 0;

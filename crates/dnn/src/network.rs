@@ -113,11 +113,10 @@ impl Network {
     }
 
     /// Number of weight-bearing (conv/linear) layers, including those nested
-    /// in residual blocks.
-    pub fn weight_layer_count(&mut self) -> usize {
-        let mut n = 0;
-        self.for_each_weight_layer(&mut |_| n += 1);
-        n
+    /// in residual blocks. Takes `&self` so callers never have to clone the
+    /// network just to count.
+    pub fn weight_layer_count(&self) -> usize {
+        self.layers.iter().map(Layer::weight_layer_count).sum()
     }
 
     /// Snapshot of all parameter values in visit order (for checkpointing
@@ -232,7 +231,7 @@ mod tests {
             ],
             Some(Layer::conv2d(&mut rng, 2, 2, 1, 1, 0)),
         );
-        let mut net = Network::new(vec![
+        let net = Network::new(vec![
             Layer::conv2d(&mut rng, 1, 2, 3, 1, 1),
             Layer::Residual(block),
             Layer::flatten(),

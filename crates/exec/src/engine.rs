@@ -21,12 +21,23 @@ pub trait Merge {
 /// digital codes, and what per-MVM costs to count. Everything
 /// *network-level* (layer walk, im2col, activation quantization, batching,
 /// stats registry) lives in the shared [`Executor`](crate::Executor).
-pub trait CrossbarEngine: Clone + Send + fmt::Debug + Sized {
+///
+/// Engines are immutable during inference (`matvec_into` takes `&self`),
+/// which is what lets the executor's parallel batch path share one mapped
+/// engine across worker threads instead of deep-cloning crossbar storage —
+/// hence the `Sync` bound. All mutable per-MVM state lives in the engine's
+/// [`Scratch`](Self::Scratch) buffer, owned by the caller and reused
+/// across MVMs so the hot path allocates nothing.
+pub trait CrossbarEngine: Clone + Send + Sync + fmt::Debug + Sized {
     /// Mapping-time configuration (crossbar dimension, cell spec, bit
     /// widths, …).
     type Config: Clone + Send + Sync + fmt::Debug;
     /// Per-MVM cost record.
     type Stats: Default + Copy + Merge + Send + fmt::Debug;
+    /// Reusable per-MVM working memory (gathered codes, packed bit planes,
+    /// raw currents, accumulators). `Default` must produce an empty scratch
+    /// that any `matvec_into` call can grow to fit.
+    type Scratch: Default + Send + fmt::Debug;
 
     /// Maps a `[rows, cols]` weight matrix onto crossbars.
     ///
@@ -37,10 +48,35 @@ pub trait CrossbarEngine: Clone + Send + fmt::Debug + Sized {
     /// violated, unsupported configuration).
     fn map_matrix(matrix: &Tensor, config: &Self::Config) -> Result<Self, ExecError>;
 
+    /// Length of this layer's output vector (= original weight columns).
+    fn output_len(&self) -> usize;
+
+    /// Executes one matrix-vector product on quantized input codes
+    /// (length = original rows) into a caller-owned output buffer of
+    /// [`output_len`](Self::output_len) elements (overwritten), using
+    /// caller-owned scratch. The allocation-free hot path: with a warm
+    /// scratch, implementations must not allocate.
+    fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut Self::Scratch,
+        out: &mut [f32],
+    ) -> Self::Stats;
+
     /// Executes one matrix-vector product on quantized input codes
     /// (length = original rows), returning real-valued outputs (length =
     /// original columns) and the cost record of this MVM.
-    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, Self::Stats);
+    ///
+    /// A convenience wrapper over [`matvec_into`](Self::matvec_into) with
+    /// one-shot scratch; batch loops should hold a scratch and call
+    /// `matvec_into` directly.
+    fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, Self::Stats) {
+        let mut scratch = Self::Scratch::default();
+        let mut out = vec![0.0f32; self.output_len()];
+        let stats = self.matvec_into(input_codes, input_scale, &mut scratch, &mut out);
+        (out, stats)
+    }
 
     /// Physical crossbars this layer occupies.
     fn crossbar_count(&self) -> usize;

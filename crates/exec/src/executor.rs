@@ -8,6 +8,14 @@
 //! scoped-thread parallel batch path. The encoding-specific work — mapping
 //! a matrix to conductances and executing one MVM — is delegated to a
 //! [`CrossbarEngine`].
+//!
+//! Inference runs through a per-worker [`InferenceCtx`]: a bundle of the
+//! *shared* read-only engines plus all *private* reusable buffers (engine
+//! scratch, gathered codes, MVM output, sample staging). The parallel batch
+//! path hands every worker thread the same `&[E]` engine slice — mapped
+//! crossbar storage is never cloned per worker; only the lightweight
+//! digital network is — and each worker's context keeps the per-MVM hot
+//! path allocation-free.
 
 use forms_dnn::{Layer, Network, WeightLayerMut};
 use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
@@ -34,6 +42,192 @@ pub struct Executor<E: CrossbarEngine> {
     layer_mvms: Vec<u64>,
 }
 
+/// One worker's inference state: the shared read-only engines plus every
+/// reusable mutable buffer, so the per-sample MVM loop allocates nothing
+/// once warm. Statistics accumulate locally and are merged back into the
+/// owning [`Executor`] when the walk finishes.
+struct InferenceCtx<'a, E: CrossbarEngine> {
+    engines: &'a [E],
+    perms: &'a [Option<Vec<usize>>],
+    activation_bits: u32,
+    /// Engine-specific per-MVM working memory, reused across every MVM.
+    scratch: E::Scratch,
+    /// Gathered (and possibly permuted) input codes for one MVM.
+    codes: Vec<u32>,
+    /// Staging buffer for applying a row permutation to `codes`.
+    permuted: Vec<u32>,
+    /// Engine output buffer, resized to the current layer's output length.
+    mvm_out: Vec<f32>,
+    /// Per-sample staging buffer (im2col input / linear row), recycled
+    /// through `Tensor::from_vec` / `Tensor::into_vec`.
+    sample: Vec<f32>,
+    stats: E::Stats,
+    layer_stats: Vec<E::Stats>,
+    layer_mvms: Vec<u64>,
+}
+
+impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
+    fn new(engines: &'a [E], perms: &'a [Option<Vec<usize>>], activation_bits: u32) -> Self {
+        Self {
+            engines,
+            perms,
+            activation_bits,
+            scratch: E::Scratch::default(),
+            codes: Vec::new(),
+            permuted: Vec::new(),
+            mvm_out: Vec::new(),
+            sample: Vec::new(),
+            stats: E::Stats::default(),
+            layer_stats: vec![E::Stats::default(); engines.len()],
+            layer_mvms: vec![0; engines.len()],
+        }
+    }
+
+    /// Runs the full layer stack on a `[N, ...]` batch.
+    fn run(&mut self, layers: &mut [Layer], x: &Tensor) -> Tensor {
+        let mut widx = 0;
+        let mut y = x.clone();
+        for layer in layers {
+            y = self.forward_layer(layer, &y, &mut widx);
+        }
+        y
+    }
+
+    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
+        match layer {
+            Layer::Conv2d(conv) => {
+                let idx = *widx;
+                *widx += 1;
+                let geom = Conv2dGeometry::new(
+                    conv.in_channels(),
+                    x.dims()[2],
+                    x.dims()[3],
+                    conv.kernel(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.padding(),
+                );
+                let bias = conv.bias().value.clone();
+                self.conv_forward(idx, x, &geom, &bias)
+            }
+            Layer::Linear(lin) => {
+                let idx = *widx;
+                *widx += 1;
+                let bias = lin.bias().value.clone();
+                self.linear_forward(idx, x, &bias)
+            }
+            Layer::Residual(block) => {
+                let mut y = x.clone();
+                for l in block.body_mut() {
+                    y = self.forward_layer(l, &y, widx);
+                }
+                let shortcut = match block.projection_mut() {
+                    Some(p) => self.forward_layer(p, x, widx),
+                    None => x.clone(),
+                };
+                // Digital add + ReLU.
+                y.zip(&shortcut, |a, b| (a + b).max(0.0))
+            }
+            other => other.forward(x, false),
+        }
+    }
+
+    /// Quantizes an activation tensor with a shared per-call scale.
+    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
+        let spec = FixedSpec::for_max_value(self.activation_bits, t.max());
+        QuantizedTensor::quantize_with(t, spec)
+    }
+
+    fn record(&mut self, idx: usize, stats: E::Stats) {
+        self.stats.merge(stats);
+        self.layer_stats[idx].merge(stats);
+        self.layer_mvms[idx] += 1;
+    }
+
+    /// Applies the layer's row permutation (if any) to `self.codes`.
+    fn permute_codes(&mut self, idx: usize) {
+        if let Some(perm) = &self.perms[idx] {
+            self.permuted.clear();
+            self.permuted.extend(perm.iter().map(|&src| self.codes[src]));
+            std::mem::swap(&mut self.codes, &mut self.permuted);
+        }
+    }
+
+    fn conv_forward(
+        &mut self,
+        idx: usize,
+        x: &Tensor,
+        geom: &Conv2dGeometry,
+        bias: &Tensor,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let f = bias.len();
+        let chw = c * h * w;
+        let positions = geom.out_positions();
+        let patch = geom.patch_len();
+        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+        let engines = self.engines;
+        let engine = &engines[idx];
+        self.mvm_out.resize(engine.output_len(), 0.0);
+        for s in 0..n {
+            // Stage the sample through the recycled buffer instead of a
+            // fresh `to_vec` per window.
+            let mut buf = std::mem::take(&mut self.sample);
+            buf.clear();
+            buf.extend_from_slice(&x.data()[s * chw..(s + 1) * chw]);
+            let sample = Tensor::from_vec(buf, &[c, h, w]);
+            let cols = im2col(&sample, geom);
+            self.sample = sample.into_vec();
+            let q = self.quantize_activations(&cols);
+            let scale = q.spec().scale();
+            for p in 0..positions {
+                self.codes.clear();
+                self.codes
+                    .extend((0..patch).map(|r| q.codes()[r * positions + p]));
+                self.permute_codes(idx);
+                let stats =
+                    engine.matvec_into(&self.codes, scale, &mut self.scratch, &mut self.mvm_out);
+                self.record(idx, stats);
+                for (fi, &v) in self.mvm_out.iter().enumerate() {
+                    out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        let (n, in_features) = (x.dims()[0], x.dims()[1]);
+        let o = bias.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        let engines = self.engines;
+        let engine = &engines[idx];
+        self.mvm_out.resize(engine.output_len(), 0.0);
+        for s in 0..n {
+            let mut buf = std::mem::take(&mut self.sample);
+            buf.clear();
+            buf.extend_from_slice(&x.data()[s * in_features..(s + 1) * in_features]);
+            let row = Tensor::from_vec(buf, &[in_features]);
+            let q = self.quantize_activations(&row);
+            self.sample = row.into_vec();
+            self.codes.clear();
+            self.codes.extend_from_slice(q.codes());
+            self.permute_codes(idx);
+            let stats = engine.matvec_into(
+                &self.codes,
+                q.spec().scale(),
+                &mut self.scratch,
+                &mut self.mvm_out,
+            );
+            self.record(idx, stats);
+            for (j, &v) in self.mvm_out.iter().enumerate() {
+                out.data_mut()[s * o + j] = v + bias.data()[j];
+            }
+        }
+        out
+    }
+}
+
 impl<E: CrossbarEngine> Executor<E> {
     /// Maps a network with identity row order.
     ///
@@ -49,7 +243,7 @@ impl<E: CrossbarEngine> Executor<E> {
         config: &E::Config,
         activation_bits: u32,
     ) -> Result<Self, ExecError> {
-        let count = net.clone().weight_layer_count();
+        let count = net.weight_layer_count();
         Self::with_permutations(net, config, activation_bits, vec![None; count])
     }
 
@@ -183,131 +377,36 @@ impl<E: CrossbarEngine> Executor<E> {
             .collect()
     }
 
+    /// Folds one finished worker context's statistics into the registry.
+    fn merge_worker(&mut self, stats: E::Stats, layer_stats: &[E::Stats], layer_mvms: &[u64]) {
+        self.stats.merge(stats);
+        for (acc, st) in self.layer_stats.iter_mut().zip(layer_stats) {
+            acc.merge(*st);
+        }
+        for (acc, &m) in self.layer_mvms.iter_mut().zip(layer_mvms) {
+            *acc += m;
+        }
+    }
+
     /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut layers = std::mem::take(&mut self.net).into_layers();
-        let mut widx = 0;
-        let mut y = x.clone();
-        for layer in &mut layers {
-            y = self.forward_layer(layer, &y, &mut widx);
-        }
+        let (y, stats, layer_stats, layer_mvms) = {
+            let mut ctx = InferenceCtx::new(&self.engines, &self.perms, self.activation_bits);
+            let y = ctx.run(&mut layers, x);
+            (y, ctx.stats, ctx.layer_stats, ctx.layer_mvms)
+        };
         self.net = Network::new(layers);
+        self.merge_worker(stats, &layer_stats, &layer_mvms);
         y
     }
 
-    fn forward_layer(&mut self, layer: &mut Layer, x: &Tensor, widx: &mut usize) -> Tensor {
-        match layer {
-            Layer::Conv2d(conv) => {
-                let idx = *widx;
-                *widx += 1;
-                let geom = Conv2dGeometry::new(
-                    conv.in_channels(),
-                    x.dims()[2],
-                    x.dims()[3],
-                    conv.kernel(),
-                    conv.kernel(),
-                    conv.stride(),
-                    conv.padding(),
-                );
-                let bias = conv.bias().value.clone();
-                self.conv_forward(idx, x, &geom, &bias)
-            }
-            Layer::Linear(lin) => {
-                let idx = *widx;
-                *widx += 1;
-                let bias = lin.bias().value.clone();
-                self.linear_forward(idx, x, &bias)
-            }
-            Layer::Residual(block) => {
-                let mut y = x.clone();
-                for l in block.body_mut() {
-                    y = self.forward_layer(l, &y, widx);
-                }
-                let shortcut = match block.projection_mut() {
-                    Some(p) => self.forward_layer(p, x, widx),
-                    None => x.clone(),
-                };
-                // Digital add + ReLU.
-                y.zip(&shortcut, |a, b| (a + b).max(0.0))
-            }
-            other => other.forward(x, false),
-        }
-    }
-
-    /// Quantizes an activation tensor with a shared per-call scale.
-    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
-        let spec = FixedSpec::for_max_value(self.activation_bits, t.max());
-        QuantizedTensor::quantize_with(t, spec)
-    }
-
-    fn record(&mut self, idx: usize, stats: E::Stats) {
-        self.stats.merge(stats);
-        self.layer_stats[idx].merge(stats);
-        self.layer_mvms[idx] += 1;
-    }
-
-    fn conv_forward(
-        &mut self,
-        idx: usize,
-        x: &Tensor,
-        geom: &Conv2dGeometry,
-        bias: &Tensor,
-    ) -> Tensor {
-        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        let f = bias.len();
-        let positions = geom.out_positions();
-        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
-        for s in 0..n {
-            let sample = Tensor::from_vec(
-                x.data()[s * c * h * w..(s + 1) * c * h * w].to_vec(),
-                &[c, h, w],
-            );
-            let cols = im2col(&sample, geom);
-            let q = self.quantize_activations(&cols);
-            let patch = geom.patch_len();
-            for p in 0..positions {
-                let mut codes: Vec<u32> =
-                    (0..patch).map(|r| q.codes()[r * positions + p]).collect();
-                if let Some(perm) = &self.perms[idx] {
-                    codes = perm.iter().map(|&src| codes[src]).collect();
-                }
-                let (vals, stats) = self.engines[idx].matvec(&codes, q.spec().scale());
-                self.record(idx, stats);
-                for (fi, v) in vals.iter().enumerate() {
-                    out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
-                }
-            }
-        }
-        out
-    }
-
-    fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
-        let (n, in_features) = (x.dims()[0], x.dims()[1]);
-        let o = bias.len();
-        let mut out = Tensor::zeros(&[n, o]);
-        for s in 0..n {
-            let row = Tensor::from_vec(
-                x.data()[s * in_features..(s + 1) * in_features].to_vec(),
-                &[in_features],
-            );
-            let q = self.quantize_activations(&row);
-            let mut codes = q.codes().to_vec();
-            if let Some(perm) = &self.perms[idx] {
-                codes = perm.iter().map(|&src| codes[src]).collect();
-            }
-            let (vals, stats) = self.engines[idx].matvec(&codes, q.spec().scale());
-            self.record(idx, stats);
-            for (j, v) in vals.iter().enumerate() {
-                out.data_mut()[s * o + j] = v + bias.data()[j];
-            }
-        }
-        out
-    }
-
     /// Runs inference on a `[N, ...]` batch with samples distributed over
-    /// worker threads (one executor clone per worker — the crossbars are
-    /// read-only during inference, so results are identical to
-    /// [`forward`](Self::forward)). Statistics from all workers are merged.
+    /// worker threads. Every worker shares the same mapped engines
+    /// immutably (crossbar storage is *not* cloned per worker) and clones
+    /// only the digital network for its layer walk, so results are
+    /// identical to [`forward`](Self::forward). Statistics from all
+    /// workers are merged.
     ///
     /// # Panics
     ///
@@ -324,6 +423,8 @@ impl<E: CrossbarEngine> Executor<E> {
         let chunk = n.div_ceil(workers);
         type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>);
         let mut results: Vec<Option<WorkerResult<E::Stats>>> = vec![None; workers];
+        let (net, engines, perms) = (&self.net, &self.engines, &self.perms);
+        let activation_bits = self.activation_bits;
         std::thread::scope(|scope| {
             for (w, slot) in results.iter_mut().enumerate() {
                 let lo = w * chunk;
@@ -335,13 +436,11 @@ impl<E: CrossbarEngine> Executor<E> {
                 dims.extend_from_slice(sample_dims);
                 let part =
                     Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
-                let mut worker_exec = self.clone();
-                worker_exec.reset_stats();
                 scope.spawn(move || {
-                    let y = worker_exec.forward(&part);
-                    let layer_stats = worker_exec.layer_stats.clone();
-                    let layer_mvms = worker_exec.layer_mvms.clone();
-                    *slot = Some((y, worker_exec.stats, layer_stats, layer_mvms));
+                    let mut layers = net.clone().into_layers();
+                    let mut ctx = InferenceCtx::new(engines, perms, activation_bits);
+                    let y = ctx.run(&mut layers, &part);
+                    *slot = Some((y, ctx.stats, ctx.layer_stats, ctx.layer_mvms));
                 });
             }
         });
@@ -350,13 +449,7 @@ impl<E: CrossbarEngine> Executor<E> {
         let mut out_dims: Option<Vec<usize>> = None;
         for slot in results.into_iter().flatten() {
             let (y, stats, layer_stats, layer_mvms) = slot;
-            self.stats.merge(stats);
-            for (acc, st) in self.layer_stats.iter_mut().zip(&layer_stats) {
-                acc.merge(*st);
-            }
-            for (acc, &m) in self.layer_mvms.iter_mut().zip(&layer_mvms) {
-                *acc += m;
-            }
+            self.merge_worker(stats, &layer_stats, &layer_mvms);
             if out_dims.is_none() {
                 out_dims = Some(y.dims().to_vec());
             }
@@ -441,9 +534,16 @@ mod tests {
         }
     }
 
+    /// Reused input staging for the digital mock's dequantized activations.
+    #[derive(Debug, Default)]
+    struct DigitalScratch {
+        x: Vec<f32>,
+    }
+
     impl CrossbarEngine for DigitalEngine {
         type Config = u32; // input bits
         type Stats = DigitalStats;
+        type Scratch = DigitalScratch;
 
         fn map_matrix(matrix: &Tensor, _config: &u32) -> Result<Self, ExecError> {
             if matrix.shape().rank() != 2 {
@@ -459,13 +559,24 @@ mod tests {
             })
         }
 
-        fn matvec(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, DigitalStats) {
-            let x: Vec<f32> = input_codes
-                .iter()
-                .map(|&c| c as f32 * input_scale)
-                .collect();
-            let y = self.weights.transpose().matvec(&x);
-            (y, DigitalStats { mvms: 1, cycles: 1 })
+        fn output_len(&self) -> usize {
+            self.weights.dims()[1]
+        }
+
+        fn matvec_into(
+            &self,
+            input_codes: &[u32],
+            input_scale: f32,
+            scratch: &mut DigitalScratch,
+            out: &mut [f32],
+        ) -> DigitalStats {
+            scratch.x.clear();
+            scratch
+                .x
+                .extend(input_codes.iter().map(|&c| c as f32 * input_scale));
+            let y = self.weights.transpose().matvec(&scratch.x);
+            out.copy_from_slice(&y);
+            DigitalStats { mvms: 1, cycles: 1 }
         }
 
         fn crossbar_count(&self) -> usize {
@@ -502,6 +613,20 @@ mod tests {
         assert_eq!(out.dims(), digital.dims());
         let err = out.max_abs_diff(&digital) / digital.abs_max().max(1e-6);
         assert!(err < 0.01, "relative error {err}");
+    }
+
+    #[test]
+    fn matvec_wrapper_matches_matvec_into() {
+        let net = small_net(7);
+        let exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let engine = &exec.engines()[1];
+        let codes: Vec<u32> = (0..64).map(|i| (i * 7) % 17).collect();
+        let (wrapped, ws) = engine.matvec(&codes, 0.25);
+        let mut scratch = DigitalScratch::default();
+        let mut out = vec![0.0f32; engine.output_len()];
+        let is = engine.matvec_into(&codes, 0.25, &mut scratch, &mut out);
+        assert_eq!(wrapped, out);
+        assert_eq!(ws, is);
     }
 
     #[test]

@@ -41,12 +41,25 @@
 //! impl CrossbarEngine for Digital {
 //!     type Config = u32;
 //!     type Stats = Count;
+//!     // Reusable per-MVM buffer for the dequantized inputs.
+//!     type Scratch = Vec<f32>;
 //!     fn map_matrix(m: &Tensor, _: &u32) -> Result<Self, ExecError> {
 //!         Ok(Self(m.clone()))
 //!     }
-//!     fn matvec(&self, codes: &[u32], scale: f32) -> (Vec<f32>, Count) {
-//!         let x: Vec<f32> = codes.iter().map(|&c| c as f32 * scale).collect();
-//!         (self.0.transpose().matvec(&x), Count(1))
+//!     fn output_len(&self) -> usize {
+//!         self.0.dims()[1]
+//!     }
+//!     fn matvec_into(
+//!         &self,
+//!         codes: &[u32],
+//!         scale: f32,
+//!         scratch: &mut Vec<f32>,
+//!         out: &mut [f32],
+//!     ) -> Count {
+//!         scratch.clear();
+//!         scratch.extend(codes.iter().map(|&c| c as f32 * scale));
+//!         out.copy_from_slice(&self.0.transpose().matvec(scratch));
+//!         Count(1)
 //!     }
 //!     fn crossbar_count(&self) -> usize {
 //!         1

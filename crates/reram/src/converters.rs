@@ -94,6 +94,7 @@ impl Adc {
     /// nearest level and saturating at full scale. `spec` is accepted for
     /// interface symmetry with the crossbar (code units are defined by the
     /// cell spec).
+    #[inline]
     pub fn convert(&self, current: f64, _spec: &CellSpec) -> u32 {
         let max_code = (self.levels() - 1) as f64;
         let code = (current / self.full_scale * max_code).round();

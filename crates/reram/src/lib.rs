@@ -45,6 +45,7 @@ mod crossbar;
 mod device;
 mod irdrop;
 mod noise;
+mod packing;
 mod programming;
 mod variation;
 
@@ -54,5 +55,6 @@ pub use crossbar::{CellSpec, Crossbar};
 pub use device::{VteamDevice, VteamParams};
 pub use irdrop::IrDropModel;
 pub use noise::CurrentNoise;
+pub use packing::{for_each_set_bit, pack_bit_planes, plane_ones, plane_words};
 pub use programming::{program_physical, ArrayProgrammer, ProgrammingReport};
 pub use variation::{LogNormalVariation, StuckAtFault, StuckAtKind};

@@ -52,7 +52,7 @@ mod tests {
     #[test]
     fn captures_one_tensor_per_weight_layer() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut net = Network::new(vec![
+        let net = Network::new(vec![
             Layer::conv2d(&mut rng, 1, 2, 3, 1, 1),
             Layer::relu(),
             Layer::flatten(),
