@@ -22,6 +22,13 @@ echo "== MVM hot-path bench (smoke) =="
 # non-zero if the file is malformed.
 FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin mvm -- --smoke
 
+echo "== serving-layer bench (smoke) =="
+# Replays a short open-loop Poisson trace against the multi-replica serving
+# subsystem (FORMS and ISAAC behind paced engines), re-validates the
+# BENCH_serve.json it writes — schema, shed/latency invariants, and the
+# replica-scaling floor; the binary exits non-zero on any violation.
+cargo run --release --offline -p forms-bench --bin serve -- --smoke
+
 echo "== dependency freeze =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be an in-tree forms-* path crate. Anything else means

@@ -1,0 +1,71 @@
+//! Serving-layer throughput suite — writes and validates
+//! `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p forms-bench --bin serve [-- --smoke]`.
+//! `--smoke` runs a seconds-scale variant with the same code paths and
+//! JSON schema; CI uses it to catch serving-layer and schema regressions.
+//! The binary re-reads the file it wrote, parses it with
+//! `forms_bench::json::parse` and checks it with
+//! `forms_bench::serve::validate` — including the replica-scaling floor —
+//! exiting non-zero on any mismatch.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use forms_bench::json::parse;
+use forms_bench::serve::{run, validate, ServeBenchSpec};
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let spec = if smoke {
+        ServeBenchSpec::smoke()
+    } else {
+        ServeBenchSpec::full()
+    };
+    eprintln!(
+        "serve suite ({} mode): {} at {} req/s offered — this replays timed \
+         request traces, so expect it to take a while",
+        spec.mode, spec.layer_label, spec.rate_rps
+    );
+    let report = run(&spec);
+
+    for design in ["FORMS", "ISAAC"] {
+        if let Some(s) = report.scaling(design) {
+            println!(
+                "{design} sustained throughput scaling 1 -> {} replicas: {s:.2}x",
+                report.spec.replicas.iter().max().unwrap_or(&1)
+            );
+        }
+    }
+
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"));
+    let doc = report.to_json();
+    if let Err(err) = std::fs::write(path, doc.pretty() + "\n") {
+        eprintln!("could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Self-check: read the file back through the parser and validate its
+    // schema and scaling floor, so a malformed or regressed
+    // BENCH_serve.json fails the run (and CI).
+    let written = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("could not re-read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let reparsed = match parse(&written) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("BENCH_serve.json is not valid JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = validate(&reparsed) {
+        eprintln!("BENCH_serve.json is malformed: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} (validated)", path.display());
+    ExitCode::SUCCESS
+}

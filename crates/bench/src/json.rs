@@ -429,6 +429,70 @@ mod tests {
         }
     }
 
+    /// Generates an arbitrary [`JsonValue`] of bounded depth, biased
+    /// toward the writer's tricky spots: escape-heavy strings, negative
+    /// and exponent-range numbers, deep nesting, empty containers.
+    fn arbitrary_value(rng: &mut StdRng, depth: usize) -> JsonValue {
+        let leaf_only = depth == 0;
+        match rng.next_u32() % if leaf_only { 4 } else { 6 } {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.next_u32().is_multiple_of(2)),
+            2 => JsonValue::Number(arbitrary_number(rng)),
+            3 => JsonValue::String(arbitrary_string(rng)),
+            4 => {
+                let n = (rng.next_u32() % 4) as usize;
+                JsonValue::Array((0..n).map(|_| arbitrary_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let n = (rng.next_u32() % 4) as usize;
+                JsonValue::Object(
+                    (0..n)
+                        .map(|_| (arbitrary_string(rng), arbitrary_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn arbitrary_number(rng: &mut StdRng) -> f64 {
+        let mantissa = (rng.next_u32() as i64) - (u32::MAX / 2) as i64;
+        match rng.next_u32() % 4 {
+            // Small integers: the writer's `as i64` fast path.
+            0 => (mantissa % 1000) as f64,
+            // Large integers near the 1e15 formatting boundary.
+            1 => mantissa as f64 * 1e7,
+            // Fractions.
+            2 => mantissa as f64 / 997.0,
+            // Exponent-notation range, both tiny and huge.
+            _ => mantissa as f64 * 10f64.powi((rng.next_u32() % 60) as i32 - 30),
+        }
+    }
+
+    fn arbitrary_string(rng: &mut StdRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'Z', '9', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}',
+            '\u{1f}', '\u{7f}', 'µ', '√', '試', '🎉', '/',
+        ];
+        let n = (rng.next_u32() % 12) as usize;
+        (0..n)
+            .map(|_| POOL[(rng.next_u32() as usize) % POOL.len()])
+            .collect()
+    }
+
+    use forms_rng::{Rng, StdRng};
+
+    #[test]
+    fn property_parse_inverts_pretty_on_arbitrary_values() {
+        let mut rng = StdRng::seed_from_u64(0x150_B3DC);
+        for case in 0..500 {
+            let v = arbitrary_value(&mut rng, 4);
+            let text = v.pretty();
+            let reparsed =
+                parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(reparsed, v, "case {case} did not round-trip:\n{text}");
+        }
+    }
+
     #[test]
     fn numbers_render_compactly() {
         assert_eq!(JsonValue::Number(3.0).pretty(), "3");

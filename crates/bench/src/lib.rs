@@ -23,5 +23,6 @@ pub mod experiments;
 pub mod json;
 pub mod mvm;
 pub mod report;
+pub mod serve;
 pub mod suite;
 pub mod timing;

@@ -159,8 +159,10 @@ pub struct KernelResult {
     pub design: &'static str,
     /// `"packed"` (new hot path) or `"reference"` (legacy kernel).
     pub kernel: &'static str,
-    /// Median nanoseconds per MVM.
+    /// Median (p50) nanoseconds per MVM.
     pub ns_per_mvm: f64,
+    /// 95th-percentile nanoseconds per MVM across timing batches.
+    pub p95_ns_per_mvm: f64,
     /// MVMs per second implied by the median.
     pub mvms_per_s: f64,
 }
@@ -174,8 +176,10 @@ pub struct ImageResult {
     pub exec: &'static str,
     /// Worker threads used (1 for serial).
     pub workers: usize,
-    /// Images per second through the executor.
+    /// Images per second through the executor (from the median batch).
     pub images_per_s: f64,
+    /// Images per second at the 95th-percentile (slowest-tail) batch.
+    pub p95_images_per_s: f64,
 }
 
 /// Everything a suite run produces.
@@ -212,6 +216,7 @@ impl MvmBenchReport {
                     ("design", JsonValue::String(k.design.into())),
                     ("kernel", JsonValue::String(k.kernel.into())),
                     ("ns_per_mvm", JsonValue::Number(k.ns_per_mvm)),
+                    ("p95_ns_per_mvm", JsonValue::Number(k.p95_ns_per_mvm)),
                     ("mvms_per_s", JsonValue::Number(k.mvms_per_s)),
                 ])
             })
@@ -225,6 +230,7 @@ impl MvmBenchReport {
                     ("exec", JsonValue::String(r.exec.into())),
                     ("workers", JsonValue::Number(r.workers as f64)),
                     ("images_per_s", JsonValue::Number(r.images_per_s)),
+                    ("p95_images_per_s", JsonValue::Number(r.p95_images_per_s)),
                 ])
             })
             .collect();
@@ -285,7 +291,7 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
             i += 1;
             forms.matvec_into(codes, scale, &mut scratch, &mut out)
         });
-        kernels.push(kernel_result("FORMS", "packed", r.median_ns()));
+        kernels.push(kernel_result("FORMS", "packed", r));
     }
     {
         let mut i = 0;
@@ -294,7 +300,7 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
             i += 1;
             forms.matvec_reference(codes, scale)
         });
-        kernels.push(kernel_result("FORMS", "reference", r.median_ns()));
+        kernels.push(kernel_result("FORMS", "reference", r));
     }
     {
         let mut scratch = IsaacScratch::default();
@@ -305,7 +311,7 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
             i += 1;
             isaac.matvec_into(codes, scale, &mut scratch, &mut out)
         });
-        kernels.push(kernel_result("ISAAC", "packed", r.median_ns()));
+        kernels.push(kernel_result("ISAAC", "packed", r));
     }
     {
         let mut i = 0;
@@ -314,7 +320,7 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
             i += 1;
             isaac.matvec_reference(codes, scale)
         });
-        kernels.push(kernel_result("ISAAC", "reference", r.median_ns()));
+        kernels.push(kernel_result("ISAAC", "reference", r));
     }
 
     // --- end-to-end images/s ----------------------------------------
@@ -339,23 +345,23 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
     let workers = spec.workers;
     {
         let r = bencher.bench("forms/images/serial", || forms_acc.forward(&x));
-        images.push(image_result("FORMS", "serial", 1, batch, r.median_ns()));
+        images.push(image_result("FORMS", "serial", 1, batch, r));
     }
     {
         let r = bencher.bench("forms/images/parallel", || {
             forms_acc.forward_parallel(&x, workers)
         });
-        images.push(image_result("FORMS", "parallel", workers, batch, r.median_ns()));
+        images.push(image_result("FORMS", "parallel", workers, batch, r));
     }
     {
         let r = bencher.bench("isaac/images/serial", || isaac_acc.forward(&x));
-        images.push(image_result("ISAAC", "serial", 1, batch, r.median_ns()));
+        images.push(image_result("ISAAC", "serial", 1, batch, r));
     }
     {
         let r = bencher.bench("isaac/images/parallel", || {
             isaac_acc.forward_parallel(&x, workers)
         });
-        images.push(image_result("ISAAC", "parallel", workers, batch, r.median_ns()));
+        images.push(image_result("ISAAC", "parallel", workers, batch, r));
     }
 
     MvmBenchReport {
@@ -365,12 +371,17 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
     }
 }
 
-fn kernel_result(design: &'static str, kernel: &'static str, ns: f64) -> KernelResult {
+fn kernel_result(
+    design: &'static str,
+    kernel: &'static str,
+    timing: &crate::timing::BenchResult,
+) -> KernelResult {
     KernelResult {
         design,
         kernel,
-        ns_per_mvm: ns,
-        mvms_per_s: 1e9 / ns,
+        ns_per_mvm: timing.p50_ns(),
+        p95_ns_per_mvm: timing.p95_ns(),
+        mvms_per_s: 1e9 / timing.p50_ns(),
     }
 }
 
@@ -379,13 +390,14 @@ fn image_result(
     exec: &'static str,
     workers: usize,
     batch: f64,
-    ns: f64,
+    timing: &crate::timing::BenchResult,
 ) -> ImageResult {
     ImageResult {
         design,
         exec,
         workers,
-        images_per_s: batch * 1e9 / ns,
+        images_per_s: batch * 1e9 / timing.p50_ns(),
+        p95_images_per_s: batch * 1e9 / timing.p95_ns(),
     }
 }
 
@@ -428,12 +440,14 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
                         && k.get("kernel").and_then(JsonValue::as_str) == Some(kernel)
                 })
                 .ok_or_else(|| format!("missing mvm row for {design}/{kernel}"))?;
-            let rate = row
-                .get("mvms_per_s")
-                .and_then(JsonValue::as_f64)
-                .ok_or_else(|| format!("missing `mvms_per_s` for {design}/{kernel}"))?;
-            if !(rate.is_finite() && rate > 0.0) {
-                return Err(format!("non-positive `mvms_per_s` for {design}/{kernel}"));
+            for field in ["mvms_per_s", "p95_ns_per_mvm"] {
+                let rate = row
+                    .get(field)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("missing `{field}` for {design}/{kernel}"))?;
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(format!("non-positive `{field}` for {design}/{kernel}"));
+                }
             }
         }
     }

@@ -46,6 +46,7 @@ pub struct Executor<E: CrossbarEngine> {
 /// reusable mutable buffer, so the per-sample MVM loop allocates nothing
 /// once warm. Statistics accumulate locally and are merged back into the
 /// owning [`Executor`] when the walk finishes.
+#[derive(Debug)]
 struct InferenceCtx<'a, E: CrossbarEngine> {
     engines: &'a [E],
     perms: &'a [Option<Vec<usize>>],
@@ -228,6 +229,60 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
     }
 }
 
+/// A long-lived per-worker inference handle borrowing an [`Executor`]
+/// immutably: one cloned digital network plus one inference context worth
+/// of reusable buffers (im2col/patch/code scratch), kept warm *across*
+/// independent forward calls.
+///
+/// This is the serving entry point: a replica worker creates one session up
+/// front and then runs every batch the service hands it through
+/// [`forward_batch_into`](Self::forward_batch_into) without re-cloning the
+/// network or re-allocating scratch per request. Because the session only
+/// borrows the executor (`&Executor`), any number of sessions can run
+/// concurrently against the same mapped engines.
+///
+/// Statistics accumulate inside the session; fold them back with
+/// [`Executor::merge_stats`] once the session is done (the session must be
+/// dropped first to release the borrow).
+#[derive(Debug)]
+pub struct InferenceSession<'a, E: CrossbarEngine> {
+    layers: Vec<Layer>,
+    ctx: InferenceCtx<'a, E>,
+}
+
+impl<E: CrossbarEngine> InferenceSession<'_, E> {
+    /// Runs one `[N, ...]` batch through the mixed-signal path, writing the
+    /// flattened output into `out` (cleared first) and returning the output
+    /// dimensions. Results are bitwise identical to
+    /// [`Executor::forward`] on the same input.
+    pub fn forward_batch_into(&mut self, x: &Tensor, out: &mut Vec<f32>) -> Vec<usize> {
+        let y = self.ctx.run(&mut self.layers, x);
+        out.clear();
+        out.extend_from_slice(y.data());
+        y.dims().to_vec()
+    }
+
+    /// Runs one `[N, ...]` batch and returns the output tensor.
+    pub fn forward_batch(&mut self, x: &Tensor) -> Tensor {
+        self.ctx.run(&mut self.layers, x)
+    }
+
+    /// Statistics accumulated by this session since its creation.
+    pub fn stats(&self) -> E::Stats {
+        self.ctx.stats
+    }
+
+    /// Per-weight-layer statistics accumulated by this session.
+    pub fn layer_stats(&self) -> &[E::Stats] {
+        &self.ctx.layer_stats
+    }
+
+    /// Matrix-vector activations per weight layer in this session.
+    pub fn layer_mvms(&self) -> &[u64] {
+        &self.ctx.layer_mvms
+    }
+}
+
 impl<E: CrossbarEngine> Executor<E> {
     /// Maps a network with identity row order.
     ///
@@ -375,6 +430,29 @@ impl<E: CrossbarEngine> Executor<E> {
                     .max(1.0),
             })
             .collect()
+    }
+
+    /// Opens an inference session: a per-worker handle with its own cloned
+    /// digital network and reusable buffers, sharing this executor's mapped
+    /// engines immutably. See [`InferenceSession`].
+    pub fn session(&self) -> InferenceSession<'_, E> {
+        InferenceSession {
+            layers: self.net.clone().into_layers(),
+            ctx: InferenceCtx::new(&self.engines, &self.perms, self.activation_bits),
+        }
+    }
+
+    /// Folds statistics carried out of a finished [`InferenceSession`] (or
+    /// any external worker) into this executor's registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_stats` or `layer_mvms` length differs from the
+    /// weight-layer count.
+    pub fn merge_stats(&mut self, stats: E::Stats, layer_stats: &[E::Stats], layer_mvms: &[u64]) {
+        assert_eq!(layer_stats.len(), self.engines.len(), "layer stats length");
+        assert_eq!(layer_mvms.len(), self.engines.len(), "layer mvms length");
+        self.merge_worker(stats, layer_stats, layer_mvms);
     }
 
     /// Folds one finished worker context's statistics into the registry.
@@ -658,6 +736,60 @@ mod tests {
         exec.reset_stats();
         assert_eq!(exec.stats(), DigitalStats::default());
         assert_eq!(exec.layer_mvms(), &[0, 0]);
+    }
+
+    #[test]
+    fn session_matches_forward_and_reuses_buffers() {
+        let net = small_net(8);
+        let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let mut session = exec.session();
+        let mut out = Vec::new();
+        // Several independent requests through one warm session.
+        let mut all_dims = Vec::new();
+        let mut all_out = Vec::new();
+        for seed in 0..3 {
+            let x = Tensor::from_fn(&[2, 1, 8, 8], |i| ((i + seed) % 7) as f32 / 8.0);
+            let dims = session.forward_batch_into(&x, &mut out);
+            all_dims.push(dims);
+            all_out.push(out.clone());
+        }
+        let (stats, layer_stats, layer_mvms) = (
+            session.stats(),
+            session.layer_stats().to_vec(),
+            session.layer_mvms().to_vec(),
+        );
+        drop(session);
+        exec.merge_stats(stats, &layer_stats, &layer_mvms);
+        // The same requests through the plain forward path.
+        let mut reference = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        for seed in 0..3 {
+            let x = Tensor::from_fn(&[2, 1, 8, 8], |i| ((i + seed) % 7) as f32 / 8.0);
+            let y = reference.forward(&x);
+            assert_eq!(all_dims[seed], y.dims().to_vec());
+            assert_eq!(all_out[seed], y.data().to_vec());
+        }
+        assert_eq!(exec.stats(), reference.stats());
+        assert_eq!(exec.layer_mvms(), reference.layer_mvms());
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_executor() {
+        let net = small_net(9);
+        let exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 5) as f32 / 5.0);
+        let mut expected = Vec::new();
+        exec.session().forward_batch_into(&x, &mut expected);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (exec, x, expected) = (&exec, &x, &expected);
+                scope.spawn(move || {
+                    let mut session = exec.session();
+                    let mut out = Vec::new();
+                    session.forward_batch_into(x, &mut out);
+                    assert_eq!(&out, expected);
+                });
+            }
+        });
     }
 
     #[test]

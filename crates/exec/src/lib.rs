@@ -13,6 +13,10 @@
 //!   im2col/conv geometry, activation quantization, optional row
 //!   permutations, per-layer statistics registry, serial and
 //!   scoped-thread parallel batch execution, dataset evaluation.
+//! - [`InferenceSession`] — a per-worker serving handle: borrows an
+//!   executor immutably and keeps its network clone and scratch buffers
+//!   warm across independent batches (`forward_batch_into`), so replica
+//!   workers in `forms-serve` allocate nothing per request.
 //! - [`ExecError`] — the workspace-level mapping/execution error type.
 //!
 //! `forms_arch::Accelerator` (polarized FORMS engine) and
@@ -82,4 +86,4 @@ mod executor;
 
 pub use engine::{CrossbarEngine, LayerPerf, Merge};
 pub use error::ExecError;
-pub use executor::Executor;
+pub use executor::{Executor, InferenceSession};

@@ -1,0 +1,137 @@
+//! Open-loop synthetic load generation against a running service.
+//!
+//! An *open-loop* generator submits on a fixed Poisson arrival schedule
+//! regardless of how the service is keeping up — unlike a closed loop
+//! (submit, wait, repeat), it does not slow down when the service is slow,
+//! which is what exposes queueing collapse and makes load shedding
+//! measurable. Arrival times and payloads are drawn deterministically from
+//! a seed via `forms-workloads`, so every sweep point replays the same
+//! offered trace.
+
+use std::time::{Duration, Instant};
+
+use forms_rng::StdRng;
+use forms_workloads::{poisson_arrivals, synth_request, ActivationModel};
+
+use crate::service::{ServeError, ServiceHandle, Ticket};
+
+/// Specification of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSpec {
+    /// Offered load in requests per second.
+    pub rate_rps: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Seed for arrival times and payload values.
+    pub seed: u64,
+    /// Activation distribution of the synthetic payloads.
+    pub model: ActivationModel,
+    /// Per-request latency budget passed to the service, if any.
+    pub deadline: Option<Duration>,
+}
+
+/// Client-side outcome tally of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests offered (submitted or refused at the door).
+    pub offered: usize,
+    /// Requests that completed with an output.
+    pub completed: usize,
+    /// Requests shed at admission (queue full or shutting down).
+    pub shed: usize,
+    /// Requests rejected because their deadline passed in queue.
+    pub expired: usize,
+    /// Requests failed by a replica.
+    pub failed: usize,
+    /// End-to-end latency of every completed request, sorted ascending.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock span from the first submission to the last resolution.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Sustained goodput: completed requests per second of wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of offered requests shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) of completed-request latency by
+    /// nearest-rank on the sorted client-side samples; `None` when nothing
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = (q * self.latencies.len() as f64).ceil().max(1.0) as usize;
+        Some(self.latencies[rank - 1])
+    }
+}
+
+/// Runs one open-loop trace against `handle`: submits `spec.requests`
+/// payloads on the seeded Poisson schedule (sleeping to each absolute
+/// arrival time; never waiting for responses between submissions), then
+/// waits for every outstanding ticket and tallies the outcomes.
+pub fn run_open_loop(handle: &ServiceHandle, spec: &OpenLoopSpec) -> LoadReport {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let arrivals = poisson_arrivals(&mut rng, spec.rate_rps, spec.requests);
+    let sample_len = handle.sample_len();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(spec.requests);
+    let mut report = LoadReport {
+        offered: spec.requests,
+        completed: 0,
+        shed: 0,
+        expired: 0,
+        failed: 0,
+        latencies: Vec::new(),
+        elapsed: Duration::ZERO,
+    };
+    let start = Instant::now();
+    for at in &arrivals {
+        // Draw the payload before the arrival instant so generation cost
+        // never delays the schedule.
+        let payload = synth_request(&mut rng, spec.model, sample_len);
+        if let Some(gap) = (start + *at).checked_duration_since(Instant::now()) {
+            std::thread::sleep(gap);
+        }
+        let submitted = match spec.deadline {
+            Some(d) => handle.submit_with_deadline(payload, d),
+            None => handle.submit(payload),
+        };
+        match submitted {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Shed | ServeError::ShuttingDown) => report.shed += 1,
+            Err(e) => unreachable!("well-formed submission refused: {e}"),
+        }
+    }
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(response) => {
+                report.completed += 1;
+                report.latencies.push(response.latency);
+            }
+            Err(ServeError::DeadlineExceeded) => report.expired += 1,
+            Err(_) => report.failed += 1,
+        }
+    }
+    report.elapsed = start.elapsed();
+    report.latencies.sort_unstable();
+    report
+}

@@ -1,0 +1,99 @@
+//! A device-latency pacing wrapper around any [`CrossbarEngine`].
+//!
+//! The serving benches must measure the *serving layer* — queueing,
+//! batching, replica overlap — not the host CPU. A real deployment runs one
+//! accelerator device per replica, so while one replica's crossbars
+//! integrate, the other replicas' devices are busy in parallel regardless
+//! of how many host cores drive them. [`PacedEngine`] models that: every
+//! MVM takes at least a configured device latency (the host computes the
+//! result, then sleeps out the remainder of the device's occupancy
+//! window). Replica throughput then scales with the number of modeled
+//! devices, exactly as it would with physical hardware, even on a
+//! single-core host.
+
+use std::time::{Duration, Instant};
+
+use forms_exec::{CrossbarEngine, ExecError};
+use forms_tensor::Tensor;
+
+/// Configuration for a paced engine: the wrapped engine's config plus the
+/// modeled per-MVM device latency.
+#[derive(Clone, Debug)]
+pub struct PacedConfig<C> {
+    /// Configuration forwarded to the wrapped engine.
+    pub inner: C,
+    /// Minimum wall-clock duration of one MVM (device occupancy window).
+    pub latency: Duration,
+}
+
+/// A [`CrossbarEngine`] whose every MVM takes at least a fixed wall-clock
+/// latency, modeling one attached accelerator device per replica.
+///
+/// Numerical results, statistics and crossbar counts are exactly those of
+/// the wrapped engine — only timing changes.
+#[derive(Clone, Debug)]
+pub struct PacedEngine<E> {
+    inner: E,
+    latency: Duration,
+}
+
+impl<E> PacedEngine<E> {
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The modeled per-MVM device latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+impl<E: CrossbarEngine> CrossbarEngine for PacedEngine<E> {
+    type Config = PacedConfig<E::Config>;
+    type Stats = E::Stats;
+    type Scratch = E::Scratch;
+
+    fn map_matrix(matrix: &Tensor, config: &Self::Config) -> Result<Self, ExecError> {
+        Ok(Self {
+            inner: E::map_matrix(matrix, &config.inner)?,
+            latency: config.latency,
+        })
+    }
+
+    fn output_len(&self) -> usize {
+        self.inner.output_len()
+    }
+
+    fn matvec_into(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+        scratch: &mut Self::Scratch,
+        out: &mut [f32],
+    ) -> Self::Stats {
+        let start = Instant::now();
+        let stats = self.inner.matvec_into(input_codes, input_scale, scratch, out);
+        // Sleep out the remainder of the device occupancy window; if the
+        // host compute already exceeded it, the device was the faster side
+        // and there is nothing to pace.
+        if let Some(remainder) = self.latency.checked_sub(start.elapsed()) {
+            if !remainder.is_zero() {
+                std::thread::sleep(remainder);
+            }
+        }
+        stats
+    }
+
+    fn crossbar_count(&self) -> usize {
+        self.inner.crossbar_count()
+    }
+
+    fn mean_input_cycles(stats: &Self::Stats) -> Option<f64> {
+        E::mean_input_cycles(stats)
+    }
+
+    fn max_input_cycles(config: &Self::Config) -> f64 {
+        E::max_input_cycles(&config.inner)
+    }
+}

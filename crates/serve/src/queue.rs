@@ -1,0 +1,289 @@
+//! A bounded MPMC admission queue with load shedding and batched pops.
+//!
+//! This is the front door of the serving layer: producers never block —
+//! when the queue is at capacity [`BoundedQueue::try_push`] fails
+//! immediately so the caller can shed the request instead of letting the
+//! backlog (and memory) grow without bound. Consumers pop *batches*: the
+//! first item blocks (condvar), then up to `max_batch - 1` stragglers are
+//! gathered for at most `max_delay`, which is the dynamic-batching policy
+//! of the service.
+//!
+//! Shutdown is cooperative: [`BoundedQueue::close`] rejects new pushes and
+//! wakes every consumer (`notify_all`, so no consumer is lost waiting),
+//! but already-admitted items continue to drain — `pop_batch` only returns
+//! `false` once the queue is both closed and empty.
+//!
+//! Every lock acquisition is poison-tolerant: a panicking thread must
+//! never turn a recoverable replica failure into a service-wide hang or a
+//! cascade of poison panics, so the queue continues operating on the
+//! poisoned state (which is always consistent here — no invariant spans a
+//! panic point inside a critical section).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for shedding.
+    Full(T),
+    /// The queue has been closed; the item is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy snapshot, for telemetry/tests).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back as [`PushError::Full`] when the queue is at
+    /// capacity (the caller sheds it) or [`PushError::Closed`] after
+    /// shutdown began.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what remains
+    /// and then see end-of-stream. Wakes *all* waiting consumers so none
+    /// sleeps through shutdown.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Pops the next batch into `out` (cleared first): blocks until at
+    /// least one item is available, then gathers up to `max_batch` items,
+    /// waiting at most `max_delay` for stragglers after the first.
+    ///
+    /// Returns `false` — with `out` empty — only when the queue is closed
+    /// *and* fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn pop_batch(&self, max_batch: usize, max_delay: Duration, out: &mut Vec<T>) -> bool {
+        assert!(max_batch > 0, "batch size must be positive");
+        out.clear();
+        let mut state = self.lock();
+        // Wait for the batch head. Loop on the predicate so spurious
+        // wakeups and handoffs to faster consumers are harmless.
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                out.push(item);
+                break;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        // Gather stragglers until the batch is full, the flush timer
+        // expires, or shutdown flushes immediately.
+        let flush_at = Instant::now() + max_delay;
+        while out.len() < max_batch {
+            if let Some(item) = state.items.pop_front() {
+                out.push(item);
+                continue;
+            }
+            if state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(state, flush_at - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_and_shedding_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(8, Duration::ZERO, &mut batch));
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(4, Duration::from_secs(1), &mut batch));
+        assert_eq!(batch, vec![7]);
+        assert!(!q.pop_batch(4, Duration::from_secs(1), &mut batch));
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(3, Duration::ZERO, &mut batch));
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert!(q.pop_batch(3, Duration::ZERO, &mut batch));
+        assert_eq!(batch, vec![3, 4]);
+    }
+
+    #[test]
+    fn pop_batch_waits_for_stragglers_within_max_delay() {
+        let q = BoundedQueue::new(8);
+        std::thread::scope(|scope| {
+            let qref = &q;
+            scope.spawn(move || {
+                qref.try_push(1).unwrap();
+                std::thread::sleep(Duration::from_millis(5));
+                qref.try_push(2).unwrap();
+            });
+            let mut batch = Vec::new();
+            assert!(q.pop_batch(2, Duration::from_millis(500), &mut batch));
+            assert_eq!(batch, vec![1, 2], "straggler joined the batch");
+        });
+    }
+
+    #[test]
+    fn blocked_consumers_all_wake_on_close() {
+        let q = BoundedQueue::<u32>::new(4);
+        let woke = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (qref, wref) = (&q, &woke);
+                scope.spawn(move || {
+                    let mut batch = Vec::new();
+                    // Blocks until close; must return rather than hang.
+                    assert!(!qref.pop_batch(4, Duration::from_secs(5), &mut batch));
+                    wref.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+        });
+        assert_eq!(woke.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = BoundedQueue::new(16);
+        let consumed = AtomicUsize::new(0);
+        let shed = AtomicUsize::new(0);
+        const PER_PRODUCER: usize = 500;
+        std::thread::scope(|scope| {
+            for p in 0..2 {
+                let (qref, sref) = (&q, &shed);
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        if qref.try_push(p * PER_PRODUCER + i).is_err() {
+                            sref.fetch_add(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (qref, cref) = (&q, &consumed);
+                scope.spawn(move || {
+                    let mut batch = Vec::new();
+                    while qref.pop_batch(4, Duration::from_millis(1), &mut batch) {
+                        cref.fetch_add(batch.len(), Ordering::SeqCst);
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            q.close();
+        });
+        assert_eq!(
+            consumed.load(Ordering::SeqCst) + shed.load(Ordering::SeqCst),
+            2 * PER_PRODUCER,
+            "every item either served or shed"
+        );
+    }
+}

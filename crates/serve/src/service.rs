@@ -1,0 +1,435 @@
+//! The serving core: admission, dynamic batching, replica workers and
+//! graceful shutdown.
+//!
+//! A [`serve`] call turns a mapped [`Executor`] into a running service for
+//! the duration of one client closure:
+//!
+//! ```text
+//!  submit() ──► BoundedQueue ──► replica 0 ─┐
+//!     │  shed on full  │   pop_batch        ├──► Slot ──► Ticket::wait()
+//!     ▼                └─────► replica N-1 ─┘
+//!  Err(Shed)
+//! ```
+//!
+//! Each replica owns one warm [`InferenceSession`](forms_exec::InferenceSession)
+//! (reused buffers, shared immutable engines) and loops: pop a batch
+//! (blocking, with the dynamic-batching straggler window), drop requests
+//! that were cancelled or whose deadline already passed — a request past
+//! its latency budget is *rejected, not executed*, because its client has
+//! given up — then run the survivors as one batched forward and fill each
+//! request's response slot. Activation quantization is per-sample, so
+//! batched results are bitwise identical to running each request alone.
+//!
+//! Failure containment: the forward runs under `catch_unwind`, so a
+//! panicking engine fails its batch (every request gets
+//! [`ServeError::EngineFailed`]) and the replica rebuilds its session and
+//! keeps serving — one poisoned request cannot take a replica down, and
+//! shutdown can never hang on an abandoned slot. The queue closes via a
+//! drop guard even if the client closure panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use forms_exec::{CrossbarEngine, Executor};
+use forms_tensor::Tensor;
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Service sizing and batching policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Replica worker threads, each owning one warm inference session.
+    pub replicas: usize,
+    /// Admission queue bound; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Largest batch one replica executes at once.
+    pub max_batch: usize,
+    /// How long a replica waits for stragglers after the batch head.
+    pub max_delay: Duration,
+    /// Deadline applied to every request submitted without an explicit
+    /// one; `None` means no deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a request did not produce an output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was shed at the door.
+    Shed,
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request's deadline passed before a replica could execute it.
+    DeadlineExceeded,
+    /// The client cancelled the request before execution.
+    Cancelled,
+    /// The replica's engine panicked while executing the batch.
+    EngineFailed,
+    /// The payload length does not match the service's sample shape.
+    BadShape {
+        /// Expected flattened sample length.
+        expected: usize,
+        /// Length actually submitted.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Shed => write!(f, "request shed: admission queue full"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::DeadlineExceeded => write!(f, "deadline passed before execution"),
+            Self::Cancelled => write!(f, "request cancelled by client"),
+            Self::EngineFailed => write!(f, "replica engine failed on this batch"),
+            Self::BadShape { expected, got } => {
+                write!(f, "bad payload length: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A completed request's output and timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Flattened output vector for this sample.
+    pub output: Vec<f32>,
+    /// End-to-end latency: submission to completion.
+    pub latency: Duration,
+    /// Time spent queued before the executing batch formed.
+    pub queue_wait: Duration,
+    /// Number of requests in the batch that executed this one.
+    pub batch_size: usize,
+}
+
+/// One-shot response slot shared between a ticket and the replica that
+/// eventually executes (or rejects) the request.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    fn fill(&self, result: Result<Response, ServeError>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(state.is_none(), "a slot is filled exactly once");
+        *state = Some(result);
+        drop(state);
+        self.done.notify_all();
+    }
+}
+
+/// The client's handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves and returns its outcome.
+    ///
+    /// Never hangs: every admitted request is resolved — executed,
+    /// rejected at batch formation, or failed during drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeError`] recorded for this request when it did
+    /// not complete.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self
+                .slot
+                .done
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether the request has resolved (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Requests cancellation: if no replica has started executing this
+    /// request yet, it will resolve to [`ServeError::Cancelled`] instead
+    /// of running. A request already executed keeps its result.
+    pub fn cancel(&self) {
+        self.slot.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// One admitted request travelling through the queue.
+#[derive(Debug)]
+struct Pending {
+    input: Vec<f32>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+/// The client-side face of a running service: submit requests, observe
+/// telemetry. Cloning is cheap (shared queue and counters); the handle is
+/// `Sync`, so a load generator may submit from several threads.
+#[derive(Clone, Debug)]
+pub struct ServiceHandle {
+    queue: Arc<BoundedQueue<Pending>>,
+    telemetry: Arc<Telemetry>,
+    sample_len: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl ServiceHandle {
+    /// Submits one request with the service's default deadline policy.
+    ///
+    /// Never blocks: if the queue is full the request is shed
+    /// immediately, which is what keeps service memory bounded under
+    /// overload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadShape`] for a wrong-length payload,
+    /// [`ServeError::Shed`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, self.default_deadline)
+    }
+
+    /// Submits one request with an explicit latency budget, overriding the
+    /// service default.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        input: Vec<f32>,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        input: Vec<f32>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        if input.len() != self.sample_len {
+            return Err(ServeError::BadShape {
+                expected: self.sample_len,
+                got: input.len(),
+            });
+        }
+        self.telemetry.submitted.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
+        let slot = Slot::new();
+        let pending = Pending {
+            input,
+            submitted,
+            deadline: deadline.map(|d| submitted + d),
+            slot: Arc::clone(&slot),
+        };
+        match self.queue.try_push(pending) {
+            Ok(()) => Ok(Ticket { slot }),
+            Err(PushError::Full(_)) => {
+                self.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Shed)
+            }
+            Err(PushError::Closed(_)) => {
+                self.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Flattened per-sample payload length this service expects.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// Current telemetry snapshot.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Requests currently queued (racy snapshot; bounded by the configured
+    /// capacity by construction).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The admission queue's capacity bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+}
+
+/// Closes the queue when dropped, so replicas drain and exit even if the
+/// client closure panics — shutdown can never hang on an open queue.
+struct CloseGuard<'a>(&'a BoundedQueue<Pending>);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Runs a multi-replica inference service around `executor` for the
+/// duration of `client`, then drains and joins every replica.
+///
+/// `sample_dims` is the per-sample input shape (without the batch
+/// dimension), e.g. `[1, 8, 8]` for an 8×8 single-channel image or
+/// `[1152]` for a lowered linear layer. Returns the client's result and
+/// the final telemetry snapshot after all replicas have drained.
+///
+/// Shutdown is graceful: when `client` returns, the queue closes (new
+/// submissions fail with [`ServeError::ShuttingDown`]) but every
+/// already-admitted request is still executed or rejected before `serve`
+/// returns.
+///
+/// # Panics
+///
+/// Panics if `config.replicas`, `config.queue_capacity`, or
+/// `config.max_batch` is zero, or if `sample_dims` is empty.
+pub fn serve<E, R>(
+    executor: &Executor<E>,
+    sample_dims: &[usize],
+    config: &ServeConfig,
+    client: impl FnOnce(&ServiceHandle) -> R,
+) -> (R, TelemetrySnapshot)
+where
+    E: CrossbarEngine,
+    E::Stats: Sync,
+{
+    assert!(config.replicas > 0, "need at least one replica");
+    assert!(config.max_batch > 0, "batch size must be positive");
+    assert!(!sample_dims.is_empty(), "sample shape must be non-empty");
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let telemetry = Arc::new(Telemetry::new());
+    let handle = ServiceHandle {
+        queue: Arc::clone(&queue),
+        telemetry: Arc::clone(&telemetry),
+        sample_len: sample_dims.iter().product(),
+        default_deadline: config.default_deadline,
+    };
+    let result = std::thread::scope(|scope| {
+        for _ in 0..config.replicas {
+            let (queue, telemetry) = (Arc::clone(&queue), Arc::clone(&telemetry));
+            scope.spawn(move || replica_loop(executor, sample_dims, config, &queue, &telemetry));
+        }
+        let guard = CloseGuard(&queue);
+        let result = client(&handle);
+        drop(guard);
+        result
+    });
+    (result, telemetry.snapshot())
+}
+
+/// One replica: pop batches until the queue is closed and drained.
+fn replica_loop<E: CrossbarEngine>(
+    executor: &Executor<E>,
+    sample_dims: &[usize],
+    config: &ServeConfig,
+    queue: &BoundedQueue<Pending>,
+    telemetry: &Telemetry,
+) {
+    let mut session = executor.session();
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut live: Vec<Pending> = Vec::new();
+    let mut staging: Vec<f32> = Vec::new();
+    let mut out: Vec<f32> = Vec::new();
+    while queue.pop_batch(config.max_batch, config.max_delay, &mut batch) {
+        // Reject before executing: a cancelled request has no consumer and
+        // a request past its latency budget is useless to its client —
+        // running either would only add load while overloaded.
+        let now = Instant::now();
+        live.clear();
+        for pending in batch.drain(..) {
+            if pending.slot.cancelled.load(Ordering::Acquire) {
+                telemetry.cancelled.fetch_add(1, Ordering::Relaxed);
+                pending.slot.fill(Err(ServeError::Cancelled));
+            } else if pending.deadline.is_some_and(|d| now >= d) {
+                telemetry.expired.fetch_add(1, Ordering::Relaxed);
+                pending.slot.fill(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(pending);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch_size = live.len();
+        staging.clear();
+        for pending in &live {
+            staging.extend_from_slice(&pending.input);
+        }
+        let mut dims = vec![batch_size];
+        dims.extend_from_slice(sample_dims);
+        let x = Tensor::from_vec(std::mem::take(&mut staging), &dims);
+        let started = Instant::now();
+        let forward = catch_unwind(AssertUnwindSafe(|| {
+            session.forward_batch_into(&x, &mut out);
+        }));
+        staging = x.into_vec();
+        match forward {
+            Ok(()) => {
+                let per_sample = out.len() / batch_size;
+                let finished = Instant::now();
+                for (i, pending) in live.drain(..).enumerate() {
+                    let latency = finished.duration_since(pending.submitted);
+                    telemetry.record_completed(latency);
+                    pending.slot.fill(Ok(Response {
+                        output: out[i * per_sample..(i + 1) * per_sample].to_vec(),
+                        latency,
+                        queue_wait: started.duration_since(pending.submitted),
+                        batch_size,
+                    }));
+                }
+            }
+            Err(_) => {
+                // The engine panicked: fail this batch but keep the
+                // replica alive. The session's buffers may be mid-update,
+                // so rebuild it before the next batch.
+                for pending in live.drain(..) {
+                    telemetry.failed.fetch_add(1, Ordering::Relaxed);
+                    pending.slot.fill(Err(ServeError::EngineFailed));
+                }
+                out.clear();
+                session = executor.session();
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Lock-free serving telemetry: outcome counters and a fixed-bucket
+//! latency histogram with percentile extraction.
+//!
+//! Replica workers and submitters record into plain atomics — no lock is
+//! ever taken on the request path, so telemetry can't become a point of
+//! contention or a deadlock participant. The histogram uses fixed
+//! log-spaced buckets (geometric growth of √2 per bucket starting at 1 µs,
+//! so every estimate is within ±19% of the true value across six decades),
+//! and p50/p95/p99 are extracted from a consistent-enough snapshot by
+//! geometric interpolation inside the hit bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Lower edge of bucket 1 in nanoseconds (bucket 0 catches everything
+/// below it).
+pub const HISTOGRAM_LO_NS: f64 = 1_000.0;
+/// Geometric growth factor between consecutive bucket edges.
+pub const HISTOGRAM_GROWTH: f64 = std::f64::consts::SQRT_2;
+
+fn bucket_index(ns: u64) -> usize {
+    if (ns as f64) < HISTOGRAM_LO_NS {
+        return 0;
+    }
+    let octaves = (ns as f64 / HISTOGRAM_LO_NS).log2() / HISTOGRAM_GROWTH.log2();
+    (octaves as usize + 1).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Lower edge of bucket `i` in nanoseconds (0 for bucket 0).
+pub fn bucket_lower_ns(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        HISTOGRAM_LO_NS * HISTOGRAM_GROWTH.powi(i as i32 - 1)
+    }
+}
+
+/// Upper edge of bucket `i` in nanoseconds.
+pub fn bucket_upper_ns(i: usize) -> f64 {
+    HISTOGRAM_LO_NS * HISTOGRAM_GROWTH.powi(i as i32)
+}
+
+/// A lock-free fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of the histogram counters.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observation in nanoseconds (exact, not bucketed).
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) in nanoseconds by
+    /// geometric interpolation within the bucket holding the target rank.
+    /// Returns 0 when no observations were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate geometrically between the bucket edges by
+                // the fraction of the rank inside this bucket.
+                let lo = bucket_lower_ns(i).max(1.0);
+                let hi = bucket_upper_ns(i).min(self.max_ns as f64).max(lo);
+                let frac = (rank - seen) as f64 / c as f64;
+                return lo * (hi / lo).powf(frac);
+            }
+            seen += c;
+        }
+        self.max_ns as f64
+    }
+
+    /// Median latency estimate in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency estimate in nanoseconds.
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile latency estimate in nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+/// Lock-free counters for every request outcome plus the end-to-end
+/// latency histogram of completed requests.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Requests offered to `submit` (accepted or not).
+    pub submitted: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests refused at admission (queue full or service closing).
+    pub shed: AtomicU64,
+    /// Requests whose deadline passed before execution began.
+    pub expired: AtomicU64,
+    /// Requests cancelled by the client before execution.
+    pub cancelled: AtomicU64,
+    /// Requests that failed because a replica's engine panicked.
+    pub failed: AtomicU64,
+    latency: AtomicHistogram,
+}
+
+impl Telemetry {
+    pub(crate) fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency: AtomicHistogram::new(),
+        }
+    }
+
+    /// Records one successful completion with its end-to-end latency.
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Takes an immutable snapshot of every counter and the histogram.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A consistent-enough copy of the telemetry counters.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Requests offered to `submit`.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub shed: u64,
+    /// Requests expired before execution.
+    pub expired: u64,
+    /// Requests cancelled before execution.
+    pub cancelled: u64,
+    /// Requests failed by a panicking replica.
+    pub failed: u64,
+    /// Latency histogram of completed requests.
+    pub latency: HistogramSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// Fraction of offered requests that were shed (0 when none offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Requests with a recorded terminal outcome.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.shed + self.expired + self.cancelled + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_cover_the_range() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_lower_ns(i) < bucket_upper_ns(i));
+            assert!(bucket_upper_ns(i - 1) <= bucket_lower_ns(i) + 1e-9);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(999), 0);
+        assert_eq!(bucket_index(1_000), 1);
+        // Far beyond the top edge still lands in the last bucket.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let h = AtomicHistogram::new();
+        // 100 observations at ~1 ms, 10 at ~100 ms.
+        for _ in 0..100 {
+            h.record(Duration::from_micros(1_000));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(100));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 110);
+        let p50 = s.p50_ns();
+        assert!((0.5e6..2.0e6).contains(&p50), "p50 {p50}");
+        let p99 = s.p99_ns();
+        assert!((50.0e6..200.0e6).contains(&p99), "p99 {p99}");
+        assert!(s.p95_ns() <= p99 + 1e-9);
+        assert_eq!(s.max_ns, 100_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = AtomicHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns(), 0.0);
+        assert_eq!(s.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_accounts_outcomes() {
+        let t = Telemetry::new();
+        t.submitted.fetch_add(5, Ordering::Relaxed);
+        t.record_completed(Duration::from_micros(10));
+        t.record_completed(Duration::from_micros(20));
+        t.shed.fetch_add(2, Ordering::Relaxed);
+        t.failed.fetch_add(1, Ordering::Relaxed);
+        let s = t.snapshot();
+        assert_eq!(s.resolved(), 5);
+        assert_eq!(s.shed_rate(), 0.4);
+        assert_eq!(s.latency.count, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let href = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        href.record(Duration::from_nanos(500 + i * 1_000));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 4000);
+    }
+}

@@ -4,6 +4,10 @@
 //! activation distributions, layer-shape catalogs and EIC measurements that
 //! feed the evaluation benches (Figs. 8, 13, 14).
 //!
+//! The serving benches additionally draw open-loop request streams from
+//! here: [`poisson_arrivals`] generates Poisson-process arrival times and
+//! [`synth_request`] sizes activation payloads for a catalog layer shape.
+//!
 //! The paper measures effective input cycles on real CONV-layer
 //! activations. Here those come from two sources: [`ActivationModel`]
 //! synthesizes post-ReLU-shaped distributions (most values small — paper
@@ -32,6 +36,7 @@ mod activations;
 mod capture;
 mod shapes;
 mod sweep;
+mod trace;
 
 pub use activations::ActivationModel;
 pub use capture::capture_weight_layer_inputs;
@@ -39,3 +44,4 @@ pub use shapes::{
     lenet5_mnist, resnet18_cifar, resnet18_imagenet, resnet50_imagenet, vgg16_cifar, LayerShape,
 };
 pub use sweep::{grid2, grid3, sweep2, Axis};
+pub use trace::{poisson_arrivals, synth_request, TraceSpec};

@@ -16,7 +16,9 @@
 //! - [`arch`] — the FORMS accelerator (mapping, zero-skipping, pipeline)
 //! - [`baselines`] — ISAAC / PUMA / DaDianNao comparators
 //! - [`hwmodel`] — component-level area/power/energy models
-//! - [`workloads`] — activation generators and EIC statistics
+//! - [`workloads`] — activation generators, EIC statistics, request traces
+//! - [`serve`] — batched multi-replica inference serving (queues,
+//!   deadlines, telemetry, open-loop load generation)
 //!
 //! # Example
 //!
@@ -38,5 +40,6 @@ pub use forms_exec as exec;
 pub use forms_hwmodel as hwmodel;
 pub use forms_reram as reram;
 pub use forms_rng as rng;
+pub use forms_serve as serve;
 pub use forms_tensor as tensor;
 pub use forms_workloads as workloads;

@@ -1,0 +1,124 @@
+//! Determinism regression: the executor's parallel batch path must be
+//! bitwise identical to the serial path, for both the FORMS design and the
+//! ISAAC baseline, on a pruned multi-crossbar network.
+//!
+//! This pins the property the serving layer is built on: distributing
+//! samples across workers (or replicas) can never change a result, because
+//! activation quantization is per-sample and the engines are immutable
+//! during inference. Any future change that introduces batch-global state
+//! into the hot path fails here first.
+
+use forms::admm::{
+    fragment_signs, polarization_violations, project_polarization, project_structured_pruning,
+};
+use forms::arch::{MappedLayer, MappingConfig};
+use forms::baselines::{IsaacConfig, IsaacLayer};
+use forms::dnn::{Layer, Network, WeightLayerMut};
+use forms::exec::{CrossbarEngine, Executor};
+use forms::reram::CellSpec;
+use forms::rng::StdRng;
+use forms::tensor::Tensor;
+
+const FRAGMENT: usize = 4;
+
+/// A CNN whose linear layer spans several 16×16 crossbars, with weights
+/// structured-pruned (25% of rows dropped) and then fragment-polarized so
+/// FORMS can map them.
+fn pruned_polarized_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    let mut net = Network::new(vec![
+        Layer::conv2d(&mut rng, 1, 8, 3, 1, 1),
+        Layer::relu(),
+        Layer::max_pool(2),
+        Layer::flatten(),
+        Layer::linear(&mut rng, 8 * 4 * 4, 10),
+    ]);
+    net.for_each_weight_layer(&mut |wl| {
+        let mut z = match &wl {
+            WeightLayerMut::Conv(c) => c.weight_matrix(),
+            WeightLayerMut::Linear(l) => l.weight_matrix(),
+        };
+        let (rows, cols) = (z.dims()[0], z.dims()[1]);
+        z = project_structured_pruning(&z, rows * 3 / 4, cols);
+        while polarization_violations(&z, FRAGMENT) > 0 {
+            let signs = fragment_signs(&z, FRAGMENT);
+            z = project_polarization(&z, FRAGMENT, &signs);
+        }
+        match wl {
+            WeightLayerMut::Conv(c) => c.set_weight_matrix(&z),
+            WeightLayerMut::Linear(l) => l.set_weight_matrix(&z),
+        }
+    });
+    net
+}
+
+fn batch() -> Tensor {
+    Tensor::from_fn(&[5, 1, 8, 8], |i| ((i * 13) % 23) as f32 / 23.0)
+}
+
+fn assert_parallel_matches_serial<E: CrossbarEngine>(exec: &Executor<E>, design: &str)
+where
+    E::Stats: PartialEq + std::fmt::Debug,
+{
+    let x = batch();
+    let mut serial = exec.clone();
+    let expected = serial.forward(&x);
+    for workers in [1, 2, 4] {
+        let mut parallel = exec.clone();
+        let got = parallel.forward_parallel(&x, workers);
+        assert_eq!(
+            got.dims(),
+            expected.dims(),
+            "{design}: dims diverge at {workers} workers"
+        );
+        assert_eq!(
+            got.data(),
+            expected.data(),
+            "{design}: outputs not bitwise identical at {workers} workers"
+        );
+        assert_eq!(
+            parallel.stats(),
+            serial.stats(),
+            "{design}: merged stats diverge at {workers} workers"
+        );
+        assert_eq!(
+            parallel.layer_mvms(),
+            serial.layer_mvms(),
+            "{design}: per-layer MVM counts diverge at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn forms_parallel_forward_is_bitwise_deterministic() {
+    let net = pruned_polarized_net();
+    let config = MappingConfig {
+        crossbar_dim: 16,
+        fragment_size: FRAGMENT,
+        weight_bits: 8,
+        cell: CellSpec::paper_2bit(),
+        input_bits: 8,
+        zero_skipping: true,
+    };
+    let exec = Executor::<MappedLayer>::map_network(&net, &config, 8).expect("maps on FORMS");
+    assert!(
+        exec.total_crossbars() > 4,
+        "the regression must cover a multi-crossbar mapping, got {}",
+        exec.total_crossbars()
+    );
+    assert_parallel_matches_serial(&exec, "FORMS");
+}
+
+#[test]
+fn isaac_parallel_forward_is_bitwise_deterministic() {
+    let net = pruned_polarized_net();
+    let config = IsaacConfig {
+        crossbar_dim: 16,
+        cell: CellSpec::paper_2bit(),
+        weight_bits: 8,
+        input_bits: 8,
+    };
+    let exec = Executor::<IsaacLayer>::map_network(&net, &config, 8).expect("maps on ISAAC");
+    assert!(exec.total_crossbars() > 4);
+    assert_parallel_matches_serial(&exec, "ISAAC");
+}
