@@ -29,6 +29,14 @@ echo "== serving-layer bench (smoke) =="
 # replica-scaling floor; the binary exits non-zero on any violation.
 cargo run --release --offline -p forms-bench --bin serve -- --smoke
 
+echo "== fault-tolerance bench (smoke) =="
+# Sweeps stuck-at fault rates through the packed path for FORMS and ISAAC,
+# then runs a poisoned-replica serving storm; the binary re-validates the
+# BENCH_faults.json it writes — schema, the FORMS-degrades-no-faster-than-
+# ISAAC comparison, and the zero-corrupted-responses / quarantine storm
+# invariants — and exits non-zero on any violation.
+cargo run --release --offline -p forms-bench --bin faults -- --smoke
+
 echo "== dependency freeze =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be an in-tree forms-* path crate. Anything else means

@@ -7,8 +7,10 @@
 //! sub-arrays. Each fragment's single sign bit lives in the 1R *sign
 //! indicator* and is applied during digital accumulation.
 
-use forms_exec::{CrossbarEngine, ExecError, Merge};
-use forms_reram::{pack_bit_planes, Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise};
+use forms_exec::{CrossbarEngine, EngineHealth, ExecError, FaultableEngine, Merge};
+use forms_reram::{
+    pack_bit_planes, Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise, FaultCampaign, FaultReport,
+};
 use forms_tensor::Tensor;
 use forms_rng::Rng;
 
@@ -198,6 +200,13 @@ pub struct MappedLayer {
     xb_cols: usize,
     adc: Adc,
     slicer: BitSlicer,
+    /// Pristine nominal output ceiling: `max_col Σ|code| × max_input ×
+    /// step` — what no clean MVM output can exceed (per unit input scale).
+    ceiling: f64,
+    /// Cumulative stuck cells injected through [`inject_faults`](FaultableEngine::inject_faults).
+    faulted_cells: u64,
+    /// Cumulative drifted cells injected likewise.
+    drifted_cells: u64,
 }
 
 impl MappedLayer {
@@ -277,6 +286,7 @@ impl MappedLayer {
         let xb_cols = (compact_cols * cpw).div_ceil(dim);
         let mut crossbars = vec![Crossbar::new(dim, dim, config.cell); xb_rows * xb_cols];
 
+        let mut col_code_sums = vec![0u64; compact_cols];
         for (ci, &c) in col_index.iter().enumerate() {
             for (ri, &r) in row_index.iter().enumerate() {
                 let w = matrix.data()[r * cols + c];
@@ -284,6 +294,7 @@ impl MappedLayer {
                     continue;
                 }
                 let code = ((w.abs() / step).round() as u32).min(max_code as u32);
+                col_code_sums[ci] += u64::from(code);
                 let slices = slicer.slice(code);
                 let (xr, row_in_xb) = (ri / dim, ri % dim);
                 for (k, &s) in slices.iter().enumerate() {
@@ -293,6 +304,16 @@ impl MappedLayer {
                 }
             }
         }
+
+        // Pristine output ceiling: every fragment of a column contributes
+        // with one sign, so |Σ ±frag| ≤ Σ|code|, and inputs are at most the
+        // full-scale code. A clean MVM can never exceed this bound; a
+        // stuck-high or sign-corrupted array can.
+        let max_input = ((1u64 << config.input_bits) - 1) as f64;
+        let ceiling = col_code_sums
+            .iter()
+            .map(|&s| s as f64 * max_input * f64::from(step))
+            .fold(0.0f64, f64::max);
 
         let adc = Adc::ideal_for(m, &config.cell);
         Ok(Self {
@@ -308,6 +329,9 @@ impl MappedLayer {
             xb_cols,
             adc,
             slicer,
+            ceiling,
+            faulted_cells: 0,
+            drifted_cells: 0,
         })
     }
 
@@ -737,6 +761,34 @@ impl CrossbarEngine for MappedLayer {
     fn max_input_cycles(config: &MappingConfig) -> f64 {
         f64::from(config.input_bits)
     }
+
+    fn health(&self) -> EngineHealth {
+        let dim = self.config.crossbar_dim as u64;
+        EngineHealth {
+            faulted_cells: self.faulted_cells,
+            drifted_cells: self.drifted_cells,
+            total_cells: self.crossbars.len() as u64 * dim * dim,
+        }
+    }
+
+    fn output_ceiling(&self) -> Option<f64> {
+        Some(self.ceiling)
+    }
+}
+
+impl FaultableEngine for MappedLayer {
+    fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (i, xbar) in self.crossbars.iter_mut().enumerate() {
+            // Decorrelate crossbars within the layer; the caller's salt
+            // already decorrelates layers and replicas.
+            let xb_salt = salt ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            total.merge(&campaign.apply(xbar, xb_salt));
+        }
+        self.faulted_cells += total.stuck() as u64;
+        self.drifted_cells += total.drifted as u64;
+        total
+    }
 }
 
 #[cfg(test)]
@@ -1050,5 +1102,69 @@ mod tests {
         for (g, r) in got.iter().zip(&reference) {
             assert!((g - r).abs() < 1e-3, "analog {g} vs digital {r}");
         }
+    }
+
+    #[test]
+    fn clean_outputs_stay_under_the_ceiling() {
+        let w = polarized_matrix(16, 4, 4);
+        let mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let ceiling = CrossbarEngine::output_ceiling(&mapped).unwrap();
+        assert!(ceiling > 0.0);
+        // Worst-case inputs: every code at full scale.
+        let codes = vec![255u32; 16];
+        let (out, _) = mapped.matvec(&codes, 1.0);
+        for v in out {
+            assert!(
+                f64::from(v.abs()) <= ceiling * (1.0 + 1e-9),
+                "clean output {v} exceeds ceiling {ceiling}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_faults_update_health_and_packed_path() {
+        let w = polarized_matrix(16, 4, 4);
+        let mut mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let pristine = CrossbarEngine::health(&mapped);
+        assert_eq!(pristine.faulted_cells, 0);
+        assert_eq!(pristine.drifted_cells, 0);
+        assert_eq!(pristine.fault_density(), 0.0);
+
+        let campaign = FaultCampaign::stuck_at(7, 0.2, 0.1);
+        let report = mapped.inject_faults(&campaign, 99);
+        assert!(report.stuck() > 0, "20%+10% over 1024 cells must hit");
+
+        let health = CrossbarEngine::health(&mapped);
+        assert_eq!(health.faulted_cells, report.stuck() as u64);
+        assert_eq!(
+            health.total_cells,
+            mapped.crossbar_count() as u64 * 16 * 16
+        );
+        assert!(health.fault_density() > 0.0);
+
+        // The faulted state must flow through the packed hot path exactly
+        // as through the reference path.
+        let codes: Vec<u32> = (0..16).map(|i| (i * 13) as u32 % 251).collect();
+        let (packed, _) = mapped.matvec(&codes, 0.5);
+        let (reference, _) = mapped.matvec_reference(&codes, 0.5);
+        assert_eq!(packed, reference);
+    }
+
+    #[test]
+    fn fault_injection_is_replayable_and_salt_sensitive() {
+        let w = polarized_matrix(16, 4, 4);
+        let campaign = FaultCampaign::stuck_at(11, 0.3, 0.0);
+        let mut a = MappedLayer::map(&w, small_config(4)).unwrap();
+        let mut b = MappedLayer::map(&w, small_config(4)).unwrap();
+        let mut c = MappedLayer::map(&w, small_config(4)).unwrap();
+        let ra = a.inject_faults(&campaign, 1);
+        let rb = b.inject_faults(&campaign, 1);
+        let rc = c.inject_faults(&campaign, 2);
+        assert_eq!(ra, rb);
+        assert_eq!(a.crossbars(), b.crossbars());
+        assert!(
+            a.crossbars() != c.crossbars() || ra != rc,
+            "different salts must decorrelate"
+        );
     }
 }

@@ -12,7 +12,10 @@
 //! directly. The price is the per-input-bit ones-counting and offset
 //! subtraction, which the statistics expose.
 
-use forms_exec::{CrossbarEngine, ExecError, Executor, LayerPerf};
+use forms_exec::{
+    CrossbarEngine, EngineHealth, ExecError, Executor, FaultCampaign, FaultReport,
+    FaultableEngine, LayerPerf,
+};
 use forms_hwmodel::{Activity, DynamicActivity};
 use forms_tensor::Tensor;
 
@@ -90,6 +93,25 @@ impl CrossbarEngine for IsaacLayer {
 
     fn max_input_cycles(config: &IsaacConfig) -> f64 {
         f64::from(config.input_bits)
+    }
+
+    fn health(&self) -> EngineHealth {
+        let (faulted_cells, drifted_cells, total_cells) = self.fault_counts();
+        EngineHealth {
+            faulted_cells,
+            drifted_cells,
+            total_cells,
+        }
+    }
+
+    fn output_ceiling(&self) -> Option<f64> {
+        Some(self.nominal_ceiling())
+    }
+}
+
+impl FaultableEngine for IsaacLayer {
+    fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport {
+        IsaacLayer::inject_faults(self, campaign, salt)
     }
 }
 

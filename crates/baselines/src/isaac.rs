@@ -1,7 +1,9 @@
 //! The ISAAC offset-encoding crossbar model (paper §II-B and ref. \[18\]).
 
 use forms_exec::{ExecError, Merge};
-use forms_reram::{pack_bit_planes, plane_ones, Adc, BitSlicer, CellSpec, Crossbar};
+use forms_reram::{
+    pack_bit_planes, plane_ones, Adc, BitSlicer, CellSpec, Crossbar, FaultCampaign, FaultReport,
+};
 use forms_tensor::Tensor;
 
 /// Statistics of one ISAAC matrix-vector multiplication.
@@ -72,6 +74,14 @@ pub struct IsaacLayer {
     xb_cols: usize,
     adc: Adc,
     slicer: BitSlicer,
+    /// Pristine nominal output ceiling: `max_col Σ|k| × max_input × step`
+    /// — the offset correction cancels the bias exactly on clean arrays,
+    /// so no clean output can exceed this (per unit input scale).
+    ceiling: f64,
+    /// Cumulative stuck cells injected through fault campaigns.
+    faulted_cells: u64,
+    /// Cumulative drifted cells injected likewise.
+    drifted_cells: u64,
 }
 
 impl IsaacLayer {
@@ -130,10 +140,12 @@ impl IsaacLayer {
         let mut crossbars =
             vec![Crossbar::new(crossbar_dim, crossbar_dim, cell); xb_rows * xb_cols];
 
+        let mut col_abs_sums = vec![0u64; col_index.len()];
         for (ci, &c) in col_index.iter().enumerate() {
             for (ri, &r) in row_index.iter().enumerate() {
                 let w = matrix.data()[r * cols + c];
                 let k = (w / step).round().clamp(-levels, levels) as i64;
+                col_abs_sums[ci] += k.unsigned_abs();
                 let encoded = (k + bias as i64) as u32;
                 let (xr, row_in_xb) = (ri / crossbar_dim, ri % crossbar_dim);
                 for (slice, &s) in slicer.slice(encoded).iter().enumerate() {
@@ -143,6 +155,12 @@ impl IsaacLayer {
                 }
             }
         }
+
+        let max_input = ((1u64 << input_bits) - 1) as f64;
+        let ceiling = col_abs_sums
+            .iter()
+            .map(|&s| s as f64 * max_input * f64::from(step))
+            .fold(0.0f64, f64::max);
 
         let adc = Adc::ideal_for(crossbar_dim, &cell);
         Ok(Self {
@@ -158,7 +176,40 @@ impl IsaacLayer {
             xb_cols,
             adc,
             slicer,
+            ceiling,
+            faulted_cells: 0,
+            drifted_cells: 0,
         })
+    }
+
+    /// Applies a fault campaign to every crossbar of this layer (the same
+    /// per-crossbar salting as the FORMS engine, so FORMS-vs-ISAAC fault
+    /// sweeps are apples-to-apples).
+    pub fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (i, xbar) in self.crossbars.iter_mut().enumerate() {
+            let xb_salt = salt ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            total.merge(&campaign.apply(xbar, xb_salt));
+        }
+        self.faulted_cells += total.stuck() as u64;
+        self.drifted_cells += total.drifted as u64;
+        total
+    }
+
+    /// Aggregate fault counters: (faulted cells, drifted cells, total
+    /// mapped cells).
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        let dim = self.crossbar_dim as u64;
+        (
+            self.faulted_cells,
+            self.drifted_cells,
+            self.crossbars.len() as u64 * dim * dim,
+        )
+    }
+
+    /// Pristine nominal output ceiling (per unit input scale).
+    pub fn nominal_ceiling(&self) -> f64 {
+        self.ceiling
     }
 
     /// Weight quantization step.
@@ -547,6 +598,36 @@ mod tests {
             assert_eq!(reference, out);
             assert_eq!(ref_stats, stats);
         }
+    }
+
+    #[test]
+    fn clean_outputs_stay_under_the_ceiling() {
+        let w = signed_matrix(16, 4);
+        let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+        let ceiling = layer.nominal_ceiling();
+        assert!(ceiling > 0.0);
+        let (out, _) = layer.matvec(&[255u32; 16], 1.0);
+        for v in out {
+            assert!(
+                f64::from(v.abs()) <= ceiling * (1.0 + 1e-9),
+                "clean output {v} exceeds ceiling {ceiling}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_faults_flow_through_packed_path() {
+        let w = signed_matrix(16, 4);
+        let mut layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+        let report = layer.inject_faults(&FaultCampaign::stuck_at(3, 0.15, 0.1), 7);
+        assert!(report.stuck() > 0);
+        let (faulted, _, total) = layer.fault_counts();
+        assert_eq!(faulted, report.stuck() as u64);
+        assert!(total >= 16 * 16);
+        let codes: Vec<u32> = (0..16).map(|i| (i * 13) as u32 % 251).collect();
+        let (packed, _) = layer.matvec(&codes, 0.5);
+        let (reference, _) = layer.matvec_reference(&codes, 0.5);
+        assert_eq!(packed, reference);
     }
 
     #[test]

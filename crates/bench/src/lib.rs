@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod faults;
 pub mod json;
 pub mod mvm;
 pub mod report;

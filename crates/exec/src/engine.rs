@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use forms_reram::{FaultCampaign, FaultReport};
 use forms_tensor::Tensor;
 
 use crate::error::ExecError;
@@ -11,6 +12,38 @@ use crate::error::ExecError;
 pub trait Merge {
     /// Folds `other` into `self`.
     fn merge(&mut self, other: Self);
+}
+
+/// Aggregate device-health counters an engine reports about its mapped
+/// crossbars: how many cells are known-faulted or drifted out of how many
+/// total. The serving layer's quarantine policy thresholds on
+/// [`fault_density`](Self::fault_density).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Cells known stuck at a conductance rail.
+    pub faulted_cells: u64,
+    /// Cells whose conductance drifted off its programmed value.
+    pub drifted_cells: u64,
+    /// Total mapped cells (0 when the engine does not track health).
+    pub total_cells: u64,
+}
+
+impl EngineHealth {
+    /// Fraction of mapped cells known stuck (0 when untracked).
+    pub fn fault_density(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            self.faulted_cells as f64 / self.total_cells as f64
+        }
+    }
+
+    /// Folds another engine's counters into this one.
+    pub fn merge(&mut self, other: &EngineHealth) {
+        self.faulted_cells += other.faulted_cells;
+        self.drifted_cells += other.drifted_cells;
+        self.total_cells += other.total_cells;
+    }
 }
 
 /// One weight layer mapped onto physical crossbars by some encoding scheme
@@ -88,6 +121,34 @@ pub trait CrossbarEngine: Clone + Send + Sync + fmt::Debug + Sized {
     /// Input cycles per activation when nothing was measured — the input
     /// bit width (a design with zero-skipping never exceeds it).
     fn max_input_cycles(config: &Self::Config) -> f64;
+
+    /// Device-health counters for this layer's mapped crossbars. The
+    /// default reports nothing (all-zero); engines that track fault
+    /// injection override it.
+    fn health(&self) -> EngineHealth {
+        EngineHealth::default()
+    }
+
+    /// Nominal upper bound on `|output| / input_scale` of a *pristine*
+    /// mapping — the largest magnitude any clean MVM can produce, before
+    /// scaling by the activation quantization step. The executor uses it
+    /// as an output-range sentinel: a faulted array (stuck-high cells,
+    /// sign corruption) can push outputs past this bound, which clean
+    /// silicon never does. `None` disables the sentinel.
+    fn output_ceiling(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A [`CrossbarEngine`] whose mapped crossbars accept post-map fault
+/// injection through a seeded [`FaultCampaign`], with the injected state
+/// visible to `matvec_into` (the packed read tables are re-committed) and
+/// reflected in [`health`](CrossbarEngine::health).
+pub trait FaultableEngine: CrossbarEngine {
+    /// Applies `campaign` to every crossbar of this layer. `salt`
+    /// decorrelates layers and replicas; the same `(campaign, salt)`
+    /// always injects the same faults.
+    fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport;
 }
 
 /// Per-layer inputs to the frame-rate model (`forms_arch::FpsModel`).

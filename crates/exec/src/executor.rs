@@ -18,10 +18,16 @@
 //! path allocation-free.
 
 use forms_dnn::{Layer, Network, WeightLayerMut};
+use forms_reram::{FaultCampaign, FaultReport};
 use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
 
-use crate::engine::{CrossbarEngine, LayerPerf, Merge};
+use crate::engine::{CrossbarEngine, EngineHealth, FaultableEngine, LayerPerf, Merge};
 use crate::error::ExecError;
+
+/// Multiplicative slack on the output-range sentinel bound: the ceiling is
+/// exact in f64 while engine outputs round through f32, so a hair of
+/// headroom keeps clean silicon from ever tripping the sentinel.
+const SENTINEL_SLACK: f64 = 1.0 + 1e-4;
 
 /// A DNN mapped onto crossbar engines and executed through the
 /// mixed-signal path.
@@ -40,6 +46,10 @@ pub struct Executor<E: CrossbarEngine> {
     layer_stats: Vec<E::Stats>,
     /// Matrix-vector activations per weight layer since the last reset.
     layer_mvms: Vec<u64>,
+    /// Output-range sentinel violations since the last reset.
+    sentinels: u64,
+    /// Sentinel violations per weight layer since the last reset.
+    layer_sentinels: Vec<u64>,
 }
 
 /// One worker's inference state: the shared read-only engines plus every
@@ -65,6 +75,13 @@ struct InferenceCtx<'a, E: CrossbarEngine> {
     stats: E::Stats,
     layer_stats: Vec<E::Stats>,
     layer_mvms: Vec<u64>,
+    /// Per-layer pristine output ceilings (in code×step units, before the
+    /// input scale), cached once at context construction.
+    ceilings: Vec<Option<f64>>,
+    /// Output-range sentinel violations observed by this context.
+    sentinels: u64,
+    /// Sentinel violations per weight layer.
+    layer_sentinels: Vec<u64>,
 }
 
 impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
@@ -81,6 +98,9 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); engines.len()],
             layer_mvms: vec![0; engines.len()],
+            ceilings: engines.iter().map(E::output_ceiling).collect(),
+            sentinels: 0,
+            layer_sentinels: vec![0; engines.len()],
         }
     }
 
@@ -145,6 +165,27 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
         self.layer_mvms[idx] += 1;
     }
 
+    /// Output-range sentinel: counts MVM outputs whose magnitude exceeds
+    /// what the layer's pristine mapping can nominally produce at this
+    /// input scale. Clean silicon never trips it; stuck-high cells and
+    /// offset/sign corruption can.
+    fn check_sentinels(&mut self, idx: usize, input_scale: f32) {
+        let Some(ceiling) = self.ceilings[idx] else {
+            return;
+        };
+        let bound = ceiling * f64::from(input_scale) * SENTINEL_SLACK;
+        let mut hits = 0u64;
+        for &v in &self.mvm_out {
+            if !v.is_finite() || f64::from(v).abs() > bound {
+                hits += 1;
+            }
+        }
+        if hits > 0 {
+            self.sentinels += hits;
+            self.layer_sentinels[idx] += hits;
+        }
+    }
+
     /// Applies the layer's row permutation (if any) to `self.codes`.
     fn permute_codes(&mut self, idx: usize) {
         if let Some(perm) = &self.perms[idx] {
@@ -189,6 +230,7 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
                 let stats =
                     engine.matvec_into(&self.codes, scale, &mut self.scratch, &mut self.mvm_out);
                 self.record(idx, stats);
+                self.check_sentinels(idx, scale);
                 for (fi, &v) in self.mvm_out.iter().enumerate() {
                     out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
                 }
@@ -211,16 +253,13 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             let row = Tensor::from_vec(buf, &[in_features]);
             let q = self.quantize_activations(&row);
             self.sample = row.into_vec();
+            let scale = q.spec().scale();
             self.codes.clear();
             self.codes.extend_from_slice(q.codes());
             self.permute_codes(idx);
-            let stats = engine.matvec_into(
-                &self.codes,
-                q.spec().scale(),
-                &mut self.scratch,
-                &mut self.mvm_out,
-            );
+            let stats = engine.matvec_into(&self.codes, scale, &mut self.scratch, &mut self.mvm_out);
             self.record(idx, stats);
+            self.check_sentinels(idx, scale);
             for (j, &v) in self.mvm_out.iter().enumerate() {
                 out.data_mut()[s * o + j] = v + bias.data()[j];
             }
@@ -280,6 +319,16 @@ impl<E: CrossbarEngine> InferenceSession<'_, E> {
     /// Matrix-vector activations per weight layer in this session.
     pub fn layer_mvms(&self) -> &[u64] {
         &self.ctx.layer_mvms
+    }
+
+    /// Output-range sentinel violations observed by this session.
+    pub fn sentinel_violations(&self) -> u64 {
+        self.ctx.sentinels
+    }
+
+    /// Sentinel violations per weight layer in this session.
+    pub fn layer_sentinel_violations(&self) -> &[u64] {
+        &self.ctx.layer_sentinels
     }
 }
 
@@ -352,6 +401,8 @@ impl<E: CrossbarEngine> Executor<E> {
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); count],
             layer_mvms: vec![0; count],
+            sentinels: 0,
+            layer_sentinels: vec![0; count],
         })
     }
 
@@ -396,11 +447,34 @@ impl<E: CrossbarEngine> Executor<E> {
         &self.layer_mvms
     }
 
+    /// Output-range sentinel violations since the last reset: MVM outputs
+    /// whose magnitude exceeded the pristine mapping's nominal ceiling
+    /// (see [`CrossbarEngine::output_ceiling`]).
+    pub fn sentinel_violations(&self) -> u64 {
+        self.sentinels
+    }
+
+    /// Sentinel violations per weight layer since the last reset.
+    pub fn layer_sentinel_violations(&self) -> &[u64] {
+        &self.layer_sentinels
+    }
+
+    /// Aggregate device health over every mapped engine.
+    pub fn health(&self) -> EngineHealth {
+        let mut total = EngineHealth::default();
+        for engine in &self.engines {
+            total.merge(&engine.health());
+        }
+        total
+    }
+
     /// Clears accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats = E::Stats::default();
         self.layer_stats = vec![E::Stats::default(); self.engines.len()];
         self.layer_mvms = vec![0; self.engines.len()];
+        self.sentinels = 0;
+        self.layer_sentinels = vec![0; self.engines.len()];
     }
 
     /// Builds the per-layer inputs of the frame-rate model from the
@@ -443,20 +517,40 @@ impl<E: CrossbarEngine> Executor<E> {
     }
 
     /// Folds statistics carried out of a finished [`InferenceSession`] (or
-    /// any external worker) into this executor's registry.
+    /// any external worker) into this executor's registry, including the
+    /// session's sentinel-violation counts.
     ///
     /// # Panics
     ///
-    /// Panics if `layer_stats` or `layer_mvms` length differs from the
-    /// weight-layer count.
-    pub fn merge_stats(&mut self, stats: E::Stats, layer_stats: &[E::Stats], layer_mvms: &[u64]) {
+    /// Panics if `layer_stats`, `layer_mvms` or `layer_sentinels` length
+    /// differs from the weight-layer count.
+    pub fn merge_stats(
+        &mut self,
+        stats: E::Stats,
+        layer_stats: &[E::Stats],
+        layer_mvms: &[u64],
+        sentinels: u64,
+        layer_sentinels: &[u64],
+    ) {
         assert_eq!(layer_stats.len(), self.engines.len(), "layer stats length");
         assert_eq!(layer_mvms.len(), self.engines.len(), "layer mvms length");
-        self.merge_worker(stats, layer_stats, layer_mvms);
+        assert_eq!(
+            layer_sentinels.len(),
+            self.engines.len(),
+            "layer sentinels length"
+        );
+        self.merge_worker(stats, layer_stats, layer_mvms, sentinels, layer_sentinels);
     }
 
     /// Folds one finished worker context's statistics into the registry.
-    fn merge_worker(&mut self, stats: E::Stats, layer_stats: &[E::Stats], layer_mvms: &[u64]) {
+    fn merge_worker(
+        &mut self,
+        stats: E::Stats,
+        layer_stats: &[E::Stats],
+        layer_mvms: &[u64],
+        sentinels: u64,
+        layer_sentinels: &[u64],
+    ) {
         self.stats.merge(stats);
         for (acc, st) in self.layer_stats.iter_mut().zip(layer_stats) {
             acc.merge(*st);
@@ -464,18 +558,29 @@ impl<E: CrossbarEngine> Executor<E> {
         for (acc, &m) in self.layer_mvms.iter_mut().zip(layer_mvms) {
             *acc += m;
         }
+        self.sentinels += sentinels;
+        for (acc, &s) in self.layer_sentinels.iter_mut().zip(layer_sentinels) {
+            *acc += s;
+        }
     }
 
     /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut layers = std::mem::take(&mut self.net).into_layers();
-        let (y, stats, layer_stats, layer_mvms) = {
+        let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
             let mut ctx = InferenceCtx::new(&self.engines, &self.perms, self.activation_bits);
             let y = ctx.run(&mut layers, x);
-            (y, ctx.stats, ctx.layer_stats, ctx.layer_mvms)
+            (
+                y,
+                ctx.stats,
+                ctx.layer_stats,
+                ctx.layer_mvms,
+                ctx.sentinels,
+                ctx.layer_sentinels,
+            )
         };
         self.net = Network::new(layers);
-        self.merge_worker(stats, &layer_stats, &layer_mvms);
+        self.merge_worker(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
         y
     }
 
@@ -499,7 +604,7 @@ impl<E: CrossbarEngine> Executor<E> {
         let sample_len = x.len() / n;
         let sample_dims = &x.dims()[1..];
         let chunk = n.div_ceil(workers);
-        type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>);
+        type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>, u64, Vec<u64>);
         let mut results: Vec<Option<WorkerResult<E::Stats>>> = vec![None; workers];
         let (net, engines, perms) = (&self.net, &self.engines, &self.perms);
         let activation_bits = self.activation_bits;
@@ -518,7 +623,14 @@ impl<E: CrossbarEngine> Executor<E> {
                     let mut layers = net.clone().into_layers();
                     let mut ctx = InferenceCtx::new(engines, perms, activation_bits);
                     let y = ctx.run(&mut layers, &part);
-                    *slot = Some((y, ctx.stats, ctx.layer_stats, ctx.layer_mvms));
+                    *slot = Some((
+                        y,
+                        ctx.stats,
+                        ctx.layer_stats,
+                        ctx.layer_mvms,
+                        ctx.sentinels,
+                        ctx.layer_sentinels,
+                    ));
                 });
             }
         });
@@ -526,8 +638,8 @@ impl<E: CrossbarEngine> Executor<E> {
         let mut out_data = Vec::new();
         let mut out_dims: Option<Vec<usize>> = None;
         for slot in results.into_iter().flatten() {
-            let (y, stats, layer_stats, layer_mvms) = slot;
-            self.merge_worker(stats, &layer_stats, &layer_mvms);
+            let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = slot;
+            self.merge_worker(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
             if out_dims.is_none() {
                 out_dims = Some(y.dims().to_vec());
             }
@@ -571,6 +683,22 @@ impl<E: CrossbarEngine> Executor<E> {
             correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
         }
         correct / data.len() as f32
+    }
+}
+
+impl<E: FaultableEngine> Executor<E> {
+    /// Applies a seeded fault campaign to every mapped layer, each with a
+    /// layer-distinct salt derived from `salt`, and returns the merged
+    /// report. The faults are immediately visible to every inference path
+    /// (the engines re-commit their packed tables) and to
+    /// [`health`](Self::health).
+    pub fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            let layer_salt = salt ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+            total.merge(&engine.inject_faults(campaign, layer_salt));
+        }
+        total
     }
 }
 
@@ -758,8 +886,12 @@ mod tests {
             session.layer_stats().to_vec(),
             session.layer_mvms().to_vec(),
         );
+        let (sentinels, layer_sentinels) = (
+            session.sentinel_violations(),
+            session.layer_sentinel_violations().to_vec(),
+        );
         drop(session);
-        exec.merge_stats(stats, &layer_stats, &layer_mvms);
+        exec.merge_stats(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
         // The same requests through the plain forward path.
         let mut reference = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
         for seed in 0..3 {

@@ -84,6 +84,10 @@ mod engine;
 mod error;
 mod executor;
 
-pub use engine::{CrossbarEngine, LayerPerf, Merge};
+pub use engine::{CrossbarEngine, EngineHealth, FaultableEngine, LayerPerf, Merge};
 pub use error::ExecError;
 pub use executor::{Executor, InferenceSession};
+// Fault-campaign types are part of the engine API surface
+// (`FaultableEngine`); re-export them so downstream crates (serve, bench)
+// need not depend on `forms-reram` directly.
+pub use forms_reram::{FaultCampaign, FaultReport};

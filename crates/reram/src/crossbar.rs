@@ -101,12 +101,40 @@ impl CellSpec {
 /// binary inputs. (Real designs cancel the common mode with a reference
 /// column; modelling it as a subtraction is equivalent and keeps the ADC
 /// interface in integer units.)
-#[derive(Clone, Debug, PartialEq)]
+///
+/// # Write visibility
+///
+/// The packed read paths ([`column_currents_packed_into`](Self::column_currents_packed_into),
+/// [`dequant_row_into`](Self::dequant_row_into)) serve from a hoisted
+/// dequantized-cell table. Programming through [`program_codes`](Self::program_codes)
+/// / [`program_cell`](Self::program_cell) keeps that table in sync, but
+/// *direct* conductance mutation via
+/// [`conductances_mut`](Self::conductances_mut) (variation / fault
+/// injection) marks the array dirty and the packed paths panic until
+/// [`commit_writes`](Self::commit_writes) rebuilds the table — stale reads
+/// are a bug, never a silent wrong answer.
+#[derive(Clone, Debug)]
 pub struct Crossbar {
     rows: usize,
     cols: usize,
     spec: CellSpec,
     conductances: Vec<f64>,
+    /// Hoisted `(g - g_min) / step` per cell, bitwise the terms the raw
+    /// read paths compute on the fly.
+    dequant: Vec<f64>,
+    /// Set by `conductances_mut`, cleared by `commit_writes`.
+    dirty: bool,
+}
+
+/// Equality is over the physical state (dimensions, cell spec, raw
+/// conductances); the derived dequant table and dirty flag are excluded.
+impl PartialEq for Crossbar {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.spec == other.spec
+            && self.conductances == other.conductances
+    }
 }
 
 impl Crossbar {
@@ -122,6 +150,9 @@ impl Crossbar {
             cols,
             spec,
             conductances: vec![spec.g_min(); rows * cols],
+            // Code 0 dequantizes to exactly 0.0.
+            dequant: vec![0.0; rows * cols],
+            dirty: false,
         }
     }
 
@@ -146,8 +177,32 @@ impl Crossbar {
     }
 
     /// Mutable raw conductances (for variation/fault injection).
+    ///
+    /// Marks the array dirty: the hoisted dequant table no longer matches
+    /// the cells, so the packed read paths refuse to run until
+    /// [`commit_writes`](Self::commit_writes) is called.
     pub fn conductances_mut(&mut self) -> &mut [f64] {
+        self.dirty = true;
         &mut self.conductances
+    }
+
+    /// Whether direct conductance writes are pending a
+    /// [`commit_writes`](Self::commit_writes).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Rebuilds the hoisted dequantized-cell table from the raw
+    /// conductances and clears the dirty flag. Must be called after any
+    /// mutation through [`conductances_mut`](Self::conductances_mut)
+    /// before the packed read paths are used again.
+    pub fn commit_writes(&mut self) {
+        let step = self.spec.g_step();
+        let g_min = self.spec.g_min();
+        for (d, &g) in self.dequant.iter_mut().zip(&self.conductances) {
+            *d = (g - g_min) / step;
+        }
+        self.dirty = false;
     }
 
     /// Programs every cell from row-major codes.
@@ -167,6 +222,9 @@ impl Crossbar {
         for (g, &code) in self.conductances.iter_mut().zip(codes) {
             *g = self.spec.conductance(code);
         }
+        // Every cell was rewritten, so the rebuilt table covers any prior
+        // direct mutation too.
+        self.commit_writes();
     }
 
     /// Programs one cell.
@@ -176,7 +234,10 @@ impl Crossbar {
     /// Panics if the position is out of bounds or the code overflows.
     pub fn program_cell(&mut self, row: usize, col: usize, code: u32) {
         assert!(row < self.rows && col < self.cols, "cell out of bounds");
-        self.conductances[row * self.cols + col] = self.spec.conductance(code);
+        let idx = row * self.cols + col;
+        let g = self.spec.conductance(code);
+        self.conductances[idx] = g;
+        self.dequant[idx] = (g - self.spec.g_min()) / self.spec.g_step();
     }
 
     /// Reads back the nearest code of one cell.
@@ -271,7 +332,9 @@ impl Crossbar {
     /// # Panics
     ///
     /// Panics if the window is out of bounds, `mask` holds fewer than
-    /// `rows.len()` bits, or `out.len()` exceeds the column count.
+    /// `rows.len()` bits, `out.len()` exceeds the column count, or
+    /// direct conductance writes are pending a
+    /// [`commit_writes`](Self::commit_writes).
     pub fn column_currents_packed_into(&self, mask: &[u64], rows: Range<usize>, out: &mut [f64]) {
         assert!(rows.end <= self.rows, "row window out of bounds");
         assert!(
@@ -281,8 +344,10 @@ impl Crossbar {
             rows.len()
         );
         assert!(out.len() <= self.cols, "output wider than the crossbar");
-        let step = self.spec.g_step();
-        let g_min = self.spec.g_min();
+        assert!(
+            !self.dirty,
+            "stale packed read: commit_writes() after conductances_mut()"
+        );
         let window = rows.len();
         out.fill(0.0);
         crate::packing::for_each_set_bit(mask, |i| {
@@ -290,9 +355,9 @@ impl Crossbar {
                 return;
             }
             let r = rows.start + i;
-            let row = &self.conductances[r * self.cols..r * self.cols + out.len()];
-            for (acc, &g) in out.iter_mut().zip(row) {
-                *acc += (g - g_min) / step;
+            let row = &self.dequant[r * self.cols..r * self.cols + out.len()];
+            for (acc, &d) in out.iter_mut().zip(row) {
+                *acc += d;
             }
         });
     }
@@ -306,17 +371,17 @@ impl Crossbar {
     ///
     /// # Panics
     ///
-    /// Panics if the row is out of bounds or `out.len()` exceeds the
-    /// column count.
+    /// Panics if the row is out of bounds, `out.len()` exceeds the column
+    /// count, or direct conductance writes are pending a
+    /// [`commit_writes`](Self::commit_writes).
     pub fn dequant_row_into(&self, row: usize, out: &mut [f64]) {
         assert!(row < self.rows, "row out of bounds");
         assert!(out.len() <= self.cols, "output wider than the crossbar");
-        let step = self.spec.g_step();
-        let g_min = self.spec.g_min();
-        let cells = &self.conductances[row * self.cols..row * self.cols + out.len()];
-        for (v, &g) in out.iter_mut().zip(cells) {
-            *v = (g - g_min) / step;
-        }
+        assert!(
+            !self.dirty,
+            "stale packed read: commit_writes() after conductances_mut()"
+        );
+        out.copy_from_slice(&self.dequant[row * self.cols..row * self.cols + out.len()]);
     }
 
     /// Current of a single column over a row window, in code units — the
@@ -499,6 +564,58 @@ mod tests {
         let mut full = [0.0f64; 3];
         xb.column_currents_into(&[1.0], 1..2, &mut full);
         assert_eq!(prefix.as_slice(), &full[..2]);
+    }
+
+    #[test]
+    fn direct_mutation_requires_commit_before_packed_reads() {
+        let mut xb = Crossbar::new(4, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[3, 1, 2, 0, 1, 3, 0, 2]);
+        assert!(!xb.is_dirty());
+        xb.conductances_mut()[0] = xb.spec().g_max();
+        assert!(xb.is_dirty());
+        xb.commit_writes();
+        assert!(!xb.is_dirty());
+        // After commit the packed read sees the mutation, bitwise equal to
+        // the raw (uncached) read path.
+        let mut packed = [0.0; 2];
+        xb.column_currents_packed_into(&[0b1111], 0..4, &mut packed);
+        let mut raw = [0.0; 2];
+        xb.column_currents_into(&[1.0; 4], 0..4, &mut raw);
+        assert_eq!(packed, raw);
+        let mut row = [0.0; 2];
+        xb.dequant_row_into(0, &mut row);
+        assert_eq!(row[0], (xb.spec().g_max() - xb.spec().g_min()) / xb.spec().g_step());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packed read")]
+    fn uncommitted_mutation_panics_on_packed_read() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[1; 4]);
+        xb.conductances_mut()[3] = 9.0;
+        let mut out = [0.0; 2];
+        xb.column_currents_packed_into(&[0b11], 0..2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packed read")]
+    fn uncommitted_mutation_panics_on_dequant_read() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[1; 4]);
+        xb.conductances_mut()[0] = 9.0;
+        let mut out = [0.0; 2];
+        xb.dequant_row_into(0, &mut out);
+    }
+
+    #[test]
+    fn reprogramming_clears_pending_writes() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.conductances_mut()[0] = 9.0;
+        xb.program_codes(&[2; 4]);
+        assert!(!xb.is_dirty());
+        let mut out = [0.0; 2];
+        xb.dequant_row_into(0, &mut out);
+        assert_eq!(out, [2.0, 2.0]);
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod bitslice;
 mod converters;
 mod crossbar;
 mod device;
+mod faults;
 mod irdrop;
 mod noise;
 mod packing;
@@ -53,6 +54,7 @@ pub use bitslice::BitSlicer;
 pub use converters::{Adc, Dac};
 pub use crossbar::{CellSpec, Crossbar};
 pub use device::{VteamDevice, VteamParams};
+pub use faults::{FaultCampaign, FaultReport};
 pub use irdrop::IrDropModel;
 pub use noise::CurrentNoise;
 pub use packing::{for_each_set_bit, pack_bit_planes, plane_ones, plane_words};

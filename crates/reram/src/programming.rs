@@ -100,6 +100,7 @@ impl ArrayProgrammer {
             }
             *g = device.conductance(g_min, g_max);
         }
+        xbar.commit_writes();
         report
     }
 

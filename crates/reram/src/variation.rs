@@ -54,11 +54,13 @@ impl LogNormalVariation {
             .sample(rng)
     }
 
-    /// Applies variation to every cell of a crossbar, in place.
+    /// Applies variation to every cell of a crossbar, in place, and
+    /// commits the writes so the packed read paths see them immediately.
     pub fn apply<R: Rng + ?Sized>(&self, xbar: &mut Crossbar, rng: &mut R) {
         for g in xbar.conductances_mut() {
             *g *= self.sample(rng);
         }
+        xbar.commit_writes();
     }
 
     /// Applies variation to a weight value directly (the software-level
@@ -101,7 +103,8 @@ impl StuckAtFault {
         self.rate
     }
 
-    /// Injects faults into a crossbar; returns the number of cells hit.
+    /// Injects faults into a crossbar and commits the writes; returns the
+    /// number of cells hit.
     pub fn apply<R: Rng + ?Sized>(&self, xbar: &mut Crossbar, rng: &mut R) -> usize {
         let (g_min, g_max) = (xbar.spec().g_min(), xbar.spec().g_max());
         let target = match self.kind {
@@ -115,6 +118,7 @@ impl StuckAtFault {
                 hits += 1;
             }
         }
+        xbar.commit_writes();
         hits
     }
 }

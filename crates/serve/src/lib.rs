@@ -31,6 +31,12 @@
 //!   host-core count.
 //! - [`loadgen`]: seeded open-loop Poisson load generator
 //!   ([`run_open_loop`]) built on `forms-workloads` request traces.
+//! - [`health`]: [`serve_resilient`] — fault-tolerant serving where every
+//!   replica owns an executor clone, polices its fault density and output
+//!   sentinels against a [`HealthPolicy`], rebuilds from the pristine
+//!   mapping with exponential backoff, and quarantines when recovery
+//!   keeps failing; clients inject seeded fault campaigns per replica
+//!   through a [`FaultInjector`].
 //!
 //! # Example
 //!
@@ -64,14 +70,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod health;
 pub mod loadgen;
 pub mod paced;
 pub mod queue;
 pub mod service;
 pub mod telemetry;
 
+pub use health::{serve_resilient, FaultInjector, HealthPolicy, ResilientConfig};
 pub use loadgen::{run_open_loop, LoadReport, OpenLoopSpec};
-pub use paced::{PacedConfig, PacedEngine};
-pub use queue::{BoundedQueue, PushError};
+pub use paced::{PacedConfig, PacedEngine, PacedScratch};
+pub use queue::{BoundedQueue, PopWait, PushError};
 pub use service::{serve, Response, ServeConfig, ServeError, ServiceHandle, Ticket};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

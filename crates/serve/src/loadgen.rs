@@ -43,6 +43,8 @@ pub struct LoadReport {
     pub expired: usize,
     /// Requests failed by a replica.
     pub failed: usize,
+    /// Requests refused by an unhealthy replica (degraded service).
+    pub degraded: usize,
     /// End-to-end latency of every completed request, sorted ascending.
     pub latencies: Vec<Duration>,
     /// Wall-clock span from the first submission to the last resolution.
@@ -80,7 +82,10 @@ impl LoadReport {
         if self.latencies.is_empty() {
             return None;
         }
-        let rank = (q * self.latencies.len() as f64).ceil().max(1.0) as usize;
+        // Clamp: float rounding in `q × len` can push the ceiling one past
+        // the sample count (q infinitesimally under 1.0 rounding up), which
+        // indexed out of bounds before.
+        let rank = ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
         Some(self.latencies[rank - 1])
     }
 }
@@ -100,6 +105,7 @@ pub fn run_open_loop(handle: &ServiceHandle, spec: &OpenLoopSpec) -> LoadReport 
         shed: 0,
         expired: 0,
         failed: 0,
+        degraded: 0,
         latencies: Vec::new(),
         elapsed: Duration::ZERO,
     };
@@ -128,10 +134,66 @@ pub fn run_open_loop(handle: &ServiceHandle, spec: &OpenLoopSpec) -> LoadReport 
                 report.latencies.push(response.latency);
             }
             Err(ServeError::DeadlineExceeded) => report.expired += 1,
+            Err(ServeError::Degraded) => report.degraded += 1,
             Err(_) => report.failed += 1,
         }
     }
     report.elapsed = start.elapsed();
     report.latencies.sort_unstable();
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_latencies(n: usize) -> LoadReport {
+        LoadReport {
+            offered: n,
+            completed: n,
+            shed: 0,
+            expired: 0,
+            failed: 0,
+            degraded: 0,
+            latencies: (1..=n).map(|i| Duration::from_micros(i as u64)).collect(),
+            elapsed: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn quantile_at_one_returns_the_maximum() {
+        // Regression: q = 1.0 (and q infinitesimally below it) must index
+        // the last sample, never one past it.
+        for n in 1..=17 {
+            let r = report_with_latencies(n);
+            let max = Duration::from_micros(n as u64);
+            assert_eq!(r.latency_quantile(1.0), Some(max), "n={n}");
+        }
+    }
+
+    #[test]
+    fn quantile_just_under_one_stays_in_bounds() {
+        let q = 1.0 - f64::EPSILON; // 0.9999999999999998
+        for n in 1..=17 {
+            let r = report_with_latencies(n);
+            let got = r.latency_quantile(q).unwrap();
+            assert!(
+                got <= Duration::from_micros(n as u64),
+                "n={n} got {got:?}"
+            );
+        }
+        // And the low end still clamps up to rank 1.
+        let r = report_with_latencies(5);
+        assert_eq!(r.latency_quantile(1e-12), Some(Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn empty_report_has_no_quantile() {
+        let r = LoadReport {
+            latencies: Vec::new(),
+            completed: 0,
+            ..report_with_latencies(0)
+        };
+        assert_eq!(r.latency_quantile(0.5), None);
+    }
 }

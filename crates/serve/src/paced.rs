@@ -10,10 +10,21 @@
 //! window). Replica throughput then scales with the number of modeled
 //! devices, exactly as it would with physical hardware, even on a
 //! single-core host.
+//!
+//! Pacing is against an *absolute* per-scratch deadline, not per-call
+//! elapsed time: call `k`'s occupancy window ends at
+//! `max(now, previous window end) + latency`, and the wait sleeps the
+//! bulk then spins the final stretch so the deadline is met to
+//! microseconds. Sleeping out a per-call remainder instead added the
+//! sleep's overshoot (OS timer quantum, wakeup jitter — around a
+//! millisecond) to every MVM, so sustained throughput drifted far below
+//! the modeled `1/latency` and the error compounded with request count.
 
 use std::time::{Duration, Instant};
 
-use forms_exec::{CrossbarEngine, ExecError};
+use forms_exec::{
+    CrossbarEngine, EngineHealth, ExecError, FaultCampaign, FaultReport, FaultableEngine,
+};
 use forms_tensor::Tensor;
 
 /// Configuration for a paced engine: the wrapped engine's config plus the
@@ -49,10 +60,23 @@ impl<E> PacedEngine<E> {
     }
 }
 
+/// Scratch of a [`PacedEngine`]: the wrapped engine's scratch plus the
+/// absolute end of the last modeled occupancy window.
+///
+/// The deadline lives in the scratch — not the engine — because one mapped
+/// engine is shared immutably across replica threads, each modeling its
+/// *own* device; per-engine state would serialize replicas that own
+/// separate devices.
+#[derive(Debug, Default)]
+pub struct PacedScratch<S> {
+    inner: S,
+    next_free: Option<Instant>,
+}
+
 impl<E: CrossbarEngine> CrossbarEngine for PacedEngine<E> {
     type Config = PacedConfig<E::Config>;
     type Stats = E::Stats;
-    type Scratch = E::Scratch;
+    type Scratch = PacedScratch<E::Scratch>;
 
     fn map_matrix(matrix: &Tensor, config: &Self::Config) -> Result<Self, ExecError> {
         Ok(Self {
@@ -73,15 +97,21 @@ impl<E: CrossbarEngine> CrossbarEngine for PacedEngine<E> {
         out: &mut [f32],
     ) -> Self::Stats {
         let start = Instant::now();
-        let stats = self.inner.matvec_into(input_codes, input_scale, scratch, out);
-        // Sleep out the remainder of the device occupancy window; if the
-        // host compute already exceeded it, the device was the faster side
-        // and there is nothing to pace.
-        if let Some(remainder) = self.latency.checked_sub(start.elapsed()) {
-            if !remainder.is_zero() {
-                std::thread::sleep(remainder);
-            }
-        }
+        let stats = self
+            .inner
+            .matvec_into(input_codes, input_scale, &mut scratch.inner, out);
+        // This MVM's occupancy window ends `latency` after the later of
+        // "now" and the previous window's end: back-to-back MVMs chain off
+        // the absolute schedule (sleep overshoot is absorbed by the next
+        // window), while an idle gap restarts the schedule from the
+        // current instant.
+        let window_start = match scratch.next_free {
+            Some(next_free) if next_free > start => next_free,
+            _ => start,
+        };
+        let target = window_start + self.latency;
+        scratch.next_free = Some(target);
+        wait_until(target);
         stats
     }
 
@@ -95,5 +125,131 @@ impl<E: CrossbarEngine> CrossbarEngine for PacedEngine<E> {
 
     fn max_input_cycles(config: &Self::Config) -> f64 {
         E::max_input_cycles(&config.inner)
+    }
+
+    fn health(&self) -> EngineHealth {
+        self.inner.health()
+    }
+
+    fn output_ceiling(&self) -> Option<f64> {
+        self.inner.output_ceiling()
+    }
+}
+
+impl<E: FaultableEngine> FaultableEngine for PacedEngine<E> {
+    fn inject_faults(&mut self, campaign: &FaultCampaign, salt: u64) -> FaultReport {
+        self.inner.inject_faults(campaign, salt)
+    }
+}
+
+/// OS sleeps overshoot by up to a timer quantum (≈1 ms on this class of
+/// host) — far more than a sub-millisecond device latency. Sleep only
+/// while more than this window remains, then spin out the tail, so the
+/// deadline is met to microseconds instead of drifting a quantum per MVM.
+const SPIN_WINDOW: Duration = Duration::from_millis(2);
+
+/// Blocks until `target`, sleeping the bulk and spinning the last
+/// [`SPIN_WINDOW`].
+fn wait_until(target: Instant) {
+    while let Some(remaining) = target.checked_duration_since(Instant::now()) {
+        if remaining.is_zero() {
+            break;
+        }
+        if remaining > SPIN_WINDOW {
+            std::thread::sleep(remaining - SPIN_WINDOW);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forms_exec::Merge;
+
+    /// A free-running engine: zero compute, so elapsed time is pure pacing.
+    #[derive(Clone, Debug)]
+    struct Instant1x1;
+
+    #[derive(Clone, Copy, Debug, Default)]
+    struct NoStats;
+    impl Merge for NoStats {
+        fn merge(&mut self, _: Self) {}
+    }
+
+    impl CrossbarEngine for Instant1x1 {
+        type Config = ();
+        type Stats = NoStats;
+        type Scratch = ();
+
+        fn map_matrix(_: &Tensor, _: &()) -> Result<Self, ExecError> {
+            Ok(Self)
+        }
+        fn output_len(&self) -> usize {
+            1
+        }
+        fn matvec_into(&self, _: &[u32], _: f32, _: &mut (), out: &mut [f32]) -> NoStats {
+            out[0] = 0.0;
+            NoStats
+        }
+        fn crossbar_count(&self) -> usize {
+            1
+        }
+        fn mean_input_cycles(_: &NoStats) -> Option<f64> {
+            None
+        }
+        fn max_input_cycles(_: &()) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn sustained_rate_tracks_the_modeled_latency_without_drift() {
+        let latency = Duration::from_micros(500);
+        let config = PacedConfig {
+            inner: (),
+            latency,
+        };
+        let engine = PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config)
+            .expect("map");
+        let mut scratch = PacedScratch::default();
+        let mut out = [0.0f32];
+        let k = 50u32;
+        let start = Instant::now();
+        for _ in 0..k {
+            engine.matvec_into(&[1], 1.0, &mut scratch, &mut out);
+        }
+        let elapsed = start.elapsed();
+        let modeled = latency * k;
+        assert!(elapsed >= modeled, "paced below device rate: {elapsed:?}");
+        // Per-call remainder sleeping accumulated the OS sleep overshoot
+        // (tens of µs each on a 500 µs budget) into >25% drift over 50
+        // calls; the absolute schedule only pays the final call's
+        // overshoot.
+        let ceiling = modeled.mul_f64(1.25) + Duration::from_millis(5);
+        assert!(
+            elapsed <= ceiling,
+            "sustained rate drifted: {elapsed:?} for modeled {modeled:?}"
+        );
+    }
+
+    #[test]
+    fn idle_gaps_restart_the_schedule_instead_of_back_crediting() {
+        let latency = Duration::from_micros(200);
+        let config = PacedConfig {
+            inner: (),
+            latency,
+        };
+        let engine = PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config)
+            .expect("map");
+        let mut scratch = PacedScratch::default();
+        let mut out = [0.0f32];
+        engine.matvec_into(&[1], 1.0, &mut scratch, &mut out);
+        // A long idle gap must not bank credit for free MVMs afterwards.
+        std::thread::sleep(Duration::from_millis(5));
+        let start = Instant::now();
+        engine.matvec_into(&[1], 1.0, &mut scratch, &mut out);
+        assert!(start.elapsed() >= latency, "idle credit leaked into pacing");
     }
 }

@@ -146,8 +146,62 @@ impl<T> BoundedQueue<T> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
-        // Gather stragglers until the batch is full, the flush timer
-        // expires, or shutdown flushes immediately.
+        self.gather_stragglers(state, max_batch, max_delay, out);
+        true
+    }
+
+    /// [`pop_batch`](Self::pop_batch) with a bounded wait for the batch
+    /// head: a consumer that also watches out-of-band state (health
+    /// mailboxes, shutdown signals of its own) must not sleep unboundedly
+    /// on an empty queue. Returns [`PopWait::Idle`] — with `out` empty —
+    /// when nothing arrived within `wait`, so the caller can poll its side
+    /// channels and come back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn pop_batch_for(
+        &self,
+        max_batch: usize,
+        max_delay: Duration,
+        wait: Duration,
+        out: &mut Vec<T>,
+    ) -> PopWait {
+        assert!(max_batch > 0, "batch size must be positive");
+        out.clear();
+        let mut state = self.lock();
+        let wait_until = Instant::now() + wait;
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                out.push(item);
+                break;
+            }
+            if state.closed {
+                return PopWait::Closed;
+            }
+            let now = Instant::now();
+            if now >= wait_until {
+                return PopWait::Idle;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(state, wait_until - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        self.gather_stragglers(state, max_batch, max_delay, out);
+        PopWait::Batch
+    }
+
+    /// Gathers stragglers behind a popped batch head until the batch is
+    /// full, the flush timer expires, or shutdown flushes immediately.
+    fn gather_stragglers(
+        &self,
+        mut state: MutexGuard<'_, State<T>>,
+        max_batch: usize,
+        max_delay: Duration,
+        out: &mut Vec<T>,
+    ) {
         let flush_at = Instant::now() + max_delay;
         while out.len() < max_batch {
             if let Some(item) = state.items.pop_front() {
@@ -167,8 +221,18 @@ impl<T> BoundedQueue<T> {
                 .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
-        true
     }
+}
+
+/// Outcome of a bounded-wait [`BoundedQueue::pop_batch_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopWait {
+    /// At least one item was popped into the output buffer.
+    Batch,
+    /// Nothing arrived within the wait window; the queue is still open.
+    Idle,
+    /// The queue is closed and fully drained.
+    Closed,
 }
 
 #[cfg(test)]
@@ -228,6 +292,30 @@ mod tests {
             assert!(q.pop_batch(2, Duration::from_millis(500), &mut batch));
             assert_eq!(batch, vec![1, 2], "straggler joined the batch");
         });
+    }
+
+    #[test]
+    fn bounded_wait_pop_distinguishes_idle_from_closed() {
+        let q = BoundedQueue::new(4);
+        let mut batch = Vec::new();
+        let start = Instant::now();
+        assert_eq!(
+            q.pop_batch_for(4, Duration::ZERO, Duration::from_millis(5), &mut batch),
+            PopWait::Idle
+        );
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert!(batch.is_empty());
+        q.try_push(9).unwrap();
+        assert_eq!(
+            q.pop_batch_for(4, Duration::ZERO, Duration::from_secs(1), &mut batch),
+            PopWait::Batch
+        );
+        assert_eq!(batch, vec![9]);
+        q.close();
+        assert_eq!(
+            q.pop_batch_for(4, Duration::ZERO, Duration::from_secs(1), &mut batch),
+            PopWait::Closed
+        );
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub enum ServeError {
     Cancelled,
     /// The replica's engine panicked while executing the batch.
     EngineFailed,
+    /// The owning replica was unhealthy (fault density over policy or an
+    /// output-range sentinel tripped) and refused to return possibly
+    /// corrupted results.
+    Degraded,
     /// The payload length does not match the service's sample shape.
     BadShape {
         /// Expected flattened sample length.
@@ -96,6 +100,7 @@ impl std::fmt::Display for ServeError {
             Self::DeadlineExceeded => write!(f, "deadline passed before execution"),
             Self::Cancelled => write!(f, "request cancelled by client"),
             Self::EngineFailed => write!(f, "replica engine failed on this batch"),
+            Self::Degraded => write!(f, "replica degraded: refused possibly corrupted result"),
             Self::BadShape { expected, got } => {
                 write!(f, "bad payload length: expected {expected}, got {got}")
             }
@@ -121,7 +126,7 @@ pub struct Response {
 /// One-shot response slot shared between a ticket and the replica that
 /// eventually executes (or rejects) the request.
 #[derive(Debug)]
-struct Slot {
+pub(crate) struct Slot {
     state: Mutex<Option<Result<Response, ServeError>>>,
     done: Condvar,
     cancelled: AtomicBool,
@@ -136,7 +141,7 @@ impl Slot {
         })
     }
 
-    fn fill(&self, result: Result<Response, ServeError>) {
+    pub(crate) fn fill(&self, result: Result<Response, ServeError>) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(state.is_none(), "a slot is filled exactly once");
         *state = Some(result);
@@ -194,11 +199,18 @@ impl Ticket {
 
 /// One admitted request travelling through the queue.
 #[derive(Debug)]
-struct Pending {
-    input: Vec<f32>,
-    submitted: Instant,
-    deadline: Option<Instant>,
-    slot: Arc<Slot>,
+pub(crate) struct Pending {
+    pub(crate) input: Vec<f32>,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Whether the client cancelled this request.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.slot.cancelled.load(Ordering::Acquire)
+    }
 }
 
 /// The client-side face of a running service: submit requests, observe
@@ -206,10 +218,10 @@ struct Pending {
 /// `Sync`, so a load generator may submit from several threads.
 #[derive(Clone, Debug)]
 pub struct ServiceHandle {
-    queue: Arc<BoundedQueue<Pending>>,
-    telemetry: Arc<Telemetry>,
-    sample_len: usize,
-    default_deadline: Option<Duration>,
+    pub(crate) queue: Arc<BoundedQueue<Pending>>,
+    pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) sample_len: usize,
+    pub(crate) default_deadline: Option<Duration>,
 }
 
 impl ServiceHandle {
@@ -299,7 +311,7 @@ impl ServiceHandle {
 
 /// Closes the queue when dropped, so replicas drain and exit even if the
 /// client closure panics — shutdown can never hang on an open queue.
-struct CloseGuard<'a>(&'a BoundedQueue<Pending>);
+pub(crate) struct CloseGuard<'a>(pub(crate) &'a BoundedQueue<Pending>);
 
 impl Drop for CloseGuard<'_> {
     fn drop(&mut self) {
@@ -372,22 +384,7 @@ fn replica_loop<E: CrossbarEngine>(
     let mut staging: Vec<f32> = Vec::new();
     let mut out: Vec<f32> = Vec::new();
     while queue.pop_batch(config.max_batch, config.max_delay, &mut batch) {
-        // Reject before executing: a cancelled request has no consumer and
-        // a request past its latency budget is useless to its client —
-        // running either would only add load while overloaded.
-        let now = Instant::now();
-        live.clear();
-        for pending in batch.drain(..) {
-            if pending.slot.cancelled.load(Ordering::Acquire) {
-                telemetry.cancelled.fetch_add(1, Ordering::Relaxed);
-                pending.slot.fill(Err(ServeError::Cancelled));
-            } else if pending.deadline.is_some_and(|d| now >= d) {
-                telemetry.expired.fetch_add(1, Ordering::Relaxed);
-                pending.slot.fill(Err(ServeError::DeadlineExceeded));
-            } else {
-                live.push(pending);
-            }
-        }
+        filter_live(&mut batch, &mut live, telemetry);
         if live.is_empty() {
             continue;
         }
@@ -430,6 +427,26 @@ fn replica_loop<E: CrossbarEngine>(
                 out.clear();
                 session = executor.session();
             }
+        }
+    }
+}
+
+/// Rejects batch members that cannot usefully execute — cancelled requests
+/// have no consumer and requests past their latency budget are useless to
+/// their clients; running either would only add load while overloaded —
+/// and moves the survivors into `live`.
+pub(crate) fn filter_live(batch: &mut Vec<Pending>, live: &mut Vec<Pending>, telemetry: &Telemetry) {
+    let now = Instant::now();
+    live.clear();
+    for pending in batch.drain(..) {
+        if pending.is_cancelled() {
+            telemetry.cancelled.fetch_add(1, Ordering::Relaxed);
+            pending.slot.fill(Err(ServeError::Cancelled));
+        } else if pending.deadline.is_some_and(|d| now >= d) {
+            telemetry.expired.fetch_add(1, Ordering::Relaxed);
+            pending.slot.fill(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(pending);
         }
     }
 }

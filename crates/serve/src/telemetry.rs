@@ -10,6 +10,7 @@
 //! geometric interpolation inside the hit bucket.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Number of histogram buckets.
@@ -20,12 +21,20 @@ pub const HISTOGRAM_LO_NS: f64 = 1_000.0;
 /// Geometric growth factor between consecutive bucket edges.
 pub const HISTOGRAM_GROWTH: f64 = std::f64::consts::SQRT_2;
 
+/// Bucketing searches a precomputed edge table instead of inverting the
+/// geometric formula with `log2`: the float round-trip
+/// `powi(log2(x)/log2(g))` landed values sitting exactly on a bucket edge
+/// one bucket low (e.g. `bucket_lower_ns(3)` classified into bucket 2), so
+/// histogram buckets disagreed with the edges reported by
+/// [`bucket_lower_ns`]. The table makes edge membership exact by
+/// construction: bucket `i` is `[edges[i], edges[i+1])`.
+fn edges() -> &'static [f64; HISTOGRAM_BUCKETS] {
+    static EDGES: OnceLock<[f64; HISTOGRAM_BUCKETS]> = OnceLock::new();
+    EDGES.get_or_init(|| std::array::from_fn(bucket_lower_ns))
+}
+
 fn bucket_index(ns: u64) -> usize {
-    if (ns as f64) < HISTOGRAM_LO_NS {
-        return 0;
-    }
-    let octaves = (ns as f64 / HISTOGRAM_LO_NS).log2() / HISTOGRAM_GROWTH.log2();
-    (octaves as usize + 1).min(HISTOGRAM_BUCKETS - 1)
+    edges().partition_point(|&edge| edge <= ns as f64) - 1
 }
 
 /// Lower edge of bucket `i` in nanoseconds (0 for bucket 0).
@@ -166,6 +175,17 @@ pub struct Telemetry {
     pub cancelled: AtomicU64,
     /// Requests that failed because a replica's engine panicked.
     pub failed: AtomicU64,
+    /// Requests failed because the owning replica was unhealthy (sentinel
+    /// tripped or fault density over policy) — degraded service, not a
+    /// crash.
+    pub degraded: AtomicU64,
+    /// Replica sessions rebuilt from the pristine mapping after a health
+    /// violation.
+    pub rebuilds: AtomicU64,
+    /// Replicas permanently drained after exhausting their rebuild budget.
+    pub quarantines: AtomicU64,
+    /// Fault-campaign applications delivered to replicas.
+    pub faults_injected: AtomicU64,
     latency: AtomicHistogram,
 }
 
@@ -178,6 +198,10 @@ impl Telemetry {
             expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             latency: AtomicHistogram::new(),
         }
     }
@@ -197,6 +221,10 @@ impl Telemetry {
             expired: self.expired.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
         }
     }
@@ -217,6 +245,14 @@ pub struct TelemetrySnapshot {
     pub cancelled: u64,
     /// Requests failed by a panicking replica.
     pub failed: u64,
+    /// Requests failed by an unhealthy (degraded) replica.
+    pub degraded: u64,
+    /// Replica sessions rebuilt after health violations.
+    pub rebuilds: u64,
+    /// Replicas permanently drained.
+    pub quarantines: u64,
+    /// Fault-campaign applications delivered.
+    pub faults_injected: u64,
     /// Latency histogram of completed requests.
     pub latency: HistogramSnapshot,
 }
@@ -233,7 +269,7 @@ impl TelemetrySnapshot {
 
     /// Requests with a recorded terminal outcome.
     pub fn resolved(&self) -> u64 {
-        self.completed + self.shed + self.expired + self.cancelled + self.failed
+        self.completed + self.shed + self.expired + self.cancelled + self.failed + self.degraded
     }
 }
 
@@ -252,6 +288,31 @@ mod tests {
         assert_eq!(bucket_index(1_000), 1);
         // Far beyond the top edge still lands in the last bucket.
         assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_bucket_edge_classifies_into_its_own_bucket() {
+        // Regression: the log2-based bucketing misclassified values
+        // sitting exactly on (or a hair above) a bucket's lower edge into
+        // the bucket below. Every edge must open its own bucket, and the
+        // nanosecond just below it must stay in the previous one.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_ns(i);
+            let lo_ns = lo.ceil() as u64;
+            assert_eq!(
+                bucket_index(lo_ns),
+                i,
+                "lower edge {lo} of bucket {i} must round into bucket {i}"
+            );
+            if i > 0 && lo.ceil() == lo {
+                assert_eq!(
+                    bucket_index(lo_ns - 1),
+                    i - 1,
+                    "just below edge {lo} must stay in bucket {}",
+                    i - 1
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,19 @@ use forms::admm::{AdmmConfig, AdmmTrainer, LayerConstraints, PolarizationPolicy,
 use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{train_epoch, Layer, Network, Sgd};
-use forms::reram::{CellSpec, IrDropModel, LogNormalVariation, StuckAtFault, StuckAtKind};
+use forms::exec::{FaultCampaign, FaultReport, FaultableEngine};
+use forms::reram::{CellSpec, IrDropModel, LogNormalVariation};
 use forms::rng::StdRng;
+
+/// Applies one seeded campaign to every mapped layer of an accelerator,
+/// decorrelating layers by salt, and returns the merged fault report.
+fn inject(acc: &mut Accelerator, campaign: &FaultCampaign) -> FaultReport {
+    let mut report = FaultReport::default();
+    for (i, layer) in acc.mapped_layers_mut().iter_mut().enumerate() {
+        report.merge(&layer.inject_faults(campaign, i as u64));
+    }
+    report
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(13);
@@ -84,24 +95,33 @@ fn main() {
         );
     }
 
-    // 2. Stuck-at faults at increasing rates.
+    // 2. Seeded stuck-at campaigns at increasing rates: one campaign
+    //    value describes the whole experiment, and the same seed replays
+    //    the exact same faulty silicon.
     for rate in [0.001, 0.01, 0.05] {
-        for (label, kind) in [("low ", StuckAtKind::Low), ("high", StuckAtKind::High)] {
+        for (label, low, high) in [("low ", rate, 0.0), ("high", 0.0, rate)] {
             let mut acc = clean.clone();
-            let mut hits = 0;
-            for layer in acc.mapped_layers_mut() {
-                for xbar in layer.crossbars_mut() {
-                    hits += StuckAtFault::new(rate, kind).apply(xbar, &mut rng);
-                }
-            }
+            let report = inject(&mut acc, &FaultCampaign::stuck_at(21, low, high));
             println!(
-                "stuck-at-{label} rate {rate:<5} ({hits:4} cells) | {:7.1}%",
+                "stuck-at-{label} rate {rate:<5} ({:4} cells) | {:7.1}%",
+                report.stuck(),
                 100.0 * acc.evaluate(&test, 8)
             );
         }
     }
 
-    // 3. IR-drop bound as an analytic sanity check.
+    // 3. Conductance drift as a campaign, for the same replayability.
+    for sigma in [0.05, 0.2] {
+        let mut acc = clean.clone();
+        let report = inject(&mut acc, &FaultCampaign::drift(34, sigma));
+        println!(
+            "drift campaign σ={sigma:<4} ({:4} cells) | {:7.1}%",
+            report.drifted,
+            100.0 * acc.evaluate(&test, 8)
+        );
+    }
+
+    // 4. IR-drop bound as an analytic sanity check.
     println!();
     let ir = IrDropModel::typical();
     println!(
