@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== format (rustfmt --check) =="
+cargo fmt --all -- --check
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
@@ -21,6 +24,14 @@ echo "== MVM hot-path bench (smoke) =="
 # the BENCH_mvm.json it writes through forms_bench::json; the binary exits
 # non-zero if the file is malformed.
 FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin mvm -- --smoke
+
+echo "== mixed-precision quant bench (smoke) =="
+# Trains the small VGG-style stack, derives a sensitivity-based mixed
+# precision plan, and measures uniform vs. mixed on FORMS and ISAAC; the
+# binary re-validates the BENCH_quant.json it writes — schema plus the
+# payoff invariant (mixed spends strictly fewer input cycles/MVM than
+# uniform on both designs) — and exits non-zero on any violation.
+FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin quant -- --smoke
 
 echo "== serving-layer bench (smoke) =="
 # Replays a short open-loop Poisson trace against the multi-replica serving

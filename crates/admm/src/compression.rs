@@ -161,8 +161,8 @@ impl CompressionSummary {
 mod tests {
     use super::*;
     use forms_dnn::{Layer, Network};
-    use forms_tensor::Tensor;
     use forms_rng::StdRng;
+    use forms_tensor::Tensor;
 
     fn net_with_zeroed_half() -> Network {
         let mut rng = StdRng::seed_from_u64(0);

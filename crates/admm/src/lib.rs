@@ -42,10 +42,13 @@ mod trainer;
 pub use compression::{CompressionSummary, LayerCompression};
 pub use constraints::{crossbar_aware_keep, LayerConstraints, PolarizeSpec, PruneSpec, QuantSpec};
 pub use diagnostics::{ResidualTrace, Residuals};
+pub use forms_exec::{LayerPrecision, PrecisionPlan};
 pub use fragment::{fragment_count, row_permutation, FilterGeometry, PolarizationPolicy};
 pub use projections::{
     active_rows, fragment_signs, polarization_violations, project_all, project_polarization,
     project_quantization, project_structured_pruning, quantization_step,
 };
-pub use sensitivity::{recommend_keeps, sensitivity_sweep, LayerSensitivity};
+pub use sensitivity::{
+    plan_from_sensitivity, recommend_keeps, sensitivity_sweep, LayerSensitivity,
+};
 pub use trainer::{AdmmConfig, AdmmReport, AdmmTrainer};

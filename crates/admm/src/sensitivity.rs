@@ -10,6 +10,7 @@
 
 use forms_dnn::data::Dataset;
 use forms_dnn::{evaluate, Network, WeightLayerMut};
+use forms_exec::{LayerPrecision, PrecisionPlan};
 
 use crate::project_structured_pruning;
 
@@ -102,6 +103,44 @@ pub fn recommend_keeps(
         .collect()
 }
 
+/// Derives a per-layer mixed-precision [`PrecisionPlan`] from a pruning
+/// sensitivity sweep.
+///
+/// The sweep already measures how much damage each layer shrugs off: a
+/// layer whose accuracy survives *some* pruning cut within `tolerance`
+/// (`smallest_safe_keep < 1.0`) is robust to parameter perturbation and
+/// gets the cheap `tolerant` precision; a layer where every tested cut
+/// broke accuracy is fragile and keeps the `sensitive` precision. This is
+/// the same signal ADMM-NN uses to assign per-layer compression ratios,
+/// repurposed for bit widths.
+///
+/// The returned plan covers the sweep's layers in visit order.
+///
+/// # Panics
+///
+/// Panics if `sweep` is empty.
+pub fn plan_from_sensitivity(
+    sweep: &[LayerSensitivity],
+    baseline_accuracy: f32,
+    tolerance: f32,
+    sensitive: LayerPrecision,
+    tolerant: LayerPrecision,
+) -> PrecisionPlan {
+    assert!(!sweep.is_empty(), "need at least one layer's sensitivity");
+    PrecisionPlan::per_layer(
+        sweep
+            .iter()
+            .map(|s| {
+                if s.smallest_safe_keep(baseline_accuracy, tolerance) < 1.0 {
+                    tolerant
+                } else {
+                    sensitive
+                }
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +206,49 @@ mod tests {
                 .expect("recommended keep was tested");
             assert!(baseline - acc <= 0.05 + 1e-6);
         }
+    }
+
+    #[test]
+    fn plan_from_sensitivity_splits_tolerant_and_fragile_layers() {
+        // Synthetic sweep, no training needed: layer 0 survives a 50% cut
+        // (tolerant), layer 1 loses 20 points at every tested cut
+        // (sensitive), layer 2 was only tested at keep 1.0 (sensitive by
+        // default — no cut is known to be safe).
+        let sweep = vec![
+            LayerSensitivity {
+                layer: 0,
+                accuracy_at_keep: vec![(0.5, 0.89), (1.0, 0.9)],
+            },
+            LayerSensitivity {
+                layer: 1,
+                accuracy_at_keep: vec![(0.5, 0.70), (1.0, 0.9)],
+            },
+            LayerSensitivity {
+                layer: 2,
+                accuracy_at_keep: vec![(1.0, 0.9)],
+            },
+        ];
+        let sensitive = LayerPrecision::new(8, 16);
+        let tolerant = LayerPrecision::new(4, 8);
+        let plan = plan_from_sensitivity(&sweep, 0.9, 0.05, sensitive, tolerant);
+        assert_eq!(plan.len(), Some(3));
+        assert_eq!(plan.layer(0), tolerant);
+        assert_eq!(plan.layer(1), sensitive);
+        assert_eq!(plan.layer(2), sensitive);
+        assert!(!plan.is_uniform());
+        assert_eq!(plan.max_input_bits(), 16);
+    }
+
+    #[test]
+    fn all_fragile_sweep_yields_a_uniform_sensitive_plan() {
+        let sweep = vec![LayerSensitivity {
+            layer: 0,
+            accuracy_at_keep: vec![(0.25, 0.1), (0.5, 0.2)],
+        }];
+        let sensitive = LayerPrecision::new(8, 16);
+        let plan = plan_from_sensitivity(&sweep, 0.9, 0.02, sensitive, LayerPrecision::new(4, 8));
+        assert!(plan.is_uniform());
+        assert_eq!(plan.layer(0), sensitive);
     }
 
     #[test]

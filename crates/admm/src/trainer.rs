@@ -9,8 +9,8 @@
 use forms_dnn::data::Dataset;
 use forms_dnn::WeightLayerMut;
 use forms_dnn::{evaluate, softmax_cross_entropy, Network, Optimizer, Sgd};
-use forms_tensor::Tensor;
 use forms_rng::Rng;
+use forms_tensor::Tensor;
 
 use crate::{
     fragment_signs, project_all, row_permutation, FilterGeometry, LayerConstraints,

@@ -15,10 +15,10 @@
 //! Activations must be non-negative (the post-ReLU guarantee the paper's
 //! designs rely on); quantization clamps at zero.
 
-use forms_exec::{ExecError, Executor};
+use forms_exec::{ExecError, Executor, PrecisionPlan};
 use forms_reram::LogNormalVariation;
-use forms_tensor::Tensor;
 use forms_rng::Rng;
+use forms_tensor::Tensor;
 
 use crate::mapping::{MappedLayer, MappingConfig, MvmStats};
 
@@ -88,12 +88,34 @@ impl Accelerator {
         perms: Vec<Option<Vec<usize>>>,
     ) -> Result<Self, ExecError> {
         Ok(Self {
-            exec: Executor::with_permutations(
-                net,
-                &config.mapping,
-                config.activation_bits,
-                perms,
-            )?,
+            exec: Executor::with_permutations(net, &config.mapping, config.activation_bits, perms)?,
+            config,
+        })
+    }
+
+    /// Maps a network under a per-layer [`PrecisionPlan`]: weight layer
+    /// `i` maps at `plan.layer(i)`'s widths (the rest of `config.mapping`
+    /// — crossbar dimension, fragment size, cell spec, zero-skipping — is
+    /// shared) and quantizes its activations at `plan.layer(i).input_bits`
+    /// (`config.activation_bits` is superseded by the plan). A uniform
+    /// plan at the configuration's own widths is bitwise identical to
+    /// [`map_network`](Self::map_network).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if a layer cannot be mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer plan's length differs from the weight-layer
+    /// count.
+    pub fn with_plan(
+        net: &forms_dnn::Network,
+        config: AcceleratorConfig,
+        plan: PrecisionPlan,
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
+            exec: Executor::with_plan(net, &config.mapping, plan)?,
             config,
         })
     }
@@ -101,6 +123,17 @@ impl Accelerator {
     /// The accelerator configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// The precision plan every layer was mapped and quantized under.
+    pub fn plan(&self) -> &PrecisionPlan {
+        self.exec.plan()
+    }
+
+    /// The mapping configuration each weight layer was actually mapped
+    /// with (the plan-specialized per-layer view of `config.mapping`).
+    pub fn layer_configs(&self) -> &[MappingConfig] {
+        self.exec.layer_configs()
     }
 
     /// The mapped weight layers, in visit order.
@@ -314,10 +347,12 @@ mod tests {
         accel.forward(&x);
         let perfs = accel.layer_perfs(images);
         assert_eq!(perfs.len(), 2); // conv + linear
-        // Conv layer: 64 output positions per image; linear: 1.
+                                    // Conv layer: 64 output positions per image; linear: 1.
         assert_eq!(perfs[0].positions, 64);
         assert_eq!(perfs[1].positions, 1);
-        assert!(perfs.iter().all(|p| p.input_cycles >= 1.0 && p.crossbars > 0));
+        assert!(perfs
+            .iter()
+            .all(|p| p.input_cycles >= 1.0 && p.crossbars > 0));
         // The perfs drive the FPS model directly.
         let fps = crate::FpsModel::new(forms_hwmodel::McuConfig::forms(4), perfs).fps();
         assert!(fps > 0.0);

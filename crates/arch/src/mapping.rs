@@ -11,8 +11,8 @@ use forms_exec::{CrossbarEngine, EngineHealth, ExecError, FaultableEngine, Merge
 use forms_reram::{
     pack_bit_planes, Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise, FaultCampaign, FaultReport,
 };
-use forms_tensor::Tensor;
 use forms_rng::Rng;
+use forms_tensor::Tensor;
 
 use crate::zero_skip::{fragment_eic, ShiftRegisterBank};
 
@@ -315,7 +315,7 @@ impl MappedLayer {
             .map(|&s| s as f64 * max_input * f64::from(step))
             .fold(0.0f64, f64::max);
 
-        let adc = Adc::ideal_for(m, &config.cell);
+        let adc = Adc::for_fragment(m, &config.cell);
         Ok(Self {
             config,
             row_index,
@@ -762,6 +762,21 @@ impl CrossbarEngine for MappedLayer {
         f64::from(config.input_bits)
     }
 
+    fn precision_of(config: &MappingConfig) -> forms_exec::LayerPrecision {
+        forms_exec::LayerPrecision::new(config.weight_bits, config.input_bits)
+    }
+
+    fn with_precision(
+        config: &MappingConfig,
+        precision: forms_exec::LayerPrecision,
+    ) -> MappingConfig {
+        MappingConfig {
+            weight_bits: precision.weight_bits,
+            input_bits: precision.input_bits,
+            ..*config
+        }
+    }
+
     fn health(&self) -> EngineHealth {
         let dim = self.config.crossbar_dim as u64;
         EngineHealth {
@@ -802,7 +817,11 @@ mod tests {
         Tensor::from_fn(&[rows, cols], |i| {
             let (r, c) = (i / cols, i % cols);
             let frag = r / m;
-            let sign = if (frag + c).is_multiple_of(2) { 1.0 } else { -1.0 };
+            let sign = if (frag + c).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             sign * ((i % 7) as f32 + 1.0) / 8.0
         })
     }
@@ -1065,8 +1084,7 @@ mod tests {
             let codes: Vec<u32> = (0..16).map(|i| (i * 11) as u32 % 97).collect();
             let mut rng_a = forms_rng::StdRng::seed_from_u64(42);
             let mut rng_b = forms_rng::StdRng::seed_from_u64(42);
-            let (reference, rs) =
-                mapped.matvec_noisy_reference(&codes, 0.5, &noise, &mut rng_a);
+            let (reference, rs) = mapped.matvec_noisy_reference(&codes, 0.5, &noise, &mut rng_a);
             let (packed, ps) = mapped.matvec_noisy(&codes, 0.5, &noise, &mut rng_b);
             assert_eq!(reference, packed, "zero_skipping={zero_skipping}");
             assert_eq!(rs, ps);
@@ -1136,10 +1154,7 @@ mod tests {
 
         let health = CrossbarEngine::health(&mapped);
         assert_eq!(health.faulted_cells, report.stuck() as u64);
-        assert_eq!(
-            health.total_cells,
-            mapped.crossbar_count() as u64 * 16 * 16
-        );
+        assert_eq!(health.total_cells, mapped.crossbar_count() as u64 * 16 * 16);
         assert!(health.fault_density() > 0.0);
 
         // The faulted state must flow through the packed hot path exactly

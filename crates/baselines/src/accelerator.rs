@@ -13,8 +13,8 @@
 //! subtraction, which the statistics expose.
 
 use forms_exec::{
-    CrossbarEngine, EngineHealth, ExecError, Executor, FaultCampaign, FaultReport,
-    FaultableEngine, LayerPerf,
+    CrossbarEngine, EngineHealth, ExecError, Executor, FaultCampaign, FaultReport, FaultableEngine,
+    LayerPerf,
 };
 use forms_hwmodel::{Activity, DynamicActivity};
 use forms_tensor::Tensor;
@@ -95,6 +95,18 @@ impl CrossbarEngine for IsaacLayer {
         f64::from(config.input_bits)
     }
 
+    fn precision_of(config: &IsaacConfig) -> forms_exec::LayerPrecision {
+        forms_exec::LayerPrecision::new(config.weight_bits, config.input_bits)
+    }
+
+    fn with_precision(config: &IsaacConfig, precision: forms_exec::LayerPrecision) -> IsaacConfig {
+        IsaacConfig {
+            weight_bits: precision.weight_bits,
+            input_bits: precision.input_bits,
+            ..*config
+        }
+    }
+
     fn health(&self) -> EngineHealth {
         let (faulted_cells, drifted_cells, total_cells) = self.fault_counts();
         EngineHealth {
@@ -163,9 +175,45 @@ impl IsaacAccelerator {
         })
     }
 
+    /// Maps a network under a per-layer [`forms_exec::PrecisionPlan`]:
+    /// weight layer `i` is offset-encoded at `plan.layer(i).weight_bits`
+    /// and its activations quantized at `plan.layer(i).input_bits`. A
+    /// uniform plan at the configuration's own widths is bitwise identical
+    /// to [`map_network`](Self::map_network).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if a layer cannot be mapped — note that
+    /// offset encoding requires `weight_bits >= 2` for every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer plan's length differs from the weight-layer
+    /// count.
+    pub fn with_plan(
+        net: &forms_dnn::Network,
+        config: IsaacConfig,
+        plan: forms_exec::PrecisionPlan,
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
+            exec: Executor::with_plan(net, &config, plan)?,
+        })
+    }
+
     /// The configuration.
     pub fn config(&self) -> &IsaacConfig {
         self.exec.engine_config()
+    }
+
+    /// The precision plan every layer was mapped and quantized under.
+    pub fn plan(&self) -> &forms_exec::PrecisionPlan {
+        self.exec.plan()
+    }
+
+    /// The configuration each weight layer was actually mapped with (the
+    /// plan-specialized per-layer view of the base configuration).
+    pub fn layer_configs(&self) -> &[IsaacConfig] {
+        self.exec.layer_configs()
     }
 
     /// The mapped weight layers, in visit order.

@@ -413,7 +413,11 @@ impl IsaacLayer {
     /// # Panics
     ///
     /// Panics as [`matvec`](Self::matvec) does.
-    pub fn matvec_reference(&self, input_codes: &[u32], input_scale: f32) -> (Vec<f32>, IsaacStats) {
+    pub fn matvec_reference(
+        &self,
+        input_codes: &[u32],
+        input_scale: f32,
+    ) -> (Vec<f32>, IsaacStats) {
         self.validate_input_codes(input_codes);
         let dim = self.crossbar_dim;
         let cpw = self.slicer.cells_per_weight();

@@ -147,8 +147,7 @@ fn ablation_sign_update(b: &mut Bencher) {
                 if epoch % p == 0 {
                     signs = forms_admm::fragment_signs(&z, 8);
                 }
-                if signs.len()
-                    == z.dims()[1] * forms_admm::active_rows(&z).len().div_ceil(8).max(1)
+                if signs.len() == z.dims()[1] * forms_admm::active_rows(&z).len().div_ceil(8).max(1)
                 {
                     z = forms_admm::project_polarization(&z, 8, &signs);
                 } else {

@@ -38,7 +38,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"));
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve.json"
+    ));
     let doc = report.to_json();
     if let Err(err) = std::fs::write(path, doc.pretty() + "\n") {
         eprintln!("could not write {}: {err}", path.display());

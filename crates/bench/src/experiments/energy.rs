@@ -78,8 +78,7 @@ pub fn run() -> Experiment {
             weight_bits: 8,
             input_bits: 16,
         };
-        let mut isaac =
-            IsaacAccelerator::map_network(&compressed.net, isaac_cfg).expect("maps");
+        let mut isaac = IsaacAccelerator::map_network(&compressed.net, isaac_cfg).expect("maps");
         isaac.forward(&x);
         let stats = isaac.stats();
         let energy = IsaacActivity {

@@ -10,8 +10,8 @@ use forms_admm::crossbar_aware_keep;
 use forms_arch::{FpsModel, LayerPerf};
 use forms_baselines::PumaModel;
 use forms_hwmodel::McuConfig;
-use forms_workloads::{resnet18_cifar, vgg16_cifar, ActivationModel, LayerShape};
 use forms_rng::StdRng;
+use forms_workloads::{resnet18_cifar, vgg16_cifar, ActivationModel, LayerShape};
 
 use crate::report::{times, Experiment};
 use crate::suite::{

@@ -10,8 +10,8 @@
 
 use forms_arch::{MappedLayer, MappingConfig};
 use forms_reram::{CellSpec, CurrentNoise, IrDropModel};
-use forms_tensor::Tensor;
 use forms_rng::StdRng;
+use forms_tensor::Tensor;
 
 use crate::report::{f2, pct, Experiment};
 

@@ -212,7 +212,10 @@ impl FaultsBenchReport {
                 fields.push((
                     "mean_rel_err",
                     JsonValue::Array(
-                        c.mean_rel_err.iter().map(|&e| JsonValue::Number(e)).collect(),
+                        c.mean_rel_err
+                            .iter()
+                            .map(|&e| JsonValue::Number(e))
+                            .collect(),
                     ),
                 ));
                 JsonValue::object(fields)
@@ -236,7 +239,11 @@ impl FaultsBenchReport {
                     (
                         "rates",
                         JsonValue::Array(
-                            self.spec.rates.iter().map(|&r| JsonValue::Number(r)).collect(),
+                            self.spec
+                                .rates
+                                .iter()
+                                .map(|&r| JsonValue::Number(r))
+                                .collect(),
                         ),
                     ),
                     ("samples", JsonValue::Number(self.spec.samples as f64)),
@@ -443,7 +450,11 @@ fn run_storm(pristine: &Executor<PacedEngine<MappedLayer>>, spec: &FaultsBenchSp
             let mut requests = 0usize;
             let drive = |n: usize, outputs: &mut Vec<Vec<f32>>, degraded: &mut usize| {
                 let tickets: Vec<_> = (0..n)
-                    .map(|_| handle.submit(request.clone()).expect("queue sized for storm"))
+                    .map(|_| {
+                        handle
+                            .submit(request.clone())
+                            .expect("queue sized for storm")
+                    })
                     .collect();
                 for t in tickets {
                     match t.wait() {
@@ -506,7 +517,13 @@ pub fn run(spec: &FaultsBenchSpec) -> FaultsBenchReport {
         };
         let exec = Executor::<MappedLayer>::map_network(&net, &config, config.input_bits)
             .expect("bench layer maps on FORMS");
-        curves.push(accuracy_curve("FORMS", Some(fragment), &exec, &inputs, spec));
+        curves.push(accuracy_curve(
+            "FORMS",
+            Some(fragment),
+            &exec,
+            &inputs,
+            spec,
+        ));
     }
     let isaac_config = IsaacConfig {
         crossbar_dim: spec.mapping.crossbar_dim,
@@ -612,9 +629,7 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
             return Err(format!("curves[{i}] agreement outside [0, 1]"));
         }
         if agreement[0] != 1.0 || rel_err[0] != 0.0 {
-            return Err(format!(
-                "curves[{i}] must be exact at the 0.0 clean anchor"
-            ));
+            return Err(format!("curves[{i}] must be exact at the 0.0 clean anchor"));
         }
         let mean = agreement.iter().sum::<f64>() / agreement.len() as f64;
         if design == "FORMS" {
@@ -725,10 +740,12 @@ mod tests {
                         }
                         if let JsonValue::Array(curves) = av {
                             for curve in curves.iter_mut() {
-                                let JsonValue::Object(cf) = curve else { continue };
-                                let is_forms = cf.iter().any(|(ck, cv)| {
-                                    ck == "design" && cv.as_str() == Some("FORMS")
-                                });
+                                let JsonValue::Object(cf) = curve else {
+                                    continue;
+                                };
+                                let is_forms = cf
+                                    .iter()
+                                    .any(|(ck, cv)| ck == "design" && cv.as_str() == Some("FORMS"));
                                 if !is_forms {
                                     continue;
                                 }

@@ -113,9 +113,7 @@ impl JsonValue {
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -224,7 +222,10 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
@@ -288,8 +289,7 @@ impl Parser<'_> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| "invalid \\u escape".to_string())?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
         self.pos = end;
         Ok(code)
     }
@@ -383,7 +383,10 @@ mod tests {
     fn pretty_object_layout_matches_serde_style() {
         let v = JsonValue::object(vec![
             ("id", JsonValue::String("Fig. 9".into())),
-            ("rows", JsonValue::Array(vec![JsonValue::strings(&["a".into()])])),
+            (
+                "rows",
+                JsonValue::Array(vec![JsonValue::strings(&["a".into()])]),
+            ),
             ("empty", JsonValue::Array(vec![])),
         ]);
         let expected = "{\n  \"id\": \"Fig. 9\",\n  \"rows\": [\n    [\n      \"a\"\n    ]\n  ],\n  \"empty\": []\n}";
@@ -423,7 +426,14 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "{\"a\":}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":}",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
@@ -470,8 +480,8 @@ mod tests {
 
     fn arbitrary_string(rng: &mut StdRng) -> String {
         const POOL: &[char] = &[
-            'a', 'Z', '9', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}',
-            '\u{1f}', '\u{7f}', 'µ', '√', '試', '🎉', '/',
+            'a', 'Z', '9', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}',
+            '\u{7f}', 'µ', '√', '試', '🎉', '/',
         ];
         let n = (rng.next_u32() % 12) as usize;
         (0..n)
@@ -487,8 +497,7 @@ mod tests {
         for case in 0..500 {
             let v = arbitrary_value(&mut rng, 4);
             let text = v.pretty();
-            let reparsed =
-                parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
             assert_eq!(reparsed, v, "case {case} did not round-trip:\n{text}");
         }
     }

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod faults;
 pub mod json;
 pub mod mvm;
+pub mod quant;
 pub mod report;
 pub mod serve;
 pub mod suite;

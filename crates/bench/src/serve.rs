@@ -223,7 +223,10 @@ impl ServeBenchReport {
                 ]),
             ),
             ("sweep", JsonValue::Array(sweep)),
-            ("throughput_scaling_1_to_max_replicas", JsonValue::object(scaling)),
+            (
+                "throughput_scaling_1_to_max_replicas",
+                JsonValue::object(scaling),
+            ),
         ])
     }
 }
@@ -273,10 +276,9 @@ where
                 model: ActivationModel::half_normal(0.4),
                 deadline: None,
             };
-            let (report, telemetry) =
-                serve(executor, &[spec.rows], &config, |handle| {
-                    run_open_loop(handle, &load)
-                });
+            let (report, telemetry) = serve(executor, &[spec.rows], &config, |handle| {
+                run_open_loop(handle, &load)
+            });
             // Exact client-side percentiles from the sorted samples, plus
             // the bucketed mean as a cross-check aggregate.
             let ns: Vec<f64> = report

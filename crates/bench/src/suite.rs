@@ -12,9 +12,9 @@ use forms_admm::{
 };
 use forms_dnn::data::{Dataset, SyntheticSpec};
 use forms_dnn::{evaluate, models, train_epoch, Network, Optimizer, Sgd};
+use forms_rng::StdRng;
 use forms_tensor::{FixedSpec, QuantizedTensor};
 use forms_workloads::capture_weight_layer_inputs;
-use forms_rng::StdRng;
 
 /// The paper's benchmark datasets (synthetic stand-ins).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

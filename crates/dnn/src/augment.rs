@@ -4,8 +4,8 @@
 //! augmentation for CIFAR-class data. On the synthetic stand-ins it
 //! regularizes the small training sets the same way it does real images.
 
-use forms_tensor::Tensor;
 use forms_rng::Rng;
+use forms_tensor::Tensor;
 
 use crate::data::Dataset;
 

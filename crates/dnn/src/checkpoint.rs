@@ -188,8 +188,8 @@ pub fn load(net: &mut Network, path: &Path) -> Result<(), CheckpointError> {
 mod tests {
     use super::*;
     use crate::{models, Layer};
-    use forms_tensor::Tensor as T;
     use forms_rng::StdRng;
+    use forms_tensor::Tensor as T;
 
     fn net(seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -8,8 +8,8 @@
 //! the compression experiments show the same qualitative accuracy behaviour
 //! the paper reports (see `DESIGN.md` §2).
 
-use forms_tensor::Tensor;
 use forms_rng::Rng;
+use forms_tensor::Tensor;
 
 /// A labelled dataset of `[N, C, H, W]` images.
 #[derive(Clone, Debug)]

@@ -5,8 +5,8 @@
 //! can pattern-match on layer structure (filter geometry, weight layout)
 //! without downcasting.
 
-use forms_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Tensor};
 use forms_rng::Rng;
+use forms_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Tensor};
 
 use crate::Param;
 

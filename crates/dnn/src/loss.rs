@@ -196,7 +196,10 @@ mod tests {
     fn top_1_matches_accuracy() {
         let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
         let labels = [0usize, 1, 1];
-        assert_eq!(top_k_accuracy(&logits, &labels, 1), accuracy(&logits, &labels));
+        assert_eq!(
+            top_k_accuracy(&logits, &labels, 1),
+            accuracy(&logits, &labels)
+        );
     }
 
     #[test]

@@ -249,8 +249,8 @@ pub fn mlp<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forms_tensor::Tensor;
     use forms_rng::StdRng;
+    use forms_tensor::Tensor;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

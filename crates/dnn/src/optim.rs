@@ -189,8 +189,8 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::Layer;
-    use forms_tensor::Tensor;
     use forms_rng::StdRng;
+    use forms_tensor::Tensor;
 
     /// Minimize ||Wx - y||² on a fixed (x, y) pair and check the loss drops.
     fn fit_linear(opt: &mut dyn Optimizer, steps: usize) -> (f32, f32) {

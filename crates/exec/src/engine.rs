@@ -7,6 +7,7 @@ use forms_reram::{FaultCampaign, FaultReport};
 use forms_tensor::Tensor;
 
 use crate::error::ExecError;
+use crate::precision::LayerPrecision;
 
 /// Accumulation of per-MVM statistics records.
 pub trait Merge {
@@ -121,6 +122,18 @@ pub trait CrossbarEngine: Clone + Send + Sync + fmt::Debug + Sized {
     /// Input cycles per activation when nothing was measured — the input
     /// bit width (a design with zero-skipping never exceeds it).
     fn max_input_cycles(config: &Self::Config) -> f64;
+
+    /// The quantization widths baked into a configuration.
+    fn precision_of(config: &Self::Config) -> LayerPrecision;
+
+    /// A copy of `config` with its bit widths replaced by `precision` —
+    /// how the executor specializes one base configuration per layer under
+    /// a [`PrecisionPlan`](crate::PrecisionPlan). Everything except the
+    /// widths (crossbar dimension, cell spec, fragment size, …) must be
+    /// preserved, and `with_precision(c, precision_of(c))` must be
+    /// equivalent to `c` so a uniform plan stays bitwise identical to the
+    /// global-bit-width path.
+    fn with_precision(config: &Self::Config, precision: LayerPrecision) -> Self::Config;
 
     /// Device-health counters for this layer's mapped crossbars. The
     /// default reports nothing (all-zero); engines that track fault

@@ -23,6 +23,7 @@ use forms_tensor::{im2col, Conv2dGeometry, FixedSpec, QuantizedTensor, Tensor};
 
 use crate::engine::{CrossbarEngine, EngineHealth, FaultableEngine, LayerPerf, Merge};
 use crate::error::ExecError;
+use crate::precision::PrecisionPlan;
 
 /// Multiplicative slack on the output-range sentinel bound: the ceiling is
 /// exact in f64 while engine outputs round through f32, so a hair of
@@ -41,7 +42,14 @@ pub struct Executor<E: CrossbarEngine> {
     engines: Vec<E>,
     perms: Vec<Option<Vec<usize>>>,
     config: E::Config,
-    activation_bits: u32,
+    /// The per-layer precision assignment every layer was mapped under.
+    plan: PrecisionPlan,
+    /// The engine configuration each layer was actually mapped with —
+    /// `config` specialized by the plan (or a verbatim copy on the legacy
+    /// global-bit-width path).
+    layer_configs: Vec<E::Config>,
+    /// Activation quantization width per weight layer.
+    layer_input_bits: Vec<u32>,
     stats: E::Stats,
     layer_stats: Vec<E::Stats>,
     /// Matrix-vector activations per weight layer since the last reset.
@@ -60,7 +68,8 @@ pub struct Executor<E: CrossbarEngine> {
 struct InferenceCtx<'a, E: CrossbarEngine> {
     engines: &'a [E],
     perms: &'a [Option<Vec<usize>>],
-    activation_bits: u32,
+    /// Activation quantization width per weight layer (plan-derived).
+    layer_input_bits: &'a [u32],
     /// Engine-specific per-MVM working memory, reused across every MVM.
     scratch: E::Scratch,
     /// Gathered (and possibly permuted) input codes for one MVM.
@@ -85,11 +94,11 @@ struct InferenceCtx<'a, E: CrossbarEngine> {
 }
 
 impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
-    fn new(engines: &'a [E], perms: &'a [Option<Vec<usize>>], activation_bits: u32) -> Self {
+    fn new(engines: &'a [E], perms: &'a [Option<Vec<usize>>], layer_input_bits: &'a [u32]) -> Self {
         Self {
             engines,
             perms,
-            activation_bits,
+            layer_input_bits,
             scratch: E::Scratch::default(),
             codes: Vec::new(),
             permuted: Vec::new(),
@@ -153,9 +162,13 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
         }
     }
 
-    /// Quantizes an activation tensor with a shared per-call scale.
-    fn quantize_activations(&self, t: &Tensor) -> QuantizedTensor {
-        let spec = FixedSpec::for_max_value(self.activation_bits, t.max());
+    /// Quantizes an activation tensor at weight layer `idx`'s input width
+    /// with a shared per-call scale. A non-finite activation maximum (NaN
+    /// or infinity leaking out of a faulted engine) yields a degenerate
+    /// zero-scale spec, so every code — and the layer's output — collapses
+    /// to zero instead of propagating garbage.
+    fn quantize_activations(&self, idx: usize, t: &Tensor) -> QuantizedTensor {
+        let spec = FixedSpec::for_max_value(self.layer_input_bits[idx], t.max());
         QuantizedTensor::quantize_with(t, spec)
     }
 
@@ -190,7 +203,8 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
     fn permute_codes(&mut self, idx: usize) {
         if let Some(perm) = &self.perms[idx] {
             self.permuted.clear();
-            self.permuted.extend(perm.iter().map(|&src| self.codes[src]));
+            self.permuted
+                .extend(perm.iter().map(|&src| self.codes[src]));
             std::mem::swap(&mut self.codes, &mut self.permuted);
         }
     }
@@ -220,7 +234,7 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             let sample = Tensor::from_vec(buf, &[c, h, w]);
             let cols = im2col(&sample, geom);
             self.sample = sample.into_vec();
-            let q = self.quantize_activations(&cols);
+            let q = self.quantize_activations(idx, &cols);
             let scale = q.spec().scale();
             for p in 0..positions {
                 self.codes.clear();
@@ -251,13 +265,14 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             buf.clear();
             buf.extend_from_slice(&x.data()[s * in_features..(s + 1) * in_features]);
             let row = Tensor::from_vec(buf, &[in_features]);
-            let q = self.quantize_activations(&row);
+            let q = self.quantize_activations(idx, &row);
             self.sample = row.into_vec();
             let scale = q.spec().scale();
             self.codes.clear();
             self.codes.extend_from_slice(q.codes());
             self.permute_codes(idx);
-            let stats = engine.matvec_into(&self.codes, scale, &mut self.scratch, &mut self.mvm_out);
+            let stats =
+                engine.matvec_into(&self.codes, scale, &mut self.scratch, &mut self.mvm_out);
             self.record(idx, stats);
             self.check_sentinels(idx, scale);
             for (j, &v) in self.mvm_out.iter().enumerate() {
@@ -286,6 +301,9 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
 #[derive(Debug)]
 pub struct InferenceSession<'a, E: CrossbarEngine> {
     layers: Vec<Layer>,
+    /// The owning executor's precision plan — sessions carry it so the
+    /// serving layer can tag telemetry with the deployed plan.
+    plan: &'a PrecisionPlan,
     ctx: InferenceCtx<'a, E>,
 }
 
@@ -304,6 +322,11 @@ impl<E: CrossbarEngine> InferenceSession<'_, E> {
     /// Runs one `[N, ...]` batch and returns the output tensor.
     pub fn forward_batch(&mut self, x: &Tensor) -> Tensor {
         self.ctx.run(&mut self.layers, x)
+    }
+
+    /// The precision plan of the executor this session runs against.
+    pub fn plan(&self) -> &PrecisionPlan {
+        self.plan
     }
 
     /// Statistics accumulated by this session since its creation.
@@ -370,6 +393,70 @@ impl<E: CrossbarEngine> Executor<E> {
         activation_bits: u32,
         perms: Vec<Option<Vec<usize>>>,
     ) -> Result<Self, ExecError> {
+        // The legacy global-bit-width path: every layer maps with `config`
+        // verbatim (never re-specialized, so behaviour is bit-identical to
+        // the pre-plan executor even when `activation_bits` differs from
+        // the width baked into `config`) and quantizes activations at
+        // `activation_bits`.
+        let plan = PrecisionPlan::uniform(E::precision_of(config).weight_bits, activation_bits);
+        Self::construct(net, config, plan, perms, false)
+    }
+
+    /// Maps a network under a per-layer [`PrecisionPlan`]: weight layer
+    /// `i` is mapped with `config` specialized to `plan.layer(i)` (see
+    /// [`CrossbarEngine::with_precision`]) and its activations are
+    /// quantized at `plan.layer(i).input_bits`. A
+    /// [`uniform`](PrecisionPlan::uniform) plan at the configuration's own
+    /// widths is bitwise identical to
+    /// [`map_network`](Self::map_network).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing layer's [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer plan's length differs from the weight-layer
+    /// count.
+    pub fn with_plan(
+        net: &Network,
+        config: &E::Config,
+        plan: PrecisionPlan,
+    ) -> Result<Self, ExecError> {
+        let count = net.weight_layer_count();
+        Self::with_plan_and_permutations(net, config, plan, vec![None; count])
+    }
+
+    /// [`with_plan`](Self::with_plan) with per-layer row permutations
+    /// (see [`with_permutations`](Self::with_permutations)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing layer's [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms.len()` or a per-layer plan's length differs from
+    /// the weight-layer count.
+    pub fn with_plan_and_permutations(
+        net: &Network,
+        config: &E::Config,
+        plan: PrecisionPlan,
+        perms: Vec<Option<Vec<usize>>>,
+    ) -> Result<Self, ExecError> {
+        Self::construct(net, config, plan, perms, true)
+    }
+
+    /// Shared constructor: maps every weight layer, specializing `config`
+    /// per layer from `plan` when `specialize` is set (the legacy
+    /// global-bit-width path keeps `config` verbatim instead).
+    fn construct(
+        net: &Network,
+        config: &E::Config,
+        plan: PrecisionPlan,
+        perms: Vec<Option<Vec<usize>>>,
+        specialize: bool,
+    ) -> Result<Self, ExecError> {
         let mut net = net.clone();
         let mut matrices = Vec::new();
         net.for_each_weight_layer(&mut |wl| {
@@ -383,13 +470,26 @@ impl<E: CrossbarEngine> Executor<E> {
             perms.len(),
             "need one permutation slot per weight layer"
         );
+        plan.assert_covers(matrices.len());
+        let layer_configs: Vec<E::Config> = (0..matrices.len())
+            .map(|i| {
+                if specialize {
+                    E::with_precision(config, plan.layer(i))
+                } else {
+                    config.clone()
+                }
+            })
+            .collect();
+        let layer_input_bits: Vec<u32> = (0..matrices.len())
+            .map(|i| plan.layer(i).input_bits)
+            .collect();
         let mut engines = Vec::with_capacity(matrices.len());
-        for (m, perm) in matrices.iter().zip(&perms) {
+        for ((m, perm), layer_config) in matrices.iter().zip(&perms).zip(&layer_configs) {
             let policy_m = match perm {
                 Some(p) => permute_rows(m, p),
                 None => m.clone(),
             };
-            engines.push(E::map_matrix(&policy_m, config)?);
+            engines.push(E::map_matrix(&policy_m, layer_config)?);
         }
         let count = engines.len();
         Ok(Self {
@@ -397,7 +497,9 @@ impl<E: CrossbarEngine> Executor<E> {
             engines,
             perms,
             config: config.clone(),
-            activation_bits,
+            plan,
+            layer_configs,
+            layer_input_bits,
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); count],
             layer_mvms: vec![0; count],
@@ -406,14 +508,27 @@ impl<E: CrossbarEngine> Executor<E> {
         })
     }
 
-    /// The engine configuration every layer was mapped with.
+    /// The base engine configuration the network was mapped from (before
+    /// any per-layer precision specialization).
     pub fn engine_config(&self) -> &E::Config {
         &self.config
     }
 
-    /// Activation quantization bits.
-    pub fn activation_bits(&self) -> u32 {
-        self.activation_bits
+    /// The precision plan every layer was mapped and quantized under.
+    pub fn plan(&self) -> &PrecisionPlan {
+        &self.plan
+    }
+
+    /// The engine configuration each weight layer was actually mapped
+    /// with: the base configuration specialized by the plan (or verbatim
+    /// copies on the legacy global-bit-width path).
+    pub fn layer_configs(&self) -> &[E::Config] {
+        &self.layer_configs
+    }
+
+    /// Activation quantization bits per weight layer.
+    pub fn layer_input_bits(&self) -> &[u32] {
+        &self.layer_input_bits
     }
 
     /// The mapped weight-layer engines, in visit order.
@@ -495,15 +610,25 @@ impl<E: CrossbarEngine> Executor<E> {
         self.engines
             .iter()
             .zip(&self.layer_stats)
-            .zip(&self.layer_mvms)
-            .map(|((engine, stats), &mvms)| LayerPerf {
+            .zip(self.layer_mvms.iter().zip(&self.layer_configs))
+            .map(|((engine, stats), (&mvms, layer_config))| LayerPerf {
                 positions: (mvms as usize / images).max(1),
                 crossbars: engine.crossbar_count(),
+                // Plan-aware fallback: a layer that measured nothing is
+                // bounded by *its own* input width, not a global one.
                 input_cycles: E::mean_input_cycles(stats)
-                    .unwrap_or_else(|| E::max_input_cycles(&self.config))
+                    .unwrap_or_else(|| E::max_input_cycles(layer_config))
                     .max(1.0),
             })
             .collect()
+    }
+
+    /// Measured mean input cycles per fragment/row-block activation for
+    /// each weight layer (`None` where nothing has been recorded) — the
+    /// per-layer cycle view of the stats registry that mixed-precision
+    /// sweeps compare across plans.
+    pub fn layer_mean_input_cycles(&self) -> Vec<Option<f64>> {
+        self.layer_stats.iter().map(E::mean_input_cycles).collect()
     }
 
     /// Opens an inference session: a per-worker handle with its own cloned
@@ -512,7 +637,8 @@ impl<E: CrossbarEngine> Executor<E> {
     pub fn session(&self) -> InferenceSession<'_, E> {
         InferenceSession {
             layers: self.net.clone().into_layers(),
-            ctx: InferenceCtx::new(&self.engines, &self.perms, self.activation_bits),
+            plan: &self.plan,
+            ctx: InferenceCtx::new(&self.engines, &self.perms, &self.layer_input_bits),
         }
     }
 
@@ -568,7 +694,7 @@ impl<E: CrossbarEngine> Executor<E> {
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut layers = std::mem::take(&mut self.net).into_layers();
         let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
-            let mut ctx = InferenceCtx::new(&self.engines, &self.perms, self.activation_bits);
+            let mut ctx = InferenceCtx::new(&self.engines, &self.perms, &self.layer_input_bits);
             let y = ctx.run(&mut layers, x);
             (
                 y,
@@ -580,7 +706,13 @@ impl<E: CrossbarEngine> Executor<E> {
             )
         };
         self.net = Network::new(layers);
-        self.merge_worker(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
+        self.merge_worker(
+            stats,
+            &layer_stats,
+            &layer_mvms,
+            sentinels,
+            &layer_sentinels,
+        );
         y
     }
 
@@ -607,7 +739,7 @@ impl<E: CrossbarEngine> Executor<E> {
         type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>, u64, Vec<u64>);
         let mut results: Vec<Option<WorkerResult<E::Stats>>> = vec![None; workers];
         let (net, engines, perms) = (&self.net, &self.engines, &self.perms);
-        let activation_bits = self.activation_bits;
+        let layer_input_bits = &self.layer_input_bits;
         std::thread::scope(|scope| {
             for (w, slot) in results.iter_mut().enumerate() {
                 let lo = w * chunk;
@@ -621,7 +753,7 @@ impl<E: CrossbarEngine> Executor<E> {
                     Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
                 scope.spawn(move || {
                     let mut layers = net.clone().into_layers();
-                    let mut ctx = InferenceCtx::new(engines, perms, activation_bits);
+                    let mut ctx = InferenceCtx::new(engines, perms, layer_input_bits);
                     let y = ctx.run(&mut layers, &part);
                     *slot = Some((
                         y,
@@ -639,7 +771,13 @@ impl<E: CrossbarEngine> Executor<E> {
         let mut out_dims: Option<Vec<usize>> = None;
         for slot in results.into_iter().flatten() {
             let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = slot;
-            self.merge_worker(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
+            self.merge_worker(
+                stats,
+                &layer_stats,
+                &layer_mvms,
+                sentinels,
+                &layer_sentinels,
+            );
             if out_dims.is_none() {
                 out_dims = Some(y.dims().to_vec());
             }
@@ -796,6 +934,17 @@ mod tests {
         fn max_input_cycles(config: &u32) -> f64 {
             f64::from(*config)
         }
+
+        fn precision_of(config: &u32) -> crate::LayerPrecision {
+            // The digital mock has no weight quantization; report the
+            // widest width so uniform plans rebuilt from a config stay
+            // faithful to its input bits.
+            crate::LayerPrecision::new(32, *config)
+        }
+
+        fn with_precision(_config: &u32, precision: crate::LayerPrecision) -> u32 {
+            precision.input_bits
+        }
     }
 
     fn small_net(seed: u64) -> Network {
@@ -891,7 +1040,13 @@ mod tests {
             session.layer_sentinel_violations().to_vec(),
         );
         drop(session);
-        exec.merge_stats(stats, &layer_stats, &layer_mvms, sentinels, &layer_sentinels);
+        exec.merge_stats(
+            stats,
+            &layer_stats,
+            &layer_mvms,
+            sentinels,
+            &layer_sentinels,
+        );
         // The same requests through the plain forward path.
         let mut reference = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
         for seed in 0..3 {
@@ -922,6 +1077,78 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn uniform_plan_matches_legacy_map_network_bitwise() {
+        let net = small_net(11);
+        let mut legacy = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let mut planned =
+            Executor::<DigitalEngine>::with_plan(&net, &16, PrecisionPlan::uniform(32, 16))
+                .unwrap();
+        let x = Tensor::from_fn(&[3, 1, 8, 8], |i| (i % 11) as f32 / 11.0);
+        assert_eq!(legacy.forward(&x), planned.forward(&x));
+        assert_eq!(legacy.stats(), planned.stats());
+        assert_eq!(legacy.layer_input_bits(), planned.layer_input_bits());
+    }
+
+    #[test]
+    fn per_layer_plan_specializes_each_config() {
+        let net = small_net(12);
+        let plan = PrecisionPlan::per_layer(vec![
+            crate::LayerPrecision::new(8, 12),
+            crate::LayerPrecision::new(4, 6),
+        ]);
+        let exec = Executor::<DigitalEngine>::with_plan(&net, &16, plan.clone()).unwrap();
+        assert_eq!(exec.plan(), &plan);
+        assert_eq!(exec.layer_configs(), &[12, 6]);
+        assert_eq!(exec.layer_input_bits(), &[12, 6]);
+        assert!(!exec.plan().is_uniform());
+        // The layer-perf fallback is plan-aware: max cycles come from the
+        // per-layer config, not a global width.
+        let mut exec = exec;
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 7) as f32 / 7.0);
+        exec.forward(&x);
+        let cycles = exec.layer_mean_input_cycles();
+        assert!(cycles.iter().all(Option::is_some));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight layers")]
+    fn mismatched_per_layer_plan_panics() {
+        let net = small_net(13);
+        let plan = PrecisionPlan::per_layer(vec![crate::LayerPrecision::new(8, 8); 5]);
+        let _ = Executor::<DigitalEngine>::with_plan(&net, &16, plan);
+    }
+
+    #[test]
+    fn non_finite_activations_collapse_to_zero_codes() {
+        // A NaN/inf batch entering the analog path must not produce
+        // garbage codes: the degenerate zero-scale spec zeroes the layer
+        // inputs, so outputs stay finite (biases only).
+        let net = small_net(14);
+        let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        for poison in [f32::NAN, f32::INFINITY] {
+            let x = Tensor::from_fn(&[1, 1, 8, 8], |i| if i == 3 { poison } else { 0.5 });
+            let y = exec.forward(&x);
+            assert!(
+                y.data().iter().all(|v| v.is_finite()),
+                "non-finite output for poison {poison}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_carries_the_plan() {
+        let net = small_net(15);
+        let plan = PrecisionPlan::per_layer(vec![
+            crate::LayerPrecision::new(8, 16),
+            crate::LayerPrecision::new(4, 8),
+        ]);
+        let exec = Executor::<DigitalEngine>::with_plan(&net, &16, plan.clone()).unwrap();
+        let session = exec.session();
+        assert_eq!(session.plan(), &plan);
+        assert_eq!(session.plan().summary(), "mixed w4-8/a8-16 (2 layers)");
     }
 
     #[test]

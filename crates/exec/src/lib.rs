@@ -17,6 +17,10 @@
 //!   executor immutably and keeps its network clone and scratch buffers
 //!   warm across independent batches (`forward_batch_into`), so replica
 //!   workers in `forms-serve` allocate nothing per request.
+//! - [`PrecisionPlan`] / [`LayerPrecision`] — per-layer mixed-precision
+//!   quantization plans: the executor specializes its engine configuration
+//!   and activation quantization per weight layer from the plan, with
+//!   uniform plans bitwise identical to the global-bit-width path.
 //! - [`ExecError`] — the workspace-level mapping/execution error type.
 //!
 //! `forms_arch::Accelerator` (polarized FORMS engine) and
@@ -74,6 +78,12 @@
 //!     fn max_input_cycles(bits: &u32) -> f64 {
 //!         f64::from(*bits)
 //!     }
+//!     fn precision_of(bits: &u32) -> forms_exec::LayerPrecision {
+//!         forms_exec::LayerPrecision::new(32, *bits)
+//!     }
+//!     fn with_precision(_: &u32, p: forms_exec::LayerPrecision) -> u32 {
+//!         p.input_bits
+//!     }
 //! }
 //! ```
 
@@ -83,10 +93,12 @@
 mod engine;
 mod error;
 mod executor;
+mod precision;
 
 pub use engine::{CrossbarEngine, EngineHealth, FaultableEngine, LayerPerf, Merge};
 pub use error::ExecError;
 pub use executor::{Executor, InferenceSession};
+pub use precision::{LayerPrecision, PrecisionPlan};
 // Fault-campaign types are part of the engine API surface
 // (`FaultableEngine`); re-export them so downstream crates (serve, bench)
 // need not depend on `forms-reram` directly.

@@ -1,0 +1,239 @@
+//! Per-layer precision plans for mixed-precision quantization.
+//!
+//! FORMS' bit-serial input loop and fragment-sized ADCs make input cycles,
+//! ADC conversions and dynamic energy proportional to the per-layer bit
+//! widths, so the natural optimization knob is *per-layer*: keep
+//! quantization-sensitive layers at the paper's 8-bit-weight /
+//! 16-bit-input point and drop tolerant layers to narrower widths. A
+//! [`PrecisionPlan`] carries one [`LayerPrecision`] per weight layer; the
+//! [`Executor`](crate::Executor) specializes its engine configuration per
+//! layer from it (see [`CrossbarEngine::with_precision`]
+//! (crate::CrossbarEngine::with_precision)) and quantizes each layer's
+//! activations at that layer's input width.
+//!
+//! A [`uniform`](PrecisionPlan::uniform) plan reproduces the pre-plan
+//! behaviour exactly: every layer maps and quantizes at the same widths,
+//! bitwise identical to the global-bit-width path.
+
+use std::fmt;
+
+/// Quantization widths of one weight layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerPrecision {
+    /// Weight magnitude bits stored on the crossbar cells.
+    pub weight_bits: u32,
+    /// Activation (input) bits fed bit-serially through the DACs.
+    pub input_bits: u32,
+}
+
+impl LayerPrecision {
+    /// Creates a per-layer precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is outside `1..=32` or `input_bits` outside
+    /// `1..=31` (the activation fixed-point format holds codes in a `u32`
+    /// with a sign-free interpretation, see `forms_tensor::FixedSpec`).
+    pub fn new(weight_bits: u32, input_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&weight_bits),
+            "weight bits must be in 1..=32, got {weight_bits}"
+        );
+        assert!(
+            (1..=31).contains(&input_bits),
+            "input bits must be in 1..=31, got {input_bits}"
+        );
+        Self {
+            weight_bits,
+            input_bits,
+        }
+    }
+}
+
+impl fmt::Display for LayerPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}/a{}", self.weight_bits, self.input_bits)
+    }
+}
+
+/// The precision assignment of a whole network: one [`LayerPrecision`] per
+/// weight layer (visit order), or a single precision broadcast to every
+/// layer.
+///
+/// A uniform plan matches any weight-layer count; a per-layer plan must
+/// have exactly one entry per weight layer and is checked at mapping time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrecisionPlan {
+    kind: PlanKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PlanKind {
+    Uniform(LayerPrecision),
+    PerLayer(Vec<LayerPrecision>),
+}
+
+impl PrecisionPlan {
+    /// A plan that applies the same widths to every layer — today's
+    /// global-bit-width behaviour, bitwise identical to mapping with those
+    /// widths in the engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range widths (see [`LayerPrecision::new`]).
+    pub fn uniform(weight_bits: u32, input_bits: u32) -> Self {
+        Self {
+            kind: PlanKind::Uniform(LayerPrecision::new(weight_bits, input_bits)),
+        }
+    }
+
+    /// A plan with an explicit precision per weight layer (visit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn per_layer(layers: Vec<LayerPrecision>) -> Self {
+        assert!(
+            !layers.is_empty(),
+            "a per-layer plan needs at least one layer"
+        );
+        Self {
+            kind: PlanKind::PerLayer(layers),
+        }
+    }
+
+    /// The precision of weight layer `idx` (visit order). Uniform plans
+    /// broadcast to any index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer plan is indexed past its last layer.
+    pub fn layer(&self, idx: usize) -> LayerPrecision {
+        match &self.kind {
+            PlanKind::Uniform(p) => *p,
+            PlanKind::PerLayer(layers) => layers[idx],
+        }
+    }
+
+    /// Whether every layer shares one precision.
+    pub fn is_uniform(&self) -> bool {
+        match &self.kind {
+            PlanKind::Uniform(_) => true,
+            PlanKind::PerLayer(layers) => layers.iter().all(|p| *p == layers[0]),
+        }
+    }
+
+    /// The number of layers of a per-layer plan (`None` for uniform).
+    pub fn len(&self) -> Option<usize> {
+        match &self.kind {
+            PlanKind::Uniform(_) => None,
+            PlanKind::PerLayer(layers) => Some(layers.len()),
+        }
+    }
+
+    /// Whether the plan covers no layers (never true: uniform plans cover
+    /// every layer and per-layer plans are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// Checks that the plan can cover `count` weight layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer plan's length differs from `count`.
+    pub fn assert_covers(&self, count: usize) {
+        if let Some(len) = self.len() {
+            assert_eq!(
+                len, count,
+                "precision plan covers {len} layers but the network has {count} weight layers"
+            );
+        }
+    }
+
+    /// The widest input width any layer uses — an upper bound on input
+    /// cycles per fragment activation across the network.
+    pub fn max_input_bits(&self) -> u32 {
+        match &self.kind {
+            PlanKind::Uniform(p) => p.input_bits,
+            PlanKind::PerLayer(layers) => layers.iter().map(|p| p.input_bits).max().unwrap_or(0),
+        }
+    }
+
+    /// A compact human-readable tag, e.g. `"uniform w8/a16"` or
+    /// `"mixed w4-8/a8-16 (5 layers)"` — used by serving telemetry to tag
+    /// which plan a deployment runs.
+    pub fn summary(&self) -> String {
+        match &self.kind {
+            PlanKind::Uniform(p) => format!("uniform {p}"),
+            PlanKind::PerLayer(layers) if self.is_uniform() => {
+                format!("uniform {} ({} layers)", layers[0], layers.len())
+            }
+            PlanKind::PerLayer(layers) => {
+                let (mut wlo, mut whi, mut ilo, mut ihi) = (u32::MAX, 0, u32::MAX, 0);
+                for p in layers {
+                    wlo = wlo.min(p.weight_bits);
+                    whi = whi.max(p.weight_bits);
+                    ilo = ilo.min(p.input_bits);
+                    ihi = ihi.max(p.input_bits);
+                }
+                format!("mixed w{wlo}-{whi}/a{ilo}-{ihi} ({} layers)", layers.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_broadcasts_to_any_layer() {
+        let plan = PrecisionPlan::uniform(8, 16);
+        for idx in [0, 3, 100] {
+            assert_eq!(plan.layer(idx), LayerPrecision::new(8, 16));
+        }
+        assert!(plan.is_uniform());
+        assert_eq!(plan.len(), None);
+        plan.assert_covers(7); // any count is fine
+        assert_eq!(plan.max_input_bits(), 16);
+        assert_eq!(plan.summary(), "uniform w8/a16");
+    }
+
+    #[test]
+    fn per_layer_indexes_in_visit_order() {
+        let plan =
+            PrecisionPlan::per_layer(vec![LayerPrecision::new(8, 16), LayerPrecision::new(4, 8)]);
+        assert_eq!(plan.layer(0), LayerPrecision::new(8, 16));
+        assert_eq!(plan.layer(1), LayerPrecision::new(4, 8));
+        assert!(!plan.is_uniform());
+        assert_eq!(plan.len(), Some(2));
+        assert_eq!(plan.max_input_bits(), 16);
+        assert_eq!(plan.summary(), "mixed w4-8/a8-16 (2 layers)");
+    }
+
+    #[test]
+    fn constant_per_layer_plan_reports_uniform() {
+        let plan = PrecisionPlan::per_layer(vec![LayerPrecision::new(6, 12); 3]);
+        assert!(plan.is_uniform());
+        assert_eq!(plan.summary(), "uniform w6/a12 (3 layers)");
+    }
+
+    #[test]
+    #[should_panic(expected = "5 weight layers")]
+    fn per_layer_plan_must_match_layer_count() {
+        PrecisionPlan::per_layer(vec![LayerPrecision::new(8, 16); 3]).assert_covers(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight bits")]
+    fn zero_weight_bits_rejected() {
+        LayerPrecision::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "input bits")]
+    fn oversized_input_bits_rejected() {
+        LayerPrecision::new(8, 32);
+    }
+}

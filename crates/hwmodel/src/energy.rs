@@ -113,6 +113,27 @@ pub trait DynamicActivity {
     }
 }
 
+/// Dynamic energy of each layer of a mixed-precision deployment, in
+/// picojoules: layer `i`'s activity record is charged against its *own*
+/// MCU configuration (its per-layer ADC resolution from the precision
+/// plan), instead of one network-wide converter size.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn per_layer_energy_pj<A: DynamicActivity>(layers: &[A], mcus: &[McuConfig]) -> Vec<f64> {
+    assert_eq!(
+        layers.len(),
+        mcus.len(),
+        "need one MCU configuration per layer activity record"
+    );
+    layers
+        .iter()
+        .zip(mcus)
+        .map(|(layer, mcu)| EnergyModel::from_mcu(mcu).energy_pj(&layer.activity()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +195,38 @@ mod tests {
         let direct = EnergyModel::from_mcu(&mcu).energy_pj(&activity(100, 400));
         assert_eq!(record.energy_pj(&mcu), direct);
         assert_eq!(record.energy_uj(&mcu), direct * 1e-6);
+    }
+
+    #[test]
+    fn per_layer_energy_charges_each_layer_its_own_adc() {
+        struct Fixed(Activity);
+        impl DynamicActivity for Fixed {
+            fn activity(&self) -> Activity {
+                self.0
+            }
+        }
+        let base = McuConfig::forms(8);
+        // Same activity in both layers, but layer 1's plan narrowed its
+        // ADC: its conversions must come out cheaper.
+        let layers = [Fixed(activity(100, 400)), Fixed(activity(100, 400))];
+        let mcus = [base, base.with_adc_bits(2)];
+        let e = per_layer_energy_pj(&layers, &mcus);
+        assert_eq!(e.len(), 2);
+        assert!(e[1] < e[0], "narrower ADC must cost less: {e:?}");
+        // And each entry matches a direct single-layer evaluation.
+        assert_eq!(e[0], layers[0].energy_pj(&base));
+    }
+
+    #[test]
+    #[should_panic(expected = "one MCU configuration per layer")]
+    fn per_layer_energy_rejects_mismatched_lengths() {
+        struct Fixed;
+        impl DynamicActivity for Fixed {
+            fn activity(&self) -> Activity {
+                Activity::default()
+            }
+        }
+        per_layer_energy_pj(&[Fixed], &[]);
     }
 
     #[test]

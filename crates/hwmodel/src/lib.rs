@@ -46,7 +46,7 @@ pub use components::{
     RegistersModel, SampleHoldModel, ShiftAddModel, SignIndicatorModel, SkippingLogicModel,
 };
 pub use edram::{required_edram_kb, BufferRequirement};
-pub use energy::{Activity, DynamicActivity, EnergyModel};
+pub use energy::{per_layer_energy_pj, Activity, DynamicActivity, EnergyModel};
 pub use mcu::{McuConfig, McuCost};
 pub use throughput::{
     published_comparators, ArchitectureThroughput, PublishedComparator, ThroughputModel,

@@ -80,6 +80,28 @@ impl McuConfig {
         }
     }
 
+    /// The same MCU with the ADC resolution overridden — the per-layer
+    /// knob of a mixed-precision plan. The sampling frequency follows the
+    /// iso-area SAR ladder (smaller ADCs run faster), matching how
+    /// [`forms`](Self::forms) sizes its converters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adc_bits` is outside `1..=12` (past 12 bits the linear
+    /// frequency ladder would go non-positive; no design point in the
+    /// paper comes close).
+    pub fn with_adc_bits(self, adc_bits: u32) -> Self {
+        assert!(
+            (1..=12).contains(&adc_bits),
+            "ADC resolution must be in 1..=12 bits, got {adc_bits}"
+        );
+        Self {
+            adc_bits,
+            adc_freq_ghz: 3.0 - 0.225 * f64::from(adc_bits),
+            ..self
+        }
+    }
+
     /// Total ADCs in the MCU.
     pub fn adc_count(&self) -> usize {
         self.crossbars * self.adcs_per_crossbar

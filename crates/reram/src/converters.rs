@@ -63,16 +63,27 @@ impl Adc {
         Self { bits, full_scale }
     }
 
-    /// An ADC with exactly enough resolution and range to convert a
-    /// `fragment_rows`-row fragment of `spec` cells *losslessly*: the
-    /// largest possible accumulated value is
-    /// `fragment_rows * (2^cell_bits - 1)`.
-    pub fn ideal_for(fragment_rows: usize, spec: &CellSpec) -> Self {
+    /// An ADC sized for a `fragment_rows`-row fragment of `spec` cells:
+    /// exactly enough resolution and range to convert the fragment's
+    /// largest possible accumulated value,
+    /// `fragment_rows * (2^cell_bits - 1)`, *losslessly*. Resolution is
+    /// clamped to the physically buildable `1..=16` bits, so absurdly
+    /// large fragments saturate at 16 bits rather than panicking.
+    ///
+    /// This is the per-layer ADC of a precision plan: a layer mapped at a
+    /// smaller fragment (or narrower cells) gets a cheaper converter.
+    pub fn for_fragment(fragment_rows: usize, spec: &CellSpec) -> Self {
         let max = (fragment_rows as u64 * spec.max_code() as u64).max(1);
         let bits = (64 - max.leading_zeros()).clamp(1, 16);
         // Full scale sits on the top code so each ADC level is exactly one
         // code unit — integer inputs convert without rounding error.
         Self::new(bits, ((1u64 << bits) - 1) as f64)
+    }
+
+    /// Alias of [`for_fragment`](Self::for_fragment) kept for call sites
+    /// that predate the precision-plan naming.
+    pub fn ideal_for(fragment_rows: usize, spec: &CellSpec) -> Self {
+        Self::for_fragment(fragment_rows, spec)
     }
 
     /// Resolution in bits.
@@ -161,5 +172,20 @@ mod tests {
         let spec = CellSpec::new(1, 1.0, 2.0);
         let adc = Adc::ideal_for(1, &spec);
         assert_eq!(adc.bits(), 1);
+    }
+
+    #[test]
+    fn for_fragment_clamps_resolution_to_buildable_range() {
+        // Tiny fragment: a single 1-bit cell needs only the 1-bit floor.
+        let narrow = CellSpec::new(1, 1.0, 2.0);
+        assert_eq!(Adc::for_fragment(1, &narrow).bits(), 1);
+        // Huge fragment: 2^20 rows of 2-bit cells would want 22 bits;
+        // the converter saturates at the 16-bit ceiling instead.
+        let spec = CellSpec::paper_2bit();
+        let adc = Adc::for_fragment(1 << 20, &spec);
+        assert_eq!(adc.bits(), 16);
+        assert_eq!(adc.full_scale(), ((1u64 << 16) - 1) as f64);
+        // And the alias stays in lockstep.
+        assert_eq!(Adc::ideal_for(1 << 20, &spec), adc);
     }
 }

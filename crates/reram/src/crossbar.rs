@@ -584,7 +584,10 @@ mod tests {
         assert_eq!(packed, raw);
         let mut row = [0.0; 2];
         xb.dequant_row_into(0, &mut row);
-        assert_eq!(row[0], (xb.spec().g_max() - xb.spec().g_min()) / xb.spec().g_step());
+        assert_eq!(
+            row[0],
+            (xb.spec().g_max() - xb.spec().g_min()) / xb.spec().g_step()
+        );
     }
 
     #[test]

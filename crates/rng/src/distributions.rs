@@ -52,7 +52,9 @@ impl Normal {
             return Err(DistError("mean must be finite"));
         }
         if !std_dev.is_finite() || std_dev < 0.0 {
-            return Err(DistError("standard deviation must be finite and non-negative"));
+            return Err(DistError(
+                "standard deviation must be finite and non-negative",
+            ));
         }
         Ok(Self { mean, std_dev })
     }

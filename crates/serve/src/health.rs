@@ -40,7 +40,9 @@ use forms_exec::{Executor, FaultCampaign, FaultableEngine};
 use forms_tensor::Tensor;
 
 use crate::queue::{BoundedQueue, PopWait};
-use crate::service::{filter_live, CloseGuard, Pending, Response, ServeConfig, ServeError, ServiceHandle};
+use crate::service::{
+    filter_live, CloseGuard, Pending, Response, ServeConfig, ServeError, ServiceHandle,
+};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 
 /// When a replica must refuse to serve and how hard it tries to recover.
@@ -139,10 +141,7 @@ impl FaultInjector<'_> {
     /// Panics if `replica` is out of range.
     pub fn poison(&self, replica: usize, campaign: FaultCampaign) {
         let mailbox = &self.mailboxes[replica];
-        *mailbox
-            .persistent
-            .lock()
-            .unwrap_or_else(|e| e.into_inner()) = Some(campaign);
+        *mailbox.persistent.lock().unwrap_or_else(|e| e.into_inner()) = Some(campaign);
         mailbox.deliver(campaign);
     }
 }
@@ -183,7 +182,7 @@ where
         "fault-density threshold must be finite and non-negative"
     );
     let queue = Arc::new(BoundedQueue::new(config.serve.queue_capacity));
-    let telemetry = Arc::new(Telemetry::new());
+    let telemetry = Arc::new(Telemetry::tagged(pristine.plan().summary()));
     let mailboxes: Vec<ReplicaMailbox> = (0..config.serve.replicas)
         .map(|_| ReplicaMailbox::default())
         .collect();

@@ -85,7 +85,8 @@ impl LoadReport {
         // Clamp: float rounding in `q × len` can push the ceiling one past
         // the sample count (q infinitesimally under 1.0 rounding up), which
         // indexed out of bounds before.
-        let rank = ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
+        let rank =
+            ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
         Some(self.latencies[rank - 1])
     }
 }
@@ -177,10 +178,7 @@ mod tests {
         for n in 1..=17 {
             let r = report_with_latencies(n);
             let got = r.latency_quantile(q).unwrap();
-            assert!(
-                got <= Duration::from_micros(n as u64),
-                "n={n} got {got:?}"
-            );
+            assert!(got <= Duration::from_micros(n as u64), "n={n} got {got:?}");
         }
         // And the low end still clamps up to rank 1.
         let r = report_with_latencies(5);

@@ -127,6 +127,20 @@ impl<E: CrossbarEngine> CrossbarEngine for PacedEngine<E> {
         E::max_input_cycles(&config.inner)
     }
 
+    fn precision_of(config: &Self::Config) -> forms_exec::LayerPrecision {
+        E::precision_of(&config.inner)
+    }
+
+    fn with_precision(
+        config: &Self::Config,
+        precision: forms_exec::LayerPrecision,
+    ) -> Self::Config {
+        PacedConfig {
+            inner: E::with_precision(&config.inner, precision),
+            latency: config.latency,
+        }
+    }
+
     fn health(&self) -> EngineHealth {
         self.inner.health()
     }
@@ -202,17 +216,18 @@ mod tests {
         fn max_input_cycles(_: &()) -> f64 {
             1.0
         }
+        fn precision_of(_: &()) -> forms_exec::LayerPrecision {
+            forms_exec::LayerPrecision::new(32, 16)
+        }
+        fn with_precision(_: &(), _: forms_exec::LayerPrecision) {}
     }
 
     #[test]
     fn sustained_rate_tracks_the_modeled_latency_without_drift() {
         let latency = Duration::from_micros(500);
-        let config = PacedConfig {
-            inner: (),
-            latency,
-        };
-        let engine = PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config)
-            .expect("map");
+        let config = PacedConfig { inner: (), latency };
+        let engine =
+            PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config).expect("map");
         let mut scratch = PacedScratch::default();
         let mut out = [0.0f32];
         let k = 50u32;
@@ -237,12 +252,9 @@ mod tests {
     #[test]
     fn idle_gaps_restart_the_schedule_instead_of_back_crediting() {
         let latency = Duration::from_micros(200);
-        let config = PacedConfig {
-            inner: (),
-            latency,
-        };
-        let engine = PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config)
-            .expect("map");
+        let config = PacedConfig { inner: (), latency };
+        let engine =
+            PacedEngine::<Instant1x1>::map_matrix(&Tensor::ones(&[1, 1]), &config).expect("map");
         let mut scratch = PacedScratch::default();
         let mut out = [0.0f32];
         engine.matvec_into(&[1], 1.0, &mut scratch, &mut out);

@@ -350,7 +350,7 @@ where
     assert!(config.max_batch > 0, "batch size must be positive");
     assert!(!sample_dims.is_empty(), "sample shape must be non-empty");
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-    let telemetry = Arc::new(Telemetry::new());
+    let telemetry = Arc::new(Telemetry::tagged(executor.plan().summary()));
     let handle = ServiceHandle {
         queue: Arc::clone(&queue),
         telemetry: Arc::clone(&telemetry),
@@ -435,7 +435,11 @@ fn replica_loop<E: CrossbarEngine>(
 /// have no consumer and requests past their latency budget are useless to
 /// their clients; running either would only add load while overloaded —
 /// and moves the survivors into `live`.
-pub(crate) fn filter_live(batch: &mut Vec<Pending>, live: &mut Vec<Pending>, telemetry: &Telemetry) {
+pub(crate) fn filter_live(
+    batch: &mut Vec<Pending>,
+    live: &mut Vec<Pending>,
+    telemetry: &Telemetry,
+) {
     let now = Instant::now();
     live.clear();
     for pending in batch.drain(..) {

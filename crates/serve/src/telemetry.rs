@@ -187,10 +187,15 @@ pub struct Telemetry {
     /// Fault-campaign applications delivered to replicas.
     pub faults_injected: AtomicU64,
     latency: AtomicHistogram,
+    /// Summary of the precision plan the served executor was mapped under
+    /// (e.g. `"uniform w8/a16"`). Set once at service construction, before
+    /// any worker thread observes the telemetry, and immutable thereafter.
+    plan: String,
 }
 
 impl Telemetry {
-    pub(crate) fn new() -> Self {
+    /// Telemetry tagged with the served executor's precision-plan summary.
+    pub(crate) fn tagged(plan: String) -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -203,7 +208,13 @@ impl Telemetry {
             quarantines: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             latency: AtomicHistogram::new(),
+            plan,
         }
+    }
+
+    /// Summary of the served executor's precision plan (empty if untagged).
+    pub fn plan(&self) -> &str {
+        &self.plan
     }
 
     /// Records one successful completion with its end-to-end latency.
@@ -226,6 +237,7 @@ impl Telemetry {
             quarantines: self.quarantines.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            plan: self.plan.clone(),
         }
     }
 }
@@ -255,6 +267,9 @@ pub struct TelemetrySnapshot {
     pub faults_injected: u64,
     /// Latency histogram of completed requests.
     pub latency: HistogramSnapshot,
+    /// Summary of the precision plan the served executor was mapped under
+    /// (empty if the service predates plan tagging).
+    pub plan: String,
 }
 
 impl TelemetrySnapshot {
@@ -345,7 +360,7 @@ mod tests {
 
     #[test]
     fn telemetry_snapshot_accounts_outcomes() {
-        let t = Telemetry::new();
+        let t = Telemetry::tagged(String::new());
         t.submitted.fetch_add(5, Ordering::Relaxed);
         t.record_completed(Duration::from_micros(10));
         t.record_completed(Duration::from_micros(20));
@@ -355,6 +370,14 @@ mod tests {
         assert_eq!(s.resolved(), 5);
         assert_eq!(s.shed_rate(), 0.4);
         assert_eq!(s.latency.count, 2);
+    }
+
+    #[test]
+    fn plan_tag_flows_into_snapshots() {
+        let t = Telemetry::tagged("mixed w4-8/a8-16 (5 layers)".to_string());
+        assert_eq!(t.plan(), "mixed w4-8/a8-16 (5 layers)");
+        assert_eq!(t.snapshot().plan, "mixed w4-8/a8-16 (5 layers)");
+        assert_eq!(Telemetry::tagged(String::new()).snapshot().plan, "");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use forms_dnn::{Layer, Network};
-use forms_exec::{CrossbarEngine, Executor, ExecError, Merge};
+use forms_exec::{CrossbarEngine, ExecError, Executor, Merge};
 use forms_rng::StdRng;
 use forms_serve::{
     run_open_loop, serve, OpenLoopSpec, PacedConfig, PacedEngine, ServeConfig, ServeError,
@@ -87,6 +87,17 @@ impl CrossbarEngine for DigitalEngine {
     fn max_input_cycles(_config: &DigitalConfig) -> f64 {
         16.0
     }
+
+    fn precision_of(_config: &DigitalConfig) -> forms_exec::LayerPrecision {
+        forms_exec::LayerPrecision::new(32, 16)
+    }
+
+    fn with_precision(
+        config: &DigitalConfig,
+        _precision: forms_exec::LayerPrecision,
+    ) -> DigitalConfig {
+        *config
+    }
 }
 
 /// A variant whose matvec panics when the sentinel code appears in the
@@ -126,7 +137,8 @@ impl CrossbarEngine for FaultyEngine {
                 "injected engine fault on sentinel code {code}"
             );
         }
-        self.inner.matvec_into(input_codes, input_scale, scratch, out)
+        self.inner
+            .matvec_into(input_codes, input_scale, scratch, out)
     }
 
     fn crossbar_count(&self) -> usize {
@@ -140,6 +152,17 @@ impl CrossbarEngine for FaultyEngine {
     fn max_input_cycles(config: &DigitalConfig) -> f64 {
         DigitalEngine::max_input_cycles(config)
     }
+
+    fn precision_of(config: &DigitalConfig) -> forms_exec::LayerPrecision {
+        DigitalEngine::precision_of(config)
+    }
+
+    fn with_precision(
+        config: &DigitalConfig,
+        precision: forms_exec::LayerPrecision,
+    ) -> DigitalConfig {
+        DigitalEngine::with_precision(config, precision)
+    }
 }
 
 const OK: DigitalConfig = DigitalConfig {
@@ -148,7 +171,10 @@ const OK: DigitalConfig = DigitalConfig {
 
 fn linear_net(inputs: usize, outputs: usize, seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
-    Network::new(vec![Layer::flatten(), Layer::linear(&mut rng, inputs, outputs)])
+    Network::new(vec![
+        Layer::flatten(),
+        Layer::linear(&mut rng, inputs, outputs),
+    ])
 }
 
 fn payload(len: usize, seed: u64) -> Vec<f32> {
@@ -262,7 +288,9 @@ fn expired_requests_are_rejected_not_executed() {
     let (results, telemetry) = serve(&exec, &[8], &config, |handle| {
         // The first request occupies the replica for ~20 ms; the rest sit
         // queued past their 5 ms budget and must be rejected unexecuted.
-        let tickets: Vec<_> = (0..4).map(|s| handle.submit(payload(8, s)).unwrap()).collect();
+        let tickets: Vec<_> = (0..4)
+            .map(|s| handle.submit(payload(8, s)).unwrap())
+            .collect();
         tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
     });
     assert!(results[0].is_ok(), "head of line completes");
@@ -314,7 +342,13 @@ fn bad_shape_is_refused_at_the_door() {
     let exec = Executor::<DigitalEngine>::map_network(&net, &OK, 16).unwrap();
     let ((), telemetry) = serve(&exec, &[8], &ServeConfig::default(), |handle| {
         let err = handle.submit(vec![0.0; 7]).unwrap_err();
-        assert_eq!(err, ServeError::BadShape { expected: 8, got: 7 });
+        assert_eq!(
+            err,
+            ServeError::BadShape {
+                expected: 8,
+                got: 7
+            }
+        );
     });
     assert_eq!(telemetry.completed, 0);
 }
@@ -342,7 +376,9 @@ fn panicking_engine_fails_its_batch_and_service_drains() {
     // Must terminate: a panicking replica may not hang shutdown. The
     // harness's per-test timeout would catch a deadlock here.
     let (results, telemetry) = serve(&exec, &[8], &config, |handle| {
-        let tickets: Vec<_> = (0..10).map(|s| handle.submit(payload(8, s)).unwrap()).collect();
+        let tickets: Vec<_> = (0..10)
+            .map(|s| handle.submit(payload(8, s)).unwrap())
+            .collect();
         tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
     });
     assert_eq!(results.len(), 10);
@@ -411,7 +447,9 @@ fn replicas_scale_throughput_with_paced_engines() {
         };
         let start = std::time::Instant::now();
         let ((), _) = serve(&exec, &[16], &config, |handle| {
-            let tickets: Vec<_> = (0..32).map(|s| handle.submit(payload(16, s)).unwrap()).collect();
+            let tickets: Vec<_> = (0..32)
+                .map(|s| handle.submit(payload(16, s)).unwrap())
+                .collect();
             for t in tickets {
                 t.wait().unwrap();
             }

@@ -49,8 +49,14 @@ impl FixedSpec {
     /// Chooses the scale so that `max_value` maps to the largest code.
     ///
     /// If `max_value` is zero or negative the scale falls back to 1.0 (all
-    /// codes will be zero anyway).
+    /// codes will be zero anyway). A non-finite `max_value` — NaN or
+    /// infinity leaking out of a faulted engine — yields the
+    /// [`degenerate`](Self::degenerate) zero-scale spec, so every value
+    /// quantizes to code 0 instead of saturating to garbage top codes.
     pub fn for_max_value(bits: u32, max_value: f32) -> Self {
+        if !max_value.is_finite() {
+            return Self::degenerate(bits);
+        }
         let max_code = ((1u64 << bits) - 1) as f32;
         let scale = if max_value > 0.0 {
             max_value / max_code
@@ -58,6 +64,27 @@ impl FixedSpec {
             1.0
         };
         Self::new(bits, scale)
+    }
+
+    /// The degenerate zero-scale format: every value quantizes to code 0
+    /// and every code dequantizes to 0.0. This is the safe sink for
+    /// activation tensors whose maximum is not finite; it cannot be built
+    /// through [`new`](Self::new) (which rejects a zero scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn degenerate(bits: u32) -> Self {
+        assert!(
+            (1..=31).contains(&bits),
+            "bits must be in 1..=31, got {bits}"
+        );
+        Self { bits, scale: 0.0 }
+    }
+
+    /// Whether this is the degenerate zero-scale format.
+    pub fn is_degenerate(&self) -> bool {
+        self.scale == 0.0
     }
 
     /// Number of magnitude bits.
@@ -76,8 +103,12 @@ impl FixedSpec {
     }
 
     /// Quantizes a non-negative value to the nearest code, saturating at the
-    /// format bounds. Negative inputs clamp to 0.
+    /// format bounds. Negative inputs clamp to 0, and the
+    /// [`degenerate`](Self::degenerate) format maps everything to 0.
     pub fn quantize(&self, value: f32) -> u32 {
+        if self.scale == 0.0 {
+            return 0;
+        }
         let code = (value / self.scale).round();
         if code <= 0.0 {
             0
@@ -282,6 +313,39 @@ mod tests {
     fn for_max_value_degenerate_zero() {
         let spec = FixedSpec::for_max_value(8, 0.0);
         assert_eq!(spec.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn non_finite_max_yields_degenerate_spec() {
+        // Regression: a faulted engine can push NaN/inf activations into
+        // the quantizer. Infinity used to blow the `new` assert via an
+        // infinite scale; NaN fell back to scale 1.0 and saturated every
+        // infinite value to the top code. Both must collapse to zeros.
+        for max in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let spec = FixedSpec::for_max_value(8, max);
+            assert!(spec.is_degenerate(), "max {max} must degenerate");
+            for v in [0.0, 1.0, f32::INFINITY, f32::NAN, -3.0] {
+                assert_eq!(spec.quantize(v), 0, "degenerate quantize({v})");
+            }
+            assert_eq!(spec.dequantize(255), 0.0);
+        }
+        // Finite maxima are unaffected.
+        assert!(!FixedSpec::for_max_value(8, 4.0).is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_tensor_quantizes_to_all_zero_codes() {
+        let t = Tensor::from_vec(vec![1.0, f32::INFINITY, 0.5], &[3]);
+        let q = QuantizedTensor::quantize(&t, 8);
+        assert!(q.spec().is_degenerate());
+        assert_eq!(q.codes(), &[0, 0, 0]);
+        assert_eq!(q.dequantize().data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn new_still_rejects_zero_scale() {
+        FixedSpec::new(8, 0.0);
     }
 
     #[test]

@@ -42,11 +42,7 @@ pub fn poisson_arrivals<R: Rng + ?Sized>(rng: &mut R, rate_rps: f64, n: usize) -
 /// Synthesizes one request payload: `len` non-negative post-ReLU-shaped
 /// activation values drawn from `model`, as the `f32` sample a serving
 /// front-end would hand to the accelerator.
-pub fn synth_request<R: Rng + ?Sized>(
-    rng: &mut R,
-    model: ActivationModel,
-    len: usize,
-) -> Vec<f32> {
+pub fn synth_request<R: Rng + ?Sized>(rng: &mut R, model: ActivationModel, len: usize) -> Vec<f32> {
     model
         .sample_values(rng, len)
         .into_iter()

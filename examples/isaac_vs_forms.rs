@@ -47,8 +47,7 @@ fn main() {
         weight_bits: 8,
         input_bits: 12,
     };
-    let mut isaac =
-        IsaacAccelerator::map_network(&net, isaac_cfg).expect("any trained model maps");
+    let mut isaac = IsaacAccelerator::map_network(&net, isaac_cfg).expect("any trained model maps");
     let isaac_acc = isaac.evaluate(&test, 8);
     let istats = isaac.stats();
 

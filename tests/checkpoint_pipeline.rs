@@ -9,8 +9,8 @@ use forms::admm::{
 use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
 use forms::dnn::{checkpoint, Layer, Network, WeightLayerMut};
 use forms::reram::CellSpec;
-use forms::tensor::Tensor;
 use forms::rng::StdRng;
+use forms::tensor::Tensor;
 
 fn build_net(seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -14,7 +14,7 @@ use forms::admm::{
 use forms::arch::{MappedLayer, MappingConfig};
 use forms::baselines::{IsaacConfig, IsaacLayer};
 use forms::dnn::{Layer, Network, WeightLayerMut};
-use forms::exec::{CrossbarEngine, Executor};
+use forms::exec::{CrossbarEngine, Executor, LayerPrecision, PrecisionPlan};
 use forms::reram::CellSpec;
 use forms::rng::StdRng;
 use forms::tensor::Tensor;
@@ -121,4 +121,81 @@ fn isaac_parallel_forward_is_bitwise_deterministic() {
     let exec = Executor::<IsaacLayer>::map_network(&net, &config, 8).expect("maps on ISAAC");
     assert!(exec.total_crossbars() > 4);
     assert_parallel_matches_serial(&exec, "ISAAC");
+}
+
+/// The mixed-precision plan used by the plan-aware determinism pins:
+/// conv at full 8/8, linear narrowed to 4/6 — each layer runs a
+/// genuinely different quantization, so batch-global state sneaking into
+/// either path fails here too.
+fn mixed_plan() -> PrecisionPlan {
+    PrecisionPlan::per_layer(vec![LayerPrecision::new(8, 8), LayerPrecision::new(4, 6)])
+}
+
+#[test]
+fn forms_mixed_plan_parallel_forward_is_bitwise_deterministic() {
+    let net = pruned_polarized_net();
+    let config = MappingConfig {
+        crossbar_dim: 16,
+        fragment_size: FRAGMENT,
+        weight_bits: 8,
+        cell: CellSpec::paper_2bit(),
+        input_bits: 8,
+        zero_skipping: true,
+    };
+    let exec = Executor::<MappedLayer>::with_plan(&net, &config, mixed_plan())
+        .expect("maps on FORMS under a mixed plan");
+    assert!(!exec.plan().is_uniform());
+    assert_eq!(exec.layer_configs()[1].weight_bits, 4);
+    assert_eq!(exec.layer_input_bits(), &[8, 6]);
+    assert_parallel_matches_serial(&exec, "FORMS(mixed)");
+}
+
+#[test]
+fn isaac_mixed_plan_parallel_forward_is_bitwise_deterministic() {
+    let net = pruned_polarized_net();
+    let config = IsaacConfig {
+        crossbar_dim: 16,
+        cell: CellSpec::paper_2bit(),
+        weight_bits: 8,
+        input_bits: 8,
+    };
+    let exec = Executor::<IsaacLayer>::with_plan(&net, &config, mixed_plan())
+        .expect("maps on ISAAC under a mixed plan");
+    assert!(!exec.plan().is_uniform());
+    assert_parallel_matches_serial(&exec, "ISAAC(mixed)");
+}
+
+/// A uniform plan at the base configuration's own widths must reproduce
+/// the legacy `map_network` path bit for bit — outputs AND statistics —
+/// on both designs.
+#[test]
+fn uniform_plan_is_bitwise_identical_to_legacy_mapping() {
+    let net = pruned_polarized_net();
+    let x = batch();
+
+    let fconfig = MappingConfig {
+        crossbar_dim: 16,
+        fragment_size: FRAGMENT,
+        weight_bits: 8,
+        cell: CellSpec::paper_2bit(),
+        input_bits: 8,
+        zero_skipping: true,
+    };
+    let mut legacy = Executor::<MappedLayer>::map_network(&net, &fconfig, 8).unwrap();
+    let mut planned =
+        Executor::<MappedLayer>::with_plan(&net, &fconfig, PrecisionPlan::uniform(8, 8)).unwrap();
+    assert_eq!(legacy.forward(&x).data(), planned.forward(&x).data());
+    assert_eq!(legacy.stats(), planned.stats(), "FORMS stats diverge");
+
+    let iconfig = IsaacConfig {
+        crossbar_dim: 16,
+        cell: CellSpec::paper_2bit(),
+        weight_bits: 8,
+        input_bits: 8,
+    };
+    let mut legacy = Executor::<IsaacLayer>::map_network(&net, &iconfig, 8).unwrap();
+    let mut planned =
+        Executor::<IsaacLayer>::with_plan(&net, &iconfig, PrecisionPlan::uniform(8, 8)).unwrap();
+    assert_eq!(legacy.forward(&x).data(), planned.forward(&x).data());
+    assert_eq!(legacy.stats(), planned.stats(), "ISAAC stats diverge");
 }

@@ -6,9 +6,9 @@ use forms::admm::{
     QuantSpec,
 };
 use forms::arch::{Accelerator, AcceleratorConfig, MappingConfig};
-use forms::exec::ExecError;
 use forms::dnn::data::SyntheticSpec;
 use forms::dnn::{evaluate, train_epoch, Network, Sgd};
+use forms::exec::ExecError;
 use forms::reram::CellSpec;
 use forms::rng::StdRng;
 

@@ -12,8 +12,8 @@ use forms::baselines::IsaacLayer;
 use forms::dnn::{Layer, Network, WeightLayerMut};
 use forms::exec::{Executor, FaultCampaign};
 use forms::reram::CellSpec;
-use forms::tensor::Tensor;
 use forms::rng::StdRng;
+use forms::tensor::Tensor;
 
 fn polarized_matrix() -> Tensor {
     Tensor::from_fn(&[16, 4], |i| {

@@ -4,8 +4,8 @@
 
 use forms::arch::{MappedLayer, MappingConfig};
 use forms::reram::{CellSpec, CurrentNoise, IrDropModel};
-use forms::tensor::Tensor;
 use forms::rng::StdRng;
+use forms::tensor::Tensor;
 
 /// All-positive magnitudes: polarized at every fragment size, so the same
 /// matrix serves the whole sweep.

@@ -168,7 +168,10 @@ fn effective_bits_bounds() {
         assert!(e <= 16, "case {case}");
         if code > 0 {
             assert!(code >= 1 << (e - 1), "case {case}: code {code} bits {e}");
-            assert!(u64::from(code) < 1u64 << e, "case {case}: code {code} bits {e}");
+            assert!(
+                u64::from(code) < 1u64 << e,
+                "case {case}: code {code} bits {e}"
+            );
         }
     });
 }
@@ -224,6 +227,110 @@ fn bit_slicer_round_trip() {
         let max_cell = (1u32 << cell_bits) - 1;
         assert!(slices.iter().all(|&s| s <= max_cell), "case {case}");
     });
+}
+
+#[test]
+fn bit_slicer_round_trip_at_32_bit_boundary() {
+    // `weight_bits = 32` is the boundary where `(1 << weight_bits) - 1`
+    // would overflow a u32: `max_magnitude` special-cases it, and slicing
+    // must still round-trip values all the way up to `u32::MAX`.
+    cases(512, 0x5A11, |case, rng| {
+        let cell_bits = rng.gen_range(1..6u32);
+        let slicer = BitSlicer::new(32, cell_bits);
+        assert_eq!(slicer.max_magnitude(), u64::from(u32::MAX), "case {case}");
+        // Mix uniform draws with near-boundary values.
+        let magnitude = match case % 4 {
+            0 => u32::MAX,
+            1 => u32::MAX - rng.gen_range(0..1024u32),
+            _ => rng.gen_range(0..=u32::MAX),
+        };
+        let slices = slicer.slice(magnitude);
+        assert_eq!(slices.len(), slicer.cells_per_weight(), "case {case}");
+        let max_cell = (1u32 << cell_bits) - 1;
+        assert!(slices.iter().all(|&s| s <= max_cell), "case {case}");
+        let results: Vec<u64> = slices.iter().map(|&s| u64::from(s)).collect();
+        assert_eq!(
+            slicer.recombine(&results),
+            u64::from(magnitude),
+            "case {case}: {magnitude} at {cell_bits} bits/cell"
+        );
+    });
+}
+
+#[test]
+fn bit_slicer_round_trip_non_divisible_widths() {
+    // 7-bit weights on 2-bit cells: the top slice holds a single odd bit,
+    // so four cells cover the magnitude with one padded bit. Round-trip
+    // must hold for every representable magnitude, and every slice must
+    // still fit its cell.
+    let slicer = BitSlicer::new(7, 2);
+    assert_eq!(slicer.cells_per_weight(), 4);
+    for magnitude in 0..=127u32 {
+        let slices = slicer.slice(magnitude);
+        assert!(slices[0] <= 0b01, "top slice holds only the odd bit");
+        assert!(slices.iter().all(|&s| s <= 0b11));
+        let results: Vec<u64> = slices.iter().map(|&s| u64::from(s)).collect();
+        assert_eq!(slicer.recombine(&results), u64::from(magnitude));
+    }
+    // Same property for random non-divisible (weight_bits, cell_bits).
+    cases(256, 0x5A12, |case, rng| {
+        let cell_bits = rng.gen_range(2..6u32);
+        // Pick a width that does NOT divide evenly into cells.
+        let weight_bits = loop {
+            let w = rng.gen_range(2..32u32);
+            if w % cell_bits != 0 {
+                break w;
+            }
+        };
+        let slicer = BitSlicer::new(weight_bits, cell_bits);
+        let magnitude = (rng.gen_range(0..=u32::MAX) as u64 % (slicer.max_magnitude() + 1)) as u32;
+        let results: Vec<u64> = slicer
+            .slice(magnitude)
+            .iter()
+            .map(|&s| u64::from(s))
+            .collect();
+        assert_eq!(
+            slicer.recombine(&results),
+            u64::from(magnitude),
+            "case {case}: {magnitude} as w{weight_bits} on {cell_bits}-bit cells"
+        );
+    });
+}
+
+#[test]
+fn adc_for_fragment_resolution_clamps_and_stays_lossless_inside() {
+    use forms::reram::Adc;
+    cases(256, 0x5A13, |case, rng| {
+        let cell_bits = rng.gen_range(1..5u32);
+        let spec = CellSpec::new(cell_bits, 1.0, 61.0);
+        let rows = 1usize << rng.gen_range(0..24u32);
+        let adc = Adc::for_fragment(rows, &spec);
+        assert!(
+            (1..=16).contains(&adc.bits()),
+            "case {case}: {rows} rows of {cell_bits}-bit cells sized {} bits",
+            adc.bits()
+        );
+        let needed = 64
+            - (rows as u64 * u64::from(spec.max_code()))
+                .max(1)
+                .leading_zeros();
+        if needed <= 16 {
+            // Unclamped: conversion is lossless over the fragment range.
+            assert_eq!(adc.bits(), needed.max(1), "case {case}");
+            let probe = rng.gen_range(0..=(rows as u64 * u64::from(spec.max_code())).max(1));
+            assert_eq!(
+                adc.convert(probe as f64, &spec),
+                probe as u32,
+                "case {case}"
+            );
+        } else {
+            assert_eq!(adc.bits(), 16, "case {case}: clamped at the ceiling");
+        }
+    });
+    // The exact clamp endpoints.
+    let spec = forms::reram::CellSpec::paper_2bit();
+    assert_eq!(Adc::for_fragment(1, &CellSpec::new(1, 1.0, 2.0)).bits(), 1);
+    assert_eq!(Adc::for_fragment(1 << 30, &spec).bits(), 16);
 }
 
 #[test]
@@ -321,8 +428,7 @@ fn energy_is_monotone_in_activity() {
 fn placement_covers_all_layers_within_capacity() {
     cases(128, 0x5A0F, |case, rng| {
         let count = rng.gen_range(1..12usize);
-        let crossbar_counts: Vec<usize> =
-            (0..count).map(|_| rng.gen_range(1..300usize)).collect();
+        let crossbar_counts: Vec<usize> = (0..count).map(|_| rng.gen_range(1..300usize)).collect();
         let mcu = McuConfig::forms(8);
         let layers: Vec<LayerPlacement> = crossbar_counts
             .iter()

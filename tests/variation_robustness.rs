@@ -3,8 +3,8 @@
 
 use forms::arch::{MappedLayer, MappingConfig};
 use forms::reram::{CellSpec, LogNormalVariation, StuckAtFault, StuckAtKind};
-use forms::tensor::Tensor;
 use forms::rng::StdRng;
+use forms::tensor::Tensor;
 
 fn polarized_matrix() -> Tensor {
     Tensor::from_fn(&[16, 4], |i| {
