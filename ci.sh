@@ -20,10 +20,13 @@ echo "== docs (rustdoc must build warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps
 
 echo "== MVM hot-path bench (smoke) =="
-# Runs the packed-kernel throughput suite on tiny shapes and re-validates
-# the BENCH_mvm.json it writes through forms_bench::json; the binary exits
-# non-zero if the file is malformed.
-FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin mvm -- --smoke
+# Runs the packed-kernel and batched-matmul throughput suite on tiny
+# shapes with a fixed batch sweep and re-validates the BENCH_mvm.json it
+# writes through forms_bench::json; the binary exits non-zero if the file
+# is malformed or a batched-hot-path performance gate fails (batched
+# kernel slower than per-sample packed at the largest batch, batched
+# images/s below serial, or parallel below 1.2x serial at 2+ workers).
+FORMS_BENCH_FAST=1 cargo run --release --offline -p forms-bench --bin mvm -- --smoke --batch 2,4
 
 echo "== mixed-precision quant bench (smoke) =="
 # Trains the small VGG-style stack, derives a sensitivity-based mixed

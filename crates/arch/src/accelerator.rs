@@ -200,6 +200,14 @@ impl Accelerator {
         self.exec.forward(x)
     }
 
+    /// [`forward`](Self::forward) through the batched hot path: each
+    /// weight layer lowers the whole batch and runs as one
+    /// [`MappedLayer::matmul_into`](crate::MappedLayer::matmul_into) call.
+    /// Bitwise identical to [`forward`](Self::forward).
+    pub fn forward_batched(&mut self, x: &Tensor) -> Tensor {
+        self.exec.forward_batched(x)
+    }
+
     /// Runs inference on a `[N, ...]` batch with samples distributed over
     /// worker threads (one accelerator clone per worker — the crossbars are
     /// read-only during inference, so results are identical to

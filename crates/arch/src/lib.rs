@@ -39,7 +39,7 @@ mod zero_skip;
 pub use accelerator::{Accelerator, AcceleratorConfig};
 pub use dse::{DesignPoint, DesignSpace};
 pub use forms_exec::{CrossbarEngine, ExecError, Executor, LayerPrecision, Merge, PrecisionPlan};
-pub use mapping::{FormsActivity, MappedLayer, MappingConfig, MvmScratch, MvmStats};
+pub use mapping::{FormsActivity, MappedLayer, MappingConfig, MvmScratch, MvmStats, MATMUL_TILE};
 pub use noc::{ChipPlacement, LayerPlacement, PlacementError, TileAssignment};
 pub use perf::{FpsModel, LayerPerf};
 pub use pipeline::{Pipeline, PipelineOp, PipelineStage};

@@ -9,7 +9,8 @@
 
 use forms_exec::{CrossbarEngine, EngineHealth, ExecError, FaultableEngine, Merge};
 use forms_reram::{
-    pack_bit_planes, Adc, BitSlicer, CellSpec, Crossbar, CurrentNoise, FaultCampaign, FaultReport,
+    for_each_set_bit, pack_bit_planes, pack_tile_bit_planes, plane_is_zero, Adc, BitSlicer,
+    CellSpec, Crossbar, CurrentNoise, FaultCampaign, FaultReport,
 };
 use forms_rng::Rng;
 use forms_tensor::Tensor;
@@ -148,6 +149,17 @@ impl forms_hwmodel::DynamicActivity for FormsActivity {
     }
 }
 
+/// Samples per tile of the blocked [`MappedLayer::matmul_into`] kernel.
+///
+/// Each fragment's weight window is rebuilt once per tile and swept over
+/// all of the tile's samples, so the tile size trades window-build
+/// amortization against working-set residency. At the paper's full shape
+/// (fragment 8, 128 columns × 4 cells) one tile holds an 8×512 integer
+/// window (8 KiB), 32 packed plane sets and 32×128 accumulators — around
+/// 64 KiB, comfortably inside L2 — while paying each window build only
+/// once per 32 samples.
+pub const MATMUL_TILE: usize = 32;
+
 /// Reusable working memory of one [`MappedLayer`] MVM.
 ///
 /// Owned by the caller (one per inference worker) and grown on first use;
@@ -171,6 +183,38 @@ pub struct MvmScratch {
     /// over all mapped cell columns — the division by the conductance step
     /// is paid once per cell instead of once per cell per input cycle.
     cell_vals: Vec<f64>,
+    /// Batched path: gathered fragment codes of one tile of samples,
+    /// sample-major.
+    tile_codes: Vec<u32>,
+    /// Batched path: effective input cycles per sample of the tile.
+    tile_eic: Vec<u32>,
+    /// Batched path: packed bit planes of the whole tile (see
+    /// [`pack_tile_bit_planes`]).
+    tile_planes: Vec<u64>,
+    /// Batched fast path: integer image of the fragment window (see
+    /// [`Crossbar::integral_dequant_codes`]).
+    icell: Vec<u16>,
+    /// Batched fast path: integer column currents of one shift cycle.
+    icurr: Vec<u32>,
+    /// Batched fast path: per-cell-column shift-&-add accumulators of one
+    /// sample.
+    cell_acc: Vec<u64>,
+}
+
+/// Accumulates one active window row into the integer column currents.
+#[inline]
+fn add_row_u16(icurr: &mut [u32], row: &[u16]) {
+    for (acc, &v) in icurr.iter_mut().zip(row) {
+        *acc += u32::from(v);
+    }
+}
+
+/// Accumulates one active window row into the f64 column currents.
+#[inline]
+fn add_row_f64(currents: &mut [f64], vals: &[f64]) {
+    for (acc, &v) in currents.iter_mut().zip(vals) {
+        *acc += v;
+    }
 }
 
 /// A weight matrix mapped onto polarized physical crossbars.
@@ -495,6 +539,281 @@ impl MappedLayer {
         self.matvec_impl(input_codes, input_scale, |c| noise.perturb(c, rng))
     }
 
+    /// Whether the batched kernel may run its integer fast path: every
+    /// mapped cell dequantizes to an exact integer code (no conductance
+    /// drift) *and* the ADC is lossless over the fragment's current range
+    /// (full scale on the top code, range covering `fragment_size ×
+    /// max_cell_code`). Under those conditions ADC conversion is the
+    /// identity on every current the array can produce, so integer
+    /// accumulation is bitwise identical to the f64 path.
+    pub fn integer_matmul_path(&self) -> bool {
+        let max_window = self.config.fragment_size as u64 * u64::from(self.config.cell.max_code());
+        self.adc.full_scale() == f64::from(self.adc.levels() - 1)
+            && max_window as f64 <= self.adc.full_scale()
+            && self
+                .crossbars
+                .iter()
+                .all(|x| x.integral_dequant_codes().is_some())
+    }
+
+    /// The blocked weight-stationary batch kernel: executes
+    /// `scales.len()` matrix-vector products in one sweep, bitwise
+    /// identical to calling [`matvec_into`](Self::matvec_into) once per
+    /// sample (outputs *and* merged stats).
+    ///
+    /// `batch_codes` holds the samples' input codes sample-major
+    /// (`scales.len() × original rows`); `outs` receives the concatenated
+    /// outputs (`scales.len() × original columns`, overwritten).
+    ///
+    /// Samples are processed in tiles of [`MATMUL_TILE`]; per fragment the
+    /// weight window is materialized once per tile and swept over every
+    /// sample, instead of once per sample as the per-sample path must.
+    /// Pristine arrays additionally take an integer fast path (see
+    /// [`integer_matmul_path`](Self::integer_matmul_path)) that replaces
+    /// per-current ADC division with exact integer adds and skips planes
+    /// whose packed input bits are all zero; drifted arrays fall back to
+    /// an f64 path that preserves the per-sample ascending-row summation
+    /// order, keeping results bitwise identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths are inconsistent with `scales.len()`
+    /// or any input code exceeds `input_bits`.
+    pub fn matmul_into(
+        &self,
+        batch_codes: &[u32],
+        scales: &[f32],
+        scratch: &mut MvmScratch,
+        outs: &mut [f32],
+    ) -> MvmStats {
+        let mut stats = MvmStats::default();
+        if scales.is_empty() {
+            assert!(batch_codes.is_empty(), "codes without scales");
+            assert!(outs.is_empty(), "outputs without scales");
+            return stats;
+        }
+        let nsamples = scales.len();
+        assert_eq!(
+            batch_codes.len(),
+            nsamples * self.orig_rows,
+            "need one whole input vector per batched sample"
+        );
+        assert_eq!(
+            outs.len(),
+            nsamples * self.orig_cols,
+            "need one whole output vector per batched sample"
+        );
+        for sample in batch_codes.chunks_exact(self.orig_rows) {
+            self.validate_input_codes(sample);
+        }
+        let m = self.config.fragment_size;
+        let dim = self.config.crossbar_dim;
+        let cpw = self.config.cells_per_weight();
+        let cell_bits = self.config.cell.bits();
+        let ncols = self.col_index.len();
+        let cell_cols = ncols * cpw;
+        let fast = self.integer_matmul_path();
+        outs.fill(0.0);
+
+        for tile_lo in (0..nsamples).step_by(MATMUL_TILE) {
+            let tile = tile_lo..(tile_lo + MATMUL_TILE).min(nsamples);
+            let t = tile.len();
+            scratch.accs.clear();
+            scratch.accs.resize(t * ncols, 0);
+
+            for frag in 0..self.fragments_per_col {
+                let lo = frag * m;
+                let hi = ((frag + 1) * m).min(self.row_index.len());
+                let frag_rows = hi - lo;
+
+                // Gather the tile's fragment codes (sample-major) and each
+                // sample's effective input cycles, accounting stats exactly
+                // as the per-sample path would.
+                scratch.tile_codes.clear();
+                scratch.tile_eic.clear();
+                let mut max_planes = 0u32;
+                for s in tile.clone() {
+                    let codes = &batch_codes[s * self.orig_rows..(s + 1) * self.orig_rows];
+                    let start = scratch.tile_codes.len();
+                    scratch
+                        .tile_codes
+                        .extend((lo..hi).map(|i| codes[self.row_index[i]]));
+                    let n_planes = if self.config.zero_skipping {
+                        fragment_eic(&scratch.tile_codes[start..])
+                    } else {
+                        self.config.input_bits
+                    };
+                    scratch.tile_eic.push(n_planes);
+                    max_planes = max_planes.max(n_planes);
+                    stats.fragments_total += 1;
+                    stats.cycles_without_skip += u64::from(self.config.input_bits);
+                    stats.cycles += u64::from(n_planes);
+                    if n_planes == 0 {
+                        stats.fragments_skipped += 1;
+                    }
+                }
+                if max_planes == 0 {
+                    continue;
+                }
+                let words = pack_tile_bit_planes(
+                    &scratch.tile_codes,
+                    t,
+                    max_planes,
+                    &mut scratch.tile_planes,
+                );
+                let stride = max_planes as usize * words;
+                let (xr, row_lo) = (lo / dim, lo % dim);
+
+                if fast {
+                    let MvmScratch {
+                        tile_eic,
+                        tile_planes,
+                        icell,
+                        icurr,
+                        cell_acc,
+                        accs,
+                        ..
+                    } = scratch;
+                    // Integer window, once per (fragment, tile).
+                    icell.clear();
+                    icell.resize(frag_rows * cell_cols, 0);
+                    for r in 0..frag_rows {
+                        let row = &mut icell[r * cell_cols..(r + 1) * cell_cols];
+                        for xc in 0..self.xb_cols {
+                            let col_lo = xc * dim;
+                            if col_lo >= cell_cols {
+                                break;
+                            }
+                            let col_hi = (col_lo + dim).min(cell_cols);
+                            self.crossbars[xr * self.xb_cols + xc]
+                                .integral_row_into(row_lo + r, &mut row[col_lo..col_hi]);
+                        }
+                    }
+                    for (si, &eic) in tile_eic.iter().enumerate() {
+                        if eic == 0 {
+                            continue;
+                        }
+                        cell_acc.clear();
+                        cell_acc.resize(cell_cols, 0);
+                        let planes = &tile_planes[si * stride..][..eic as usize * words];
+                        for (cycle, plane) in planes.chunks_exact(words).enumerate() {
+                            if plane_is_zero(plane) {
+                                continue;
+                            }
+                            icurr.clear();
+                            icurr.resize(cell_cols, 0);
+                            for_each_set_bit(plane, |i| {
+                                if i < frag_rows {
+                                    add_row_u16(icurr, &icell[i * cell_cols..(i + 1) * cell_cols]);
+                                }
+                            });
+                            for (acc, &c) in cell_acc.iter_mut().zip(icurr.iter()) {
+                                *acc += u64::from(c) << cycle;
+                            }
+                        }
+                        // Lossless conversion is the identity, so the
+                        // conversions are counted arithmetically: every
+                        // column converts every slice each shift cycle.
+                        stats.adc_conversions += u64::from(eic) * (cell_cols as u64);
+                        let sample_accs = &mut accs[si * ncols..][..ncols];
+                        for (ci, acc) in sample_accs.iter_mut().enumerate() {
+                            let mut frag_total = 0u64;
+                            for &s in &cell_acc[ci * cpw..(ci + 1) * cpw] {
+                                frag_total = (frag_total << cell_bits) + s;
+                            }
+                            let positive = self.signs[ci * self.fragments_per_col + frag];
+                            *acc += if positive {
+                                frag_total as i64
+                            } else {
+                                -(frag_total as i64)
+                            };
+                        }
+                    }
+                } else {
+                    let MvmScratch {
+                        tile_eic,
+                        tile_planes,
+                        cell_vals,
+                        currents,
+                        slice_acc,
+                        accs,
+                        ..
+                    } = scratch;
+                    // f64 window, once per (fragment, tile).
+                    cell_vals.clear();
+                    cell_vals.resize(frag_rows * cell_cols, 0.0);
+                    for r in 0..frag_rows {
+                        let row = &mut cell_vals[r * cell_cols..(r + 1) * cell_cols];
+                        for xc in 0..self.xb_cols {
+                            let col_lo = xc * dim;
+                            if col_lo >= cell_cols {
+                                break;
+                            }
+                            let col_hi = (col_lo + dim).min(cell_cols);
+                            self.crossbars[xr * self.xb_cols + xc]
+                                .dequant_row_into(row_lo + r, &mut row[col_lo..col_hi]);
+                        }
+                    }
+                    for (si, &eic) in tile_eic.iter().enumerate() {
+                        if eic == 0 {
+                            continue;
+                        }
+                        let n_planes = eic as usize;
+                        // Currents accumulate active rows in ascending
+                        // order, matching the per-sample summation order
+                        // bitwise.
+                        currents.clear();
+                        currents.resize(n_planes * cell_cols, 0.0);
+                        let planes = &tile_planes[si * stride..][..n_planes * words];
+                        for (cycle, plane) in planes.chunks_exact(words).enumerate() {
+                            let row = &mut currents[cycle * cell_cols..(cycle + 1) * cell_cols];
+                            for_each_set_bit(plane, |i| {
+                                if i < frag_rows {
+                                    add_row_f64(
+                                        row,
+                                        &cell_vals[i * cell_cols..(i + 1) * cell_cols],
+                                    );
+                                }
+                            });
+                        }
+                        let sample_accs = &mut accs[si * ncols..][..ncols];
+                        for (ci, acc) in sample_accs.iter_mut().enumerate() {
+                            slice_acc.clear();
+                            slice_acc.resize(cpw, 0);
+                            for cycle in 0..n_planes {
+                                let cur = &currents[cycle * cell_cols..];
+                                for (k, acc_k) in slice_acc.iter_mut().enumerate() {
+                                    let code =
+                                        self.adc.convert(cur[ci * cpw + k], &self.config.cell);
+                                    stats.adc_conversions += 1;
+                                    *acc_k += u64::from(code) << cycle;
+                                }
+                            }
+                            let mut frag_total = 0u64;
+                            for &s in slice_acc.iter() {
+                                frag_total = (frag_total << cell_bits) + s;
+                            }
+                            let positive = self.signs[ci * self.fragments_per_col + frag];
+                            *acc += if positive {
+                                frag_total as i64
+                            } else {
+                                -(frag_total as i64)
+                            };
+                        }
+                    }
+                }
+            }
+
+            for (si, s) in tile.enumerate() {
+                let out = &mut outs[s * self.orig_cols..][..self.orig_cols];
+                for (ci, &c) in self.col_index.iter().enumerate() {
+                    out[c] = scratch.accs[si * ncols + ci] as f32 * self.step * scales[s];
+                }
+            }
+        }
+        stats
+    }
+
     /// Validates the whole input vector in one pass (length + range), so
     /// the per-fragment gather loops stay assert-free.
     fn validate_input_codes(&self, input_codes: &[u32]) {
@@ -747,6 +1066,16 @@ impl CrossbarEngine for MappedLayer {
         out: &mut [f32],
     ) -> MvmStats {
         MappedLayer::matvec_into(self, input_codes, input_scale, scratch, out)
+    }
+
+    fn matmul_into(
+        &self,
+        batch_codes: &[u32],
+        scales: &[f32],
+        scratch: &mut MvmScratch,
+        outs: &mut [f32],
+    ) -> MvmStats {
+        MappedLayer::matmul_into(self, batch_codes, scales, scratch, outs)
     }
 
     fn crossbar_count(&self) -> usize {
@@ -1163,6 +1492,116 @@ mod tests {
         let (packed, _) = mapped.matvec(&codes, 0.5);
         let (reference, _) = mapped.matvec_reference(&codes, 0.5);
         assert_eq!(packed, reference);
+    }
+
+    /// Per-sample oracle: N× `matvec_into` through one warm scratch.
+    fn matmul_oracle(
+        mapped: &MappedLayer,
+        batch_codes: &[u32],
+        scales: &[f32],
+    ) -> (Vec<f32>, MvmStats) {
+        let rows = mapped.orig_rows;
+        let mut scratch = MvmScratch::default();
+        let mut outs = vec![0.0f32; scales.len() * mapped.orig_cols];
+        let mut stats = MvmStats::default();
+        for ((codes, out), &scale) in batch_codes
+            .chunks_exact(rows)
+            .zip(outs.chunks_exact_mut(mapped.orig_cols))
+            .zip(scales)
+        {
+            stats.merge(mapped.matvec_into(codes, scale, &mut scratch, out));
+        }
+        (outs, stats)
+    }
+
+    fn batch_codes_for(mapped: &MappedLayer, samples: usize, seed: u64) -> (Vec<u32>, Vec<f32>) {
+        let rows = mapped.orig_rows;
+        let codes: Vec<u32> = (0..samples * rows)
+            .map(|i| ((i as u64 * 37 + seed * 101) % 251) as u32)
+            .collect();
+        let scales: Vec<f32> = (0..samples).map(|s| 0.01 + 0.003 * s as f32).collect();
+        (codes, scales)
+    }
+
+    #[test]
+    fn batched_matmul_is_bitwise_identical_to_per_sample_matvec() {
+        // The batch-kernel invariant, over matrices that exercise pruning,
+        // partial tail fragments and multiple crossbar columns, with
+        // zero-skipping on and off, and over batch sizes that cover the
+        // empty batch, a single sample and a ragged tail past one tile.
+        for &(rows, cols, m) in &[(16usize, 4usize, 4usize), (10, 3, 4), (40, 5, 8)] {
+            let mut w = polarized_matrix(rows, cols, m);
+            for r in m..(2 * m).min(rows) {
+                for c in 0..cols {
+                    w.data_mut()[r * cols + c] = 0.0;
+                }
+            }
+            for r in 0..rows {
+                w.data_mut()[r * cols + 1] = 0.0;
+            }
+            for zero_skipping in [true, false] {
+                let cfg = MappingConfig {
+                    fragment_size: m,
+                    zero_skipping,
+                    ..small_config(m)
+                };
+                let mapped = MappedLayer::map(&w, cfg).unwrap();
+                assert!(mapped.integer_matmul_path(), "pristine map must be fast");
+                let mut scratch = MvmScratch::default();
+                for samples in [0usize, 1, 5, MATMUL_TILE + 1] {
+                    let (codes, scales) = batch_codes_for(&mapped, samples, 7);
+                    let mut outs = vec![0.0f32; samples * cols];
+                    let stats = mapped.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+                    let (want, want_stats) = matmul_oracle(&mapped, &codes, &scales);
+                    assert_eq!(outs, want, "samples={samples} skip={zero_skipping}");
+                    assert_eq!(stats, want_stats, "samples={samples} skip={zero_skipping}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_on_drifted_array_falls_back_bitwise() {
+        // Knock one cell off the integer grid: the whole layer must fall
+        // back to the f64 path and still match the per-sample oracle
+        // bit-for-bit.
+        let w = polarized_matrix(40, 5, 8);
+        let cfg = MappingConfig {
+            fragment_size: 8,
+            ..small_config(8)
+        };
+        let mut mapped = MappedLayer::map(&w, cfg).unwrap();
+        mapped.crossbars_mut()[0].conductances_mut()[3] += 7.31;
+        mapped.crossbars_mut()[0].commit_writes();
+        assert!(
+            !mapped.integer_matmul_path(),
+            "drift must disable fast path"
+        );
+        let mut scratch = MvmScratch::default();
+        let (codes, scales) = batch_codes_for(&mapped, MATMUL_TILE + 3, 11);
+        let mut outs = vec![0.0f32; scales.len() * 5];
+        let stats = mapped.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+        let (want, want_stats) = matmul_oracle(&mapped, &codes, &scales);
+        assert_eq!(outs, want);
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn batched_matmul_survives_post_map_fault_injection() {
+        // Stuck-at faults rewrite cells to rail codes (still integral);
+        // the fast path must read the *faulted* table, matching the
+        // per-sample path on the same mutated layer.
+        let w = polarized_matrix(16, 4, 4);
+        let mut mapped = MappedLayer::map(&w, small_config(4)).unwrap();
+        let report = mapped.inject_faults(&FaultCampaign::stuck_at(7, 0.2, 0.1), 99);
+        assert!(report.stuck() > 0);
+        let mut scratch = MvmScratch::default();
+        let (codes, scales) = batch_codes_for(&mapped, 9, 3);
+        let mut outs = vec![0.0f32; 9 * 4];
+        let stats = mapped.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+        let (want, want_stats) = matmul_oracle(&mapped, &codes, &scales);
+        assert_eq!(outs, want);
+        assert_eq!(stats, want_stats);
     }
 
     #[test]

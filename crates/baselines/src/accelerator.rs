@@ -81,6 +81,16 @@ impl CrossbarEngine for IsaacLayer {
         IsaacLayer::matvec_into(self, input_codes, input_scale, scratch, out)
     }
 
+    fn matmul_into(
+        &self,
+        batch_codes: &[u32],
+        scales: &[f32],
+        scratch: &mut IsaacScratch,
+        outs: &mut [f32],
+    ) -> IsaacStats {
+        IsaacLayer::matmul_into(self, batch_codes, scales, scratch, outs)
+    }
+
     fn crossbar_count(&self) -> usize {
         IsaacLayer::crossbar_count(self)
     }
@@ -267,6 +277,14 @@ impl IsaacAccelerator {
     /// analog path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         self.exec.forward(x)
+    }
+
+    /// [`forward`](Self::forward) through the batched hot path: each
+    /// weight layer lowers the whole batch and runs as one
+    /// [`IsaacLayer::matmul_into`](crate::IsaacLayer::matmul_into) call.
+    /// Bitwise identical to [`forward`](Self::forward).
+    pub fn forward_batched(&mut self, x: &Tensor) -> Tensor {
+        self.exec.forward_batched(x)
     }
 
     /// Runs inference with samples distributed over `workers` threads;

@@ -2,9 +2,15 @@
 
 use forms_exec::{ExecError, Merge};
 use forms_reram::{
-    pack_bit_planes, plane_ones, Adc, BitSlicer, CellSpec, Crossbar, FaultCampaign, FaultReport,
+    for_each_set_bit, pack_bit_planes, pack_tile_bit_planes, plane_is_zero, plane_ones, Adc,
+    BitSlicer, CellSpec, Crossbar, FaultCampaign, FaultReport,
 };
 use forms_tensor::Tensor;
+
+/// Samples per tile of the blocked [`IsaacLayer::matmul_into`] kernel —
+/// kept equal to `forms_arch::MATMUL_TILE` so FORMS-vs-ISAAC batch
+/// throughput comparisons use the same blocking.
+const MATMUL_TILE: usize = 32;
 
 /// Statistics of one ISAAC matrix-vector multiplication.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,6 +59,18 @@ pub struct IsaacScratch {
     /// all mapped cell columns — the division by the conductance step is
     /// paid once per cell instead of once per cell per input bit plane.
     cell_vals: Vec<f64>,
+    /// Batched path: gathered block codes of one tile of samples,
+    /// sample-major.
+    tile_codes: Vec<u32>,
+    /// Batched path: packed bit planes of the whole tile.
+    tile_planes: Vec<u64>,
+    /// Batched fast path: integer image of the block window.
+    icell: Vec<u16>,
+    /// Batched fast path: integer column currents of one bit plane.
+    icurr: Vec<u32>,
+    /// Batched fast path: per-cell-column shift-&-add accumulators of one
+    /// sample.
+    cell_acc: Vec<u64>,
 }
 
 /// A signed weight matrix mapped with ISAAC's offset encoding.
@@ -387,6 +405,242 @@ impl IsaacLayer {
         stats
     }
 
+    /// Whether the batched kernel may run its integer fast path — the
+    /// ISAAC mirror of `forms_arch::MappedLayer::integer_matmul_path`:
+    /// every mapped cell dequantizes to an exact integer code and the ADC
+    /// is lossless over a full block's current range.
+    pub fn integer_matmul_path(&self) -> bool {
+        let spec = self.crossbars[0].spec();
+        let max_window = self.crossbar_dim as u64 * u64::from(spec.max_code());
+        self.adc.full_scale() == f64::from(self.adc.levels() - 1)
+            && max_window as f64 <= self.adc.full_scale()
+            && self
+                .crossbars
+                .iter()
+                .all(|x| x.integral_dequant_codes().is_some())
+    }
+
+    /// The blocked weight-stationary batch kernel: executes
+    /// `scales.len()` offset-encoded matrix-vector products in one sweep,
+    /// bitwise identical to calling [`matvec_into`](Self::matvec_into)
+    /// once per sample (outputs *and* merged stats).
+    ///
+    /// Samples are processed in tiles; per row block the weight window is
+    /// materialized once per tile and swept over every sample. Pristine
+    /// arrays take an integer fast path (ADC conversion is the identity),
+    /// drifted arrays fall back to an f64 path preserving the per-sample
+    /// ascending-row summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths are inconsistent with `scales.len()`
+    /// or any input code exceeds `input_bits`.
+    pub fn matmul_into(
+        &self,
+        batch_codes: &[u32],
+        scales: &[f32],
+        scratch: &mut IsaacScratch,
+        outs: &mut [f32],
+    ) -> IsaacStats {
+        let mut stats = IsaacStats::default();
+        if scales.is_empty() {
+            assert!(batch_codes.is_empty(), "codes without scales");
+            assert!(outs.is_empty(), "outputs without scales");
+            return stats;
+        }
+        let nsamples = scales.len();
+        assert_eq!(
+            batch_codes.len(),
+            nsamples * self.orig_rows,
+            "need one whole input vector per batched sample"
+        );
+        assert_eq!(
+            outs.len(),
+            nsamples * self.orig_cols,
+            "need one whole output vector per batched sample"
+        );
+        for sample in batch_codes.chunks_exact(self.orig_rows) {
+            self.validate_input_codes(sample);
+        }
+        let dim = self.crossbar_dim;
+        let cpw = self.slicer.cells_per_weight();
+        let cell_bits = self.slicer.cell_bits();
+        let ncols = self.col_index.len();
+        let cell_cols = ncols * cpw;
+        let n_planes = self.input_bits as usize;
+        let fast = self.integer_matmul_path();
+        outs.fill(0.0);
+
+        for tile_lo in (0..nsamples).step_by(MATMUL_TILE) {
+            let tile = tile_lo..(tile_lo + MATMUL_TILE).min(nsamples);
+            let t = tile.len();
+            scratch.accs.clear();
+            scratch.accs.resize(t * ncols, 0);
+
+            for (block, rows) in self.row_index.chunks(dim).enumerate() {
+                let block_rows = rows.len();
+                // Gather the tile's block codes (sample-major). ISAAC has
+                // no zero-skipping: every sample pays all input bit planes.
+                scratch.tile_codes.clear();
+                for s in tile.clone() {
+                    let codes = &batch_codes[s * self.orig_rows..(s + 1) * self.orig_rows];
+                    scratch.tile_codes.extend(rows.iter().map(|&r| codes[r]));
+                }
+                stats.cycles += t as u64 * u64::from(self.input_bits);
+                stats.row_blocks += t as u64;
+                let words = pack_tile_bit_planes(
+                    &scratch.tile_codes,
+                    t,
+                    self.input_bits,
+                    &mut scratch.tile_planes,
+                );
+                let stride = n_planes * words;
+
+                if fast {
+                    let IsaacScratch {
+                        tile_planes,
+                        icell,
+                        icurr,
+                        cell_acc,
+                        accs,
+                        ..
+                    } = scratch;
+                    // Integer window, once per (block, tile).
+                    icell.clear();
+                    icell.resize(block_rows * cell_cols, 0);
+                    for r in 0..block_rows {
+                        let row = &mut icell[r * cell_cols..(r + 1) * cell_cols];
+                        for xc in 0..self.xb_cols {
+                            let col_lo = xc * dim;
+                            if col_lo >= cell_cols {
+                                break;
+                            }
+                            let col_hi = (col_lo + dim).min(cell_cols);
+                            self.crossbars[block * self.xb_cols + xc]
+                                .integral_row_into(r, &mut row[col_lo..col_hi]);
+                        }
+                    }
+                    for si in 0..t {
+                        cell_acc.clear();
+                        cell_acc.resize(cell_cols, 0);
+                        let planes = &tile_planes[si * stride..(si + 1) * stride];
+                        let mut offset = 0u64;
+                        for (plane, mask) in planes.chunks_exact(words).enumerate() {
+                            let ones = plane_ones(mask);
+                            stats.ones_counted += ones;
+                            stats.offset_subtractions += ones;
+                            offset += (self.bias * ones) << plane;
+                            if plane_is_zero(mask) {
+                                continue;
+                            }
+                            icurr.clear();
+                            icurr.resize(cell_cols, 0);
+                            for_each_set_bit(mask, |i| {
+                                if i < block_rows {
+                                    let row = &icell[i * cell_cols..(i + 1) * cell_cols];
+                                    for (acc, &v) in icurr.iter_mut().zip(row) {
+                                        *acc += u32::from(v);
+                                    }
+                                }
+                            });
+                            for (acc, &c) in cell_acc.iter_mut().zip(icurr.iter()) {
+                                *acc += u64::from(c) << plane;
+                            }
+                        }
+                        // Lossless conversion is the identity; conversions
+                        // are counted arithmetically (every column converts
+                        // every slice each bit plane).
+                        stats.adc_conversions += n_planes as u64 * cell_cols as u64;
+                        let sample_accs = &mut accs[si * ncols..][..ncols];
+                        for (ci, acc) in sample_accs.iter_mut().enumerate() {
+                            let mut encoded_total = 0u64;
+                            for &s in &cell_acc[ci * cpw..(ci + 1) * cpw] {
+                                encoded_total = (encoded_total << cell_bits) + s;
+                            }
+                            *acc += encoded_total as i64 - offset as i64;
+                        }
+                    }
+                } else {
+                    let IsaacScratch {
+                        tile_planes,
+                        cell_vals,
+                        currents,
+                        slice_acc,
+                        accs,
+                        ..
+                    } = scratch;
+                    // f64 window, once per (block, tile).
+                    cell_vals.clear();
+                    cell_vals.resize(block_rows * cell_cols, 0.0);
+                    for r in 0..block_rows {
+                        let row = &mut cell_vals[r * cell_cols..(r + 1) * cell_cols];
+                        for xc in 0..self.xb_cols {
+                            let col_lo = xc * dim;
+                            if col_lo >= cell_cols {
+                                break;
+                            }
+                            let col_hi = (col_lo + dim).min(cell_cols);
+                            self.crossbars[block * self.xb_cols + xc]
+                                .dequant_row_into(r, &mut row[col_lo..col_hi]);
+                        }
+                    }
+                    for si in 0..t {
+                        let planes = &tile_planes[si * stride..(si + 1) * stride];
+                        let mut offset = 0u64;
+                        currents.clear();
+                        currents.resize(n_planes * cell_cols, 0.0);
+                        for (plane, mask) in planes.chunks_exact(words).enumerate() {
+                            let ones = plane_ones(mask);
+                            stats.ones_counted += ones;
+                            stats.offset_subtractions += ones;
+                            offset += (self.bias * ones) << plane;
+                            // Active rows accumulate in ascending order,
+                            // matching the per-sample summation order
+                            // bitwise.
+                            let row = &mut currents[plane * cell_cols..(plane + 1) * cell_cols];
+                            for_each_set_bit(mask, |i| {
+                                if i < block_rows {
+                                    let vals = &cell_vals[i * cell_cols..(i + 1) * cell_cols];
+                                    for (acc, &v) in row.iter_mut().zip(vals) {
+                                        *acc += v;
+                                    }
+                                }
+                            });
+                        }
+                        let sample_accs = &mut accs[si * ncols..][..ncols];
+                        for (ci, acc) in sample_accs.iter_mut().enumerate() {
+                            slice_acc.clear();
+                            slice_acc.resize(cpw, 0);
+                            for plane in 0..n_planes {
+                                let cur = &currents[plane * cell_cols..];
+                                for (k, acc_k) in slice_acc.iter_mut().enumerate() {
+                                    let code = self
+                                        .adc
+                                        .convert(cur[ci * cpw + k], self.crossbars[0].spec());
+                                    stats.adc_conversions += 1;
+                                    *acc_k += u64::from(code) << plane;
+                                }
+                            }
+                            let mut encoded_total = 0u64;
+                            for &s in slice_acc.iter() {
+                                encoded_total = (encoded_total << cell_bits) + s;
+                            }
+                            *acc += encoded_total as i64 - offset as i64;
+                        }
+                    }
+                }
+            }
+
+            for (si, s) in tile.enumerate() {
+                let out = &mut outs[s * self.orig_cols..][..self.orig_cols];
+                for (ci, &c) in self.col_index.iter().enumerate() {
+                    out[c] = scratch.accs[si * ncols + ci] as f32 * self.step * scales[s];
+                }
+            }
+        }
+        stats
+    }
+
     /// Validates the whole input vector in one pass (length + range), so
     /// the per-block gather loops stay assert-free.
     fn validate_input_codes(&self, input_codes: &[u32]) {
@@ -632,6 +886,88 @@ mod tests {
         let (packed, _) = layer.matvec(&codes, 0.5);
         let (reference, _) = layer.matvec_reference(&codes, 0.5);
         assert_eq!(packed, reference);
+    }
+
+    /// Per-sample oracle: N× `matvec_into` through one warm scratch.
+    fn matmul_oracle(
+        layer: &IsaacLayer,
+        batch_codes: &[u32],
+        scales: &[f32],
+    ) -> (Vec<f32>, IsaacStats) {
+        let mut scratch = IsaacScratch::default();
+        let mut outs = vec![0.0f32; scales.len() * layer.orig_cols];
+        let mut stats = IsaacStats::default();
+        for ((codes, out), &scale) in batch_codes
+            .chunks_exact(layer.orig_rows)
+            .zip(outs.chunks_exact_mut(layer.orig_cols))
+            .zip(scales)
+        {
+            stats.merge(layer.matvec_into(codes, scale, &mut scratch, out));
+        }
+        (outs, stats)
+    }
+
+    fn batch_codes_for(layer: &IsaacLayer, samples: usize, seed: u64) -> (Vec<u32>, Vec<f32>) {
+        let codes: Vec<u32> = (0..samples * layer.orig_rows)
+            .map(|i| ((i as u64 * 29 + seed * 67) % 256) as u32)
+            .collect();
+        let scales: Vec<f32> = (0..samples).map(|s| 0.015 + 0.002 * s as f32).collect();
+        (codes, scales)
+    }
+
+    #[test]
+    fn batched_matmul_is_bitwise_identical_to_per_sample_matvec() {
+        // The batch-kernel invariant over pruned and multi-block layers,
+        // covering the empty batch, a single sample and a ragged tail past
+        // one tile.
+        for &(rows, cols) in &[(12usize, 3usize), (40, 5), (8, 2)] {
+            let mut w = signed_matrix(rows, cols);
+            for r in 0..rows {
+                w.data_mut()[r * cols + 1] = 0.0; // prune a column
+            }
+            let layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+            assert!(layer.integer_matmul_path(), "pristine map must be fast");
+            let mut scratch = IsaacScratch::default();
+            for samples in [0usize, 1, 5, MATMUL_TILE + 1] {
+                let (codes, scales) = batch_codes_for(&layer, samples, 5);
+                let mut outs = vec![0.0f32; samples * cols];
+                let stats = layer.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+                let (want, want_stats) = matmul_oracle(&layer, &codes, &scales);
+                assert_eq!(outs, want, "samples={samples}");
+                assert_eq!(stats, want_stats, "samples={samples}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_on_drifted_array_falls_back_bitwise() {
+        let w = signed_matrix(40, 5);
+        let mut layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+        layer.crossbars_mut()[0].conductances_mut()[5] += 3.77;
+        layer.crossbars_mut()[0].commit_writes();
+        assert!(!layer.integer_matmul_path(), "drift must disable fast path");
+        let mut scratch = IsaacScratch::default();
+        let (codes, scales) = batch_codes_for(&layer, MATMUL_TILE + 2, 9);
+        let mut outs = vec![0.0f32; scales.len() * 5];
+        let stats = layer.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+        let (want, want_stats) = matmul_oracle(&layer, &codes, &scales);
+        assert_eq!(outs, want);
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn batched_matmul_survives_post_map_fault_injection() {
+        let w = signed_matrix(16, 4);
+        let mut layer = IsaacLayer::map_with(&w, 8, 8, 16, CellSpec::paper_2bit()).expect("map");
+        let report = layer.inject_faults(&FaultCampaign::stuck_at(3, 0.15, 0.1), 7);
+        assert!(report.stuck() > 0);
+        let mut scratch = IsaacScratch::default();
+        let (codes, scales) = batch_codes_for(&layer, 11, 2);
+        let mut outs = vec![0.0f32; 11 * 4];
+        let stats = layer.matmul_into(&codes, &scales, &mut scratch, &mut outs);
+        let (want, want_stats) = matmul_oracle(&layer, &codes, &scales);
+        assert_eq!(outs, want);
+        assert_eq!(stats, want_stats);
     }
 
     #[test]

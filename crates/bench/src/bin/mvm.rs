@@ -1,11 +1,14 @@
 //! MVM hot-path throughput suite — writes and validates `BENCH_mvm.json`.
 //!
-//! Usage: `cargo run --release -p forms-bench --bin mvm [-- --smoke]`.
+//! Usage: `cargo run --release -p forms-bench --bin mvm [-- --smoke] [--batch N,M]`.
 //! `--smoke` (or `FORMS_BENCH_FAST=1` for the timing batches alone) runs a
 //! seconds-scale variant with the same code paths and JSON schema; CI uses
-//! it to catch hot-path and schema regressions. The binary re-reads the
-//! file it wrote and validates it with `forms_bench::json::parse` +
-//! `forms_bench::mvm::validate`, exiting non-zero on any mismatch.
+//! it to catch hot-path and schema regressions. `--batch` overrides the
+//! batched-matmul kernel sweep with a fixed comma-separated list of batch
+//! sizes (each at least 2), so CI runs are reproducible. The binary
+//! re-reads the file it wrote and validates it with
+//! `forms_bench::json::parse` + `forms_bench::mvm::validate`, exiting
+//! non-zero on any mismatch or performance-gate violation.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -14,12 +17,38 @@ use forms_bench::json::parse;
 use forms_bench::mvm::{run, validate, MvmBenchSpec};
 
 fn main() -> ExitCode {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let spec = if smoke {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut spec = if smoke {
         MvmBenchSpec::smoke()
     } else {
         MvmBenchSpec::full()
     };
+    let mut sweep = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg != "--batch" {
+            continue;
+        }
+        let Some(list) = it.next() else {
+            eprintln!("--batch needs a comma-separated list of batch sizes");
+            return ExitCode::FAILURE;
+        };
+        for part in list.split(',') {
+            match part.trim().parse::<usize>() {
+                Ok(b) if b >= 2 => sweep.push(b),
+                _ => {
+                    eprintln!("--batch sizes must be integers of at least 2, got {part:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if !sweep.is_empty() {
+        sweep.sort_unstable();
+        sweep.dedup();
+        spec.batch_sweep = sweep;
+    }
     eprintln!(
         "mvm suite ({} mode): {} — this measures, so expect it to take a while",
         spec.mode, spec.layer_label
@@ -28,13 +57,16 @@ fn main() -> ExitCode {
 
     for k in &report.kernels {
         println!(
-            "{:>5} {:<9} {:>12.0} MVMs/s ({:.0} ns/MVM)",
-            k.design, k.kernel, k.mvms_per_s, k.ns_per_mvm
+            "{:>5} {:<9} (batch {:>2}) {:>12.0} MVMs/s ({:.0} ns/MVM)",
+            k.design, k.kernel, k.batch, k.mvms_per_s, k.ns_per_mvm
         );
     }
     for design in ["FORMS", "ISAAC"] {
         if let Some(s) = report.speedup(design) {
             println!("{design} packed/reference speedup: {s:.2}x");
+        }
+        if let Some(s) = report.speedup_batched(design) {
+            println!("{design} batched/packed speedup: {s:.2}x");
         }
     }
     for r in &report.images {

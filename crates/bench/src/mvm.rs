@@ -40,6 +40,8 @@ pub struct MvmBenchSpec {
     pub mapping: MappingConfig,
     /// Images per batch for the end-to-end executor bench.
     pub batch: usize,
+    /// Batch sizes swept by the batched `matmul_into` kernel bench.
+    pub batch_sweep: Vec<usize>,
     /// Worker threads for the parallel executor bench.
     pub workers: usize,
     /// Timing-harness configuration.
@@ -58,6 +60,7 @@ impl MvmBenchSpec {
             cols: 128,
             mapping: MappingConfig::paper(8),
             batch: 8,
+            batch_sweep: vec![8, 32],
             workers: worker_count(),
             timing: BenchConfig::from_env(),
         }
@@ -80,6 +83,7 @@ impl MvmBenchSpec {
                 zero_skipping: true,
             },
             batch: 4,
+            batch_sweep: vec![2, 4],
             workers: 2,
             timing: BenchConfig::fast(),
         }
@@ -157,8 +161,12 @@ fn random_codes(n: usize, bits: u32, rng: &mut StdRng) -> Vec<Vec<u32>> {
 pub struct KernelResult {
     /// `"FORMS"` or `"ISAAC"`.
     pub design: &'static str,
-    /// `"packed"` (new hot path) or `"reference"` (legacy kernel).
+    /// `"packed"` (per-sample hot path), `"reference"` (legacy kernel) or
+    /// `"batched"` (the blocked weight-stationary `matmul_into` kernel).
     pub kernel: &'static str,
+    /// Input vectors per kernel call: 1 for per-sample kernels, the
+    /// swept batch size for `"batched"` rows.
+    pub batch: usize,
     /// Median (p50) nanoseconds per MVM.
     pub ns_per_mvm: f64,
     /// 95th-percentile nanoseconds per MVM across timing batches.
@@ -206,6 +214,23 @@ impl MvmBenchReport {
         Some(find("packed")? / find("reference")?)
     }
 
+    /// Batched-over-packed MVM throughput ratio for a design at the
+    /// largest swept batch size, if both kernels were measured.
+    pub fn speedup_batched(&self, design: &str) -> Option<f64> {
+        let batched = self
+            .kernels
+            .iter()
+            .filter(|k| k.design == design && k.kernel == "batched")
+            .max_by_key(|k| k.batch)
+            .map(|k| k.mvms_per_s)?;
+        let packed = self
+            .kernels
+            .iter()
+            .find(|k| k.design == design && k.kernel == "packed")
+            .map(|k| k.mvms_per_s)?;
+        Some(batched / packed)
+    }
+
     /// Renders the report as the `BENCH_mvm.json` document.
     pub fn to_json(&self) -> JsonValue {
         let kernels = self
@@ -215,6 +240,7 @@ impl MvmBenchReport {
                 JsonValue::object(vec![
                     ("design", JsonValue::String(k.design.into())),
                     ("kernel", JsonValue::String(k.kernel.into())),
+                    ("batch", JsonValue::Number(k.batch as f64)),
                     ("ns_per_mvm", JsonValue::Number(k.ns_per_mvm)),
                     ("p95_ns_per_mvm", JsonValue::Number(k.p95_ns_per_mvm)),
                     ("mvms_per_s", JsonValue::Number(k.mvms_per_s)),
@@ -235,9 +261,13 @@ impl MvmBenchReport {
             })
             .collect();
         let mut speedup = Vec::new();
+        let mut speedup_batched = Vec::new();
         for design in ["FORMS", "ISAAC"] {
             if let Some(s) = self.speedup(design) {
                 speedup.push((design, JsonValue::Number(s)));
+            }
+            if let Some(s) = self.speedup_batched(design) {
+                speedup_batched.push((design, JsonValue::Number(s)));
             }
         }
         JsonValue::object(vec![
@@ -253,6 +283,10 @@ impl MvmBenchReport {
             ),
             ("mvm", JsonValue::Array(kernels)),
             ("speedup_packed_over_reference", JsonValue::object(speedup)),
+            (
+                "speedup_batched_over_packed",
+                JsonValue::object(speedup_batched),
+            ),
             ("images", JsonValue::Array(images)),
         ])
     }
@@ -323,6 +357,43 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
         kernels.push(kernel_result("ISAAC", "reference", r));
     }
 
+    // --- batched matmul kernels -------------------------------------
+    for &b in &spec.batch_sweep {
+        // Rotated batched inputs: each buffer concatenates `b` consecutive
+        // rotation vectors, so the batched kernel sees the same activation
+        // diversity as the per-sample rows.
+        let batches: Vec<Vec<u32>> = (0..INPUT_ROTATION)
+            .map(|r| {
+                (0..b)
+                    .flat_map(|s| inputs[(r + s) % INPUT_ROTATION].iter().copied())
+                    .collect()
+            })
+            .collect();
+        let scales = vec![scale; b];
+        {
+            let mut scratch = MvmScratch::default();
+            let mut out = vec![0.0f32; b * spec.cols];
+            let mut i = 0;
+            let r = bencher.bench(&format!("forms/batched/b{b}"), || {
+                let codes = &batches[i % INPUT_ROTATION];
+                i += 1;
+                forms.matmul_into(codes, &scales, &mut scratch, &mut out)
+            });
+            kernels.push(batched_kernel_result("FORMS", b, r));
+        }
+        {
+            let mut scratch = IsaacScratch::default();
+            let mut out = vec![0.0f32; b * isaac.output_len()];
+            let mut i = 0;
+            let r = bencher.bench(&format!("isaac/batched/b{b}"), || {
+                let codes = &batches[i % INPUT_ROTATION];
+                i += 1;
+                isaac.matmul_into(codes, &scales, &mut scratch, &mut out)
+            });
+            kernels.push(batched_kernel_result("ISAAC", b, r));
+        }
+    }
+
     // --- end-to-end images/s ----------------------------------------
     let (mut net, x) = bench_network(spec, &mut rng);
     polarize_network(&mut net, spec.mapping.fragment_size);
@@ -348,6 +419,10 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
         images.push(image_result("FORMS", "serial", 1, batch, r));
     }
     {
+        let r = bencher.bench("forms/images/batched", || forms_acc.forward_batched(&x));
+        images.push(image_result("FORMS", "batched", 1, batch, r));
+    }
+    {
         let r = bencher.bench("forms/images/parallel", || {
             forms_acc.forward_parallel(&x, workers)
         });
@@ -356,6 +431,10 @@ pub fn run(spec: &MvmBenchSpec) -> MvmBenchReport {
     {
         let r = bencher.bench("isaac/images/serial", || isaac_acc.forward(&x));
         images.push(image_result("ISAAC", "serial", 1, batch, r));
+    }
+    {
+        let r = bencher.bench("isaac/images/batched", || isaac_acc.forward_batched(&x));
+        images.push(image_result("ISAAC", "batched", 1, batch, r));
     }
     {
         let r = bencher.bench("isaac/images/parallel", || {
@@ -379,9 +458,28 @@ fn kernel_result(
     KernelResult {
         design,
         kernel,
+        batch: 1,
         ns_per_mvm: timing.p50_ns(),
         p95_ns_per_mvm: timing.p95_ns(),
         mvms_per_s: 1e9 / timing.p50_ns(),
+    }
+}
+
+/// A batched `matmul_into` measurement normalized to per-MVM cost: one
+/// kernel call covers `batch` vectors.
+fn batched_kernel_result(
+    design: &'static str,
+    batch: usize,
+    timing: &crate::timing::BenchResult,
+) -> KernelResult {
+    let b = batch as f64;
+    KernelResult {
+        design,
+        kernel: "batched",
+        batch,
+        ns_per_mvm: timing.p50_ns() / b,
+        p95_ns_per_mvm: timing.p95_ns() / b,
+        mvms_per_s: b * 1e9 / timing.p50_ns(),
     }
 }
 
@@ -402,13 +500,23 @@ fn image_result(
 }
 
 /// Checks that a parsed `BENCH_mvm.json` document has the shape this
-/// suite writes: required top-level fields, all four kernel rows with
-/// positive finite throughput, and at least one serial and one parallel
-/// images/s row per design.
+/// suite writes — required top-level fields, all per-sample kernel rows
+/// with positive finite throughput, at least one batched kernel row per
+/// design, and serial / batched / parallel images/s rows per design —
+/// and enforces the batched-hot-path performance gates:
+///
+/// - per design, the batched kernel at its largest swept batch must not
+///   be slower per MVM than the per-sample packed kernel;
+/// - per design, batched images/s must be at least the serial
+///   (per-sample) images/s;
+/// - per design, parallel images/s at ≥ 2 workers must be at least
+///   1.2× serial images/s (the work-stealing workers run the batched
+///   kernel, so this holds even on a single core).
 ///
 /// # Errors
 ///
-/// Returns a description of the first structural problem found.
+/// Returns a description of the first structural problem or gate
+/// violation found.
 pub fn validate(doc: &JsonValue) -> Result<(), String> {
     if doc.get("bench").and_then(JsonValue::as_str) != Some("mvm") {
         return Err("missing or wrong `bench` field".into());
@@ -451,12 +559,58 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
             }
         }
     }
+    // Batched kernel rows: at least one per design, every row positive
+    // with a batch of at least 2, and the largest-batch row at least as
+    // fast per MVM as the per-sample packed kernel.
+    for design in ["FORMS", "ISAAC"] {
+        let packed = kernels
+            .iter()
+            .find(|k| {
+                k.get("design").and_then(JsonValue::as_str) == Some(design)
+                    && k.get("kernel").and_then(JsonValue::as_str) == Some("packed")
+            })
+            .and_then(|k| k.get("mvms_per_s"))
+            .and_then(JsonValue::as_f64)
+            .expect("packed row checked above");
+        let mut best: Option<(f64, f64)> = None; // (batch, mvms_per_s)
+        for row in kernels.iter().filter(|k| {
+            k.get("design").and_then(JsonValue::as_str) == Some(design)
+                && k.get("kernel").and_then(JsonValue::as_str) == Some("batched")
+        }) {
+            let batch = row
+                .get("batch")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing `batch` for {design}/batched"))?;
+            if !(batch.is_finite() && batch >= 2.0) {
+                return Err(format!("`batch` for {design}/batched must be at least 2"));
+            }
+            let rate = row
+                .get("mvms_per_s")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing `mvms_per_s` for {design}/batched"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("non-positive `mvms_per_s` for {design}/batched"));
+            }
+            if best.is_none_or(|(b, _)| batch > b) {
+                best = Some((batch, rate));
+            }
+        }
+        let (batch, rate) = best.ok_or_else(|| format!("missing mvm row for {design}/batched"))?;
+        if rate < packed {
+            return Err(format!(
+                "batched kernel regression: {design} batch {batch} runs {rate:.0} MVMs/s \
+                 vs {packed:.0} for the per-sample packed kernel"
+            ));
+        }
+    }
     let images = doc
         .get("images")
         .and_then(JsonValue::as_array)
         .ok_or("missing `images` array")?;
     for design in ["FORMS", "ISAAC"] {
-        for exec in ["serial", "parallel"] {
+        let mut rates = [0.0f64; 3];
+        let mut workers = 1.0f64;
+        for (slot, exec) in rates.iter_mut().zip(["serial", "batched", "parallel"]) {
             let row = images
                 .iter()
                 .find(|r| {
@@ -471,6 +625,26 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
             if !(rate.is_finite() && rate > 0.0) {
                 return Err(format!("non-positive `images_per_s` for {design}/{exec}"));
             }
+            *slot = rate;
+            if exec == "parallel" {
+                workers = row
+                    .get("workers")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("missing `workers` for {design}/parallel"))?;
+            }
+        }
+        let [serial, batched, parallel] = rates;
+        if batched < serial {
+            return Err(format!(
+                "batched images regression: {design} batched runs {batched:.1} images/s \
+                 vs {serial:.1} serial"
+            ));
+        }
+        if workers >= 2.0 && parallel < 1.2 * serial {
+            return Err(format!(
+                "parallel images regression: {design} at {workers} workers runs \
+                 {parallel:.1} images/s, below 1.2x the serial {serial:.1}"
+            ));
         }
     }
     Ok(())
@@ -481,9 +655,57 @@ mod tests {
     use super::*;
     use crate::json::parse;
 
+    /// A fixed-numbers report shaped exactly like a passing smoke run.
+    ///
+    /// The validator's timing gates (batched >= packed per MVM, batched
+    /// images >= serial, parallel >= 1.2x serial) are enforced against
+    /// *live* numbers by the `mvm` binary, which ci.sh runs on an
+    /// otherwise idle machine. Unit tests run under `cargo test
+    /// --workspace` where every core is oversubscribed by sibling test
+    /// binaries, so a live 2-worker measurement here is pure noise —
+    /// these tests pin the validator logic on synthetic numbers instead.
+    fn synthetic_report() -> MvmBenchReport {
+        let kernel = |design, kernel, batch, ns: f64| KernelResult {
+            design,
+            kernel,
+            batch,
+            ns_per_mvm: ns,
+            p95_ns_per_mvm: ns * 1.3,
+            mvms_per_s: 1e9 / ns,
+        };
+        let image = |design, exec, workers, rate: f64| ImageResult {
+            design,
+            exec,
+            workers,
+            images_per_s: rate,
+            p95_images_per_s: rate * 0.8,
+        };
+        MvmBenchReport {
+            spec: MvmBenchSpec::smoke(),
+            kernels: vec![
+                kernel("FORMS", "packed", 1, 600_000.0),
+                kernel("FORMS", "reference", 1, 1_500_000.0),
+                kernel("ISAAC", "packed", 1, 250_000.0),
+                kernel("ISAAC", "reference", 1, 1_100_000.0),
+                kernel("FORMS", "batched", 2, 300_000.0),
+                kernel("ISAAC", "batched", 2, 180_000.0),
+                kernel("FORMS", "batched", 4, 200_000.0),
+                kernel("ISAAC", "batched", 4, 150_000.0),
+            ],
+            images: vec![
+                image("FORMS", "serial", 1, 400.0),
+                image("FORMS", "batched", 1, 900.0),
+                image("FORMS", "parallel", 2, 1100.0),
+                image("ISAAC", "serial", 1, 700.0),
+                image("ISAAC", "batched", 1, 1400.0),
+                image("ISAAC", "parallel", 2, 1500.0),
+            ],
+        }
+    }
+
     #[test]
     fn smoke_report_round_trips_and_validates() {
-        let report = run(&MvmBenchSpec::smoke());
+        let report = synthetic_report();
         let doc = report.to_json();
         validate(&doc).unwrap();
         let reparsed = parse(&doc.pretty()).unwrap();
@@ -491,12 +713,47 @@ mod tests {
         assert_eq!(reparsed, doc);
         assert!(report.speedup("FORMS").unwrap() > 0.0);
         assert!(report.speedup("ISAAC").unwrap() > 0.0);
+        assert!(report.speedup_batched("FORMS").unwrap() > 1.0);
+        assert!(report.speedup_batched("ISAAC").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_timing_regressions() {
+        // Batched kernel slower per MVM than packed at the top batch size.
+        let mut report = synthetic_report();
+        for k in &mut report.kernels {
+            if k.design == "FORMS" && k.kernel == "batched" && k.batch == 4 {
+                k.ns_per_mvm = 2_000_000.0;
+                k.mvms_per_s = 1e9 / k.ns_per_mvm;
+            }
+        }
+        let err = validate(&report.to_json()).unwrap_err();
+        assert!(err.contains("batched kernel regression"), "{err}");
+
+        // Batched images below serial.
+        let mut report = synthetic_report();
+        for r in &mut report.images {
+            if r.design == "ISAAC" && r.exec == "batched" {
+                r.images_per_s = 500.0;
+            }
+        }
+        let err = validate(&report.to_json()).unwrap_err();
+        assert!(err.contains("batched images regression"), "{err}");
+
+        // Parallel below 1.2x serial at 2 workers.
+        let mut report = synthetic_report();
+        for r in &mut report.images {
+            if r.design == "FORMS" && r.exec == "parallel" {
+                r.images_per_s = 410.0;
+            }
+        }
+        let err = validate(&report.to_json()).unwrap_err();
+        assert!(err.contains("parallel images regression"), "{err}");
     }
 
     #[test]
     fn validate_rejects_broken_documents() {
-        let report = run(&MvmBenchSpec::smoke());
-        let good = report.to_json();
+        let good = synthetic_report().to_json();
         validate(&good).unwrap();
         // Drop a required top-level field.
         let JsonValue::Object(fields) = &good else {

@@ -112,6 +112,54 @@ pub trait CrossbarEngine: Clone + Send + Sync + fmt::Debug + Sized {
         (out, stats)
     }
 
+    /// Executes a *batch* of matrix-vector products: `batch_codes` holds
+    /// `scales.len()` consecutive input-code vectors (sample-major, each of
+    /// the layer's original row count), `scales[i]` is the quantization
+    /// scale of vector `i`, and `outs` receives the concatenated outputs
+    /// (`scales.len() × output_len`, overwritten). Returns the merged
+    /// statistics of the whole batch.
+    ///
+    /// The contract is *bitwise* equivalence to calling
+    /// [`matvec_into`](Self::matvec_into) once per vector in order:
+    /// identical outputs and identical merged stats. The default
+    /// implementation does exactly that, so third-party engines keep
+    /// working; weight-stationary engines override it with a blocked
+    /// kernel that sweeps each weight bit-plane/dequant window once per
+    /// tile of inputs instead of once per sample.
+    fn matmul_into(
+        &self,
+        batch_codes: &[u32],
+        scales: &[f32],
+        scratch: &mut Self::Scratch,
+        outs: &mut [f32],
+    ) -> Self::Stats {
+        let mut stats = Self::Stats::default();
+        if scales.is_empty() {
+            assert!(batch_codes.is_empty(), "codes without scales");
+            assert!(outs.is_empty(), "outputs without scales");
+            return stats;
+        }
+        assert!(
+            batch_codes.len().is_multiple_of(scales.len()),
+            "batch codes must hold one whole vector per scale"
+        );
+        let rows = batch_codes.len() / scales.len();
+        let out_len = self.output_len();
+        assert_eq!(
+            outs.len(),
+            scales.len() * out_len,
+            "need output_len slots per batched vector"
+        );
+        for ((codes, out), &scale) in batch_codes
+            .chunks_exact(rows)
+            .zip(outs.chunks_exact_mut(out_len))
+            .zip(scales)
+        {
+            stats.merge(self.matvec_into(codes, scale, scratch, out));
+        }
+        stats
+    }
+
     /// Physical crossbars this layer occupies.
     fn crossbar_count(&self) -> usize;
 

@@ -30,6 +30,24 @@ use crate::precision::PrecisionPlan;
 /// headroom keeps clean silicon from ever tripping the sentinel.
 const SENTINEL_SLACK: f64 = 1.0 + 1e-4;
 
+/// Largest sample range one [`forward_parallel`](Executor::forward_parallel)
+/// worker steals at a time. Small enough to balance ragged batches across
+/// workers, large enough that each stolen range fills the engines' batch
+/// tiles (`forms_arch::MATMUL_TILE`).
+const STEAL_TILE_MAX: usize = 32;
+
+/// Sentinel hits in one MVM output vector: values that are non-finite or
+/// exceed the layer's pristine ceiling at this input scale.
+fn sentinel_hits(ceiling: Option<f64>, input_scale: f32, out: &[f32]) -> u64 {
+    let Some(ceiling) = ceiling else {
+        return 0;
+    };
+    let bound = ceiling * f64::from(input_scale) * SENTINEL_SLACK;
+    out.iter()
+        .filter(|v| !v.is_finite() || f64::from(**v).abs() > bound)
+        .count() as u64
+}
+
 /// A DNN mapped onto crossbar engines and executed through the
 /// mixed-signal path.
 ///
@@ -81,6 +99,18 @@ struct InferenceCtx<'a, E: CrossbarEngine> {
     /// Per-sample staging buffer (im2col input / linear row), recycled
     /// through `Tensor::from_vec` / `Tensor::into_vec`.
     sample: Vec<f32>,
+    /// Whether weight layers lower whole batches through
+    /// [`CrossbarEngine::matmul_into`] (bitwise identical to the
+    /// per-sample path; see [`conv_forward_batched`](Self::conv_forward_batched)).
+    use_matmul: bool,
+    /// Batched path: concatenated post-permutation input-code vectors of
+    /// every MVM column of the current layer, sample-major.
+    batch_codes: Vec<u32>,
+    /// Batched path: per-column quantization scales (each sample's scale
+    /// repeated once per output position).
+    batch_scales: Vec<f32>,
+    /// Batched path: concatenated engine outputs of the current layer.
+    batch_out: Vec<f32>,
     stats: E::Stats,
     layer_stats: Vec<E::Stats>,
     layer_mvms: Vec<u64>,
@@ -104,6 +134,10 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             permuted: Vec::new(),
             mvm_out: Vec::new(),
             sample: Vec::new(),
+            use_matmul: false,
+            batch_codes: Vec::new(),
+            batch_scales: Vec::new(),
+            batch_out: Vec::new(),
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); engines.len()],
             layer_mvms: vec![0; engines.len()],
@@ -111,6 +145,19 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             sentinels: 0,
             layer_sentinels: vec![0; engines.len()],
         }
+    }
+
+    /// A context whose weight layers lower whole batches through
+    /// [`CrossbarEngine::matmul_into`] — the batched hot path used by
+    /// sessions, `forward_batched` and the parallel workers.
+    fn new_batched(
+        engines: &'a [E],
+        perms: &'a [Option<Vec<usize>>],
+        layer_input_bits: &'a [u32],
+    ) -> Self {
+        let mut ctx = Self::new(engines, perms, layer_input_bits);
+        ctx.use_matmul = true;
+        ctx
     }
 
     /// Runs the full layer stack on a `[N, ...]` batch.
@@ -178,21 +225,20 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
         self.layer_mvms[idx] += 1;
     }
 
+    /// [`record`](Self::record) for one batched `matmul_into` call
+    /// covering `mvms` matrix-vector activations.
+    fn record_batch(&mut self, idx: usize, stats: E::Stats, mvms: u64) {
+        self.stats.merge(stats);
+        self.layer_stats[idx].merge(stats);
+        self.layer_mvms[idx] += mvms;
+    }
+
     /// Output-range sentinel: counts MVM outputs whose magnitude exceeds
     /// what the layer's pristine mapping can nominally produce at this
     /// input scale. Clean silicon never trips it; stuck-high cells and
     /// offset/sign corruption can.
     fn check_sentinels(&mut self, idx: usize, input_scale: f32) {
-        let Some(ceiling) = self.ceilings[idx] else {
-            return;
-        };
-        let bound = ceiling * f64::from(input_scale) * SENTINEL_SLACK;
-        let mut hits = 0u64;
-        for &v in &self.mvm_out {
-            if !v.is_finite() || f64::from(v).abs() > bound {
-                hits += 1;
-            }
-        }
+        let hits = sentinel_hits(self.ceilings[idx], input_scale, &self.mvm_out);
         if hits > 0 {
             self.sentinels += hits;
             self.layer_sentinels[idx] += hits;
@@ -216,6 +262,9 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
         geom: &Conv2dGeometry,
         bias: &Tensor,
     ) -> Tensor {
+        if self.use_matmul {
+            return self.conv_forward_batched(idx, x, geom, bias);
+        }
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let f = bias.len();
         let chw = c * h * w;
@@ -253,7 +302,78 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
         out
     }
 
+    /// Batched conv lowering: the whole `[N, ...]` batch is im2col'd and
+    /// quantized per sample (each sample keeps its own activation scale,
+    /// exactly as the per-sample path), every output position's code
+    /// column is gathered and permuted, and the layer executes as *one*
+    /// [`CrossbarEngine::matmul_into`] call over `N × positions` columns.
+    /// Outputs, merged statistics and per-column sentinel checks are
+    /// bitwise identical to the per-sample path.
+    fn conv_forward_batched(
+        &mut self,
+        idx: usize,
+        x: &Tensor,
+        geom: &Conv2dGeometry,
+        bias: &Tensor,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let f = bias.len();
+        let chw = c * h * w;
+        let positions = geom.out_positions();
+        let patch = geom.patch_len();
+        let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+        let engine = &self.engines[idx];
+        let out_len = engine.output_len();
+        let ncols = n * positions;
+        self.batch_codes.clear();
+        self.batch_scales.clear();
+        for s in 0..n {
+            let mut buf = std::mem::take(&mut self.sample);
+            buf.clear();
+            buf.extend_from_slice(&x.data()[s * chw..(s + 1) * chw]);
+            let sample = Tensor::from_vec(buf, &[c, h, w]);
+            let cols = im2col(&sample, geom);
+            self.sample = sample.into_vec();
+            let q = self.quantize_activations(idx, &cols);
+            let scale = q.spec().scale();
+            for p in 0..positions {
+                self.codes.clear();
+                self.codes
+                    .extend((0..patch).map(|r| q.codes()[r * positions + p]));
+                self.permute_codes(idx);
+                self.batch_codes.extend_from_slice(&self.codes);
+                self.batch_scales.push(scale);
+            }
+        }
+        self.batch_out.clear();
+        self.batch_out.resize(ncols * out_len, 0.0);
+        let stats = engine.matmul_into(
+            &self.batch_codes,
+            &self.batch_scales,
+            &mut self.scratch,
+            &mut self.batch_out,
+        );
+        self.record_batch(idx, stats, ncols as u64);
+        let ceiling = self.ceilings[idx];
+        let mut hits = 0u64;
+        for (col, out_col) in self.batch_out.chunks_exact(out_len).enumerate() {
+            hits += sentinel_hits(ceiling, self.batch_scales[col], out_col);
+            let (s, p) = (col / positions, col % positions);
+            for (fi, &v) in out_col.iter().enumerate() {
+                out.data_mut()[(s * f + fi) * positions + p] = v + bias.data()[fi];
+            }
+        }
+        if hits > 0 {
+            self.sentinels += hits;
+            self.layer_sentinels[idx] += hits;
+        }
+        out
+    }
+
     fn linear_forward(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        if self.use_matmul {
+            return self.linear_forward_batched(idx, x, bias);
+        }
         let (n, in_features) = (x.dims()[0], x.dims()[1]);
         let o = bias.len();
         let mut out = Tensor::zeros(&[n, o]);
@@ -278,6 +398,56 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             for (j, &v) in self.mvm_out.iter().enumerate() {
                 out.data_mut()[s * o + j] = v + bias.data()[j];
             }
+        }
+        out
+    }
+
+    /// Batched linear lowering: one
+    /// [`CrossbarEngine::matmul_into`] call over all `N` rows, with
+    /// per-sample quantization scales. Bitwise identical to the
+    /// per-sample path (see
+    /// [`conv_forward_batched`](Self::conv_forward_batched)).
+    fn linear_forward_batched(&mut self, idx: usize, x: &Tensor, bias: &Tensor) -> Tensor {
+        let (n, in_features) = (x.dims()[0], x.dims()[1]);
+        let o = bias.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        let engine = &self.engines[idx];
+        let out_len = engine.output_len();
+        self.batch_codes.clear();
+        self.batch_scales.clear();
+        for s in 0..n {
+            let mut buf = std::mem::take(&mut self.sample);
+            buf.clear();
+            buf.extend_from_slice(&x.data()[s * in_features..(s + 1) * in_features]);
+            let row = Tensor::from_vec(buf, &[in_features]);
+            let q = self.quantize_activations(idx, &row);
+            self.sample = row.into_vec();
+            self.codes.clear();
+            self.codes.extend_from_slice(q.codes());
+            self.permute_codes(idx);
+            self.batch_codes.extend_from_slice(&self.codes);
+            self.batch_scales.push(q.spec().scale());
+        }
+        self.batch_out.clear();
+        self.batch_out.resize(n * out_len, 0.0);
+        let stats = engine.matmul_into(
+            &self.batch_codes,
+            &self.batch_scales,
+            &mut self.scratch,
+            &mut self.batch_out,
+        );
+        self.record_batch(idx, stats, n as u64);
+        let ceiling = self.ceilings[idx];
+        let mut hits = 0u64;
+        for (s, out_col) in self.batch_out.chunks_exact(out_len).enumerate() {
+            hits += sentinel_hits(ceiling, self.batch_scales[s], out_col);
+            for (j, &v) in out_col.iter().enumerate() {
+                out.data_mut()[s * o + j] = v + bias.data()[j];
+            }
+        }
+        if hits > 0 {
+            self.sentinels += hits;
+            self.layer_sentinels[idx] += hits;
         }
         out
     }
@@ -634,11 +804,14 @@ impl<E: CrossbarEngine> Executor<E> {
     /// Opens an inference session: a per-worker handle with its own cloned
     /// digital network and reusable buffers, sharing this executor's mapped
     /// engines immutably. See [`InferenceSession`].
+    /// Sessions lower weight layers through the batched
+    /// [`CrossbarEngine::matmul_into`] hot path (bitwise identical to the
+    /// per-sample path).
     pub fn session(&self) -> InferenceSession<'_, E> {
         InferenceSession {
             layers: self.net.clone().into_layers(),
             plan: &self.plan,
-            ctx: InferenceCtx::new(&self.engines, &self.perms, &self.layer_input_bits),
+            ctx: InferenceCtx::new_batched(&self.engines, &self.perms, &self.layer_input_bits),
         }
     }
 
@@ -716,12 +889,49 @@ impl<E: CrossbarEngine> Executor<E> {
         y
     }
 
+    /// [`forward`](Self::forward) through the batched hot path: every
+    /// weight layer lowers the whole batch and executes as one
+    /// [`CrossbarEngine::matmul_into`] call. Outputs and statistics are
+    /// bitwise identical to [`forward`](Self::forward).
+    pub fn forward_batched(&mut self, x: &Tensor) -> Tensor {
+        let mut layers = std::mem::take(&mut self.net).into_layers();
+        let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
+            let mut ctx =
+                InferenceCtx::new_batched(&self.engines, &self.perms, &self.layer_input_bits);
+            let y = ctx.run(&mut layers, x);
+            (
+                y,
+                ctx.stats,
+                ctx.layer_stats,
+                ctx.layer_mvms,
+                ctx.sentinels,
+                ctx.layer_sentinels,
+            )
+        };
+        self.net = Network::new(layers);
+        self.merge_worker(
+            stats,
+            &layer_stats,
+            &layer_mvms,
+            sentinels,
+            &layer_sentinels,
+        );
+        y
+    }
+
     /// Runs inference on a `[N, ...]` batch with samples distributed over
-    /// worker threads. Every worker shares the same mapped engines
-    /// immutably (crossbar storage is *not* cloned per worker) and clones
-    /// only the digital network for its layer walk, so results are
-    /// identical to [`forward`](Self::forward). Statistics from all
-    /// workers are merged.
+    /// worker threads through an atomic work-stealing cursor: workers
+    /// repeatedly claim the next unprocessed sample range (at most
+    /// `STEAL_TILE_MAX` samples) instead of being assigned one static
+    /// chunk up front, so a worker that lands easy samples keeps pulling
+    /// work while a slow one never stalls the batch. Every worker shares
+    /// the same mapped engines immutably (crossbar storage is *not*
+    /// cloned per worker), clones only the digital network for its layer
+    /// walk, and lowers each stolen range through the batched
+    /// [`CrossbarEngine::matmul_into`] hot path, so results are bitwise
+    /// identical to [`forward`](Self::forward) regardless of worker count
+    /// or steal order. Statistics from all workers are merged (every
+    /// counter is additive, so the merge is order-independent).
     ///
     /// # Panics
     ///
@@ -730,33 +940,43 @@ impl<E: CrossbarEngine> Executor<E> {
         assert!(workers > 0, "need at least one worker");
         let n = x.dims()[0];
         if n == 0 || workers == 1 {
-            return self.forward(x);
+            return self.forward_batched(x);
         }
         let workers = workers.min(n);
         let sample_len = x.len() / n;
         let sample_dims = &x.dims()[1..];
-        let chunk = n.div_ceil(workers);
-        type WorkerResult<S> = (Tensor, S, Vec<S>, Vec<u64>, u64, Vec<u64>);
-        let mut results: Vec<Option<WorkerResult<E::Stats>>> = vec![None; workers];
+        // Steal granularity: ~4 steals per worker to balance ragged
+        // batches, capped so each stolen range still fills an engine tile.
+        let tile = n.div_ceil(workers * 4).clamp(1, STEAL_TILE_MAX);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        type WorkerResult<S> = (S, Vec<S>, Vec<u64>, u64, Vec<u64>);
+        let pieces: std::sync::Mutex<Vec<(usize, Tensor)>> = std::sync::Mutex::new(Vec::new());
+        let worker_stats: std::sync::Mutex<Vec<WorkerResult<E::Stats>>> =
+            std::sync::Mutex::new(Vec::new());
         let (net, engines, perms) = (&self.net, &self.engines, &self.perms);
         let layer_input_bits = &self.layer_input_bits;
+        let (cursor_ref, pieces_ref, stats_ref) = (&cursor, &pieces, &worker_stats);
         std::thread::scope(|scope| {
-            for (w, slot) in results.iter_mut().enumerate() {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                let mut dims = vec![hi - lo];
-                dims.extend_from_slice(sample_dims);
-                let part =
-                    Tensor::from_vec(x.data()[lo * sample_len..hi * sample_len].to_vec(), &dims);
+            for _ in 0..workers {
                 scope.spawn(move || {
                     let mut layers = net.clone().into_layers();
-                    let mut ctx = InferenceCtx::new(engines, perms, layer_input_bits);
-                    let y = ctx.run(&mut layers, &part);
-                    *slot = Some((
-                        y,
+                    let mut ctx = InferenceCtx::new_batched(engines, perms, layer_input_bits);
+                    loop {
+                        let lo = cursor_ref.fetch_add(tile, std::sync::atomic::Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + tile).min(n);
+                        let mut dims = vec![hi - lo];
+                        dims.extend_from_slice(sample_dims);
+                        let part = Tensor::from_vec(
+                            x.data()[lo * sample_len..hi * sample_len].to_vec(),
+                            &dims,
+                        );
+                        let y = ctx.run(&mut layers, &part);
+                        pieces_ref.lock().unwrap().push((lo, y));
+                    }
+                    stats_ref.lock().unwrap().push((
                         ctx.stats,
                         ctx.layer_stats,
                         ctx.layer_mvms,
@@ -766,11 +986,9 @@ impl<E: CrossbarEngine> Executor<E> {
                 });
             }
         });
-        // Stitch outputs back in order.
-        let mut out_data = Vec::new();
-        let mut out_dims: Option<Vec<usize>> = None;
-        for slot in results.into_iter().flatten() {
-            let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = slot;
+        for (stats, layer_stats, layer_mvms, sentinels, layer_sentinels) in
+            worker_stats.into_inner().unwrap()
+        {
             self.merge_worker(
                 stats,
                 &layer_stats,
@@ -778,12 +996,19 @@ impl<E: CrossbarEngine> Executor<E> {
                 sentinels,
                 &layer_sentinels,
             );
+        }
+        // Stitch stolen ranges back into sample order.
+        let mut pieces = pieces.into_inner().unwrap();
+        pieces.sort_unstable_by_key(|(lo, _)| *lo);
+        let mut out_data = Vec::new();
+        let mut out_dims: Option<Vec<usize>> = None;
+        for (_, y) in pieces {
             if out_dims.is_none() {
                 out_dims = Some(y.dims().to_vec());
             }
             out_data.extend_from_slice(y.data());
         }
-        let mut dims = out_dims.expect("at least one worker ran");
+        let mut dims = out_dims.expect("at least one range ran");
         dims[0] = n;
         Tensor::from_vec(out_data, &dims)
     }
@@ -795,7 +1020,11 @@ impl<E: CrossbarEngine> Executor<E> {
 
     /// [`evaluate`](Self::evaluate) with each batch distributed over
     /// `workers` threads via [`forward_parallel`](Self::forward_parallel);
-    /// the accuracy is bitwise identical to the serial run.
+    /// the accuracy is bitwise identical to the serial run. The serial
+    /// case (`workers == 1`) keeps one warm batched inference context
+    /// alive across *all* batches, so the lowering buffers (im2col
+    /// staging, gathered codes, batch outputs) are allocated once per
+    /// evaluation instead of once per batch.
     ///
     /// # Panics
     ///
@@ -812,13 +1041,37 @@ impl<E: CrossbarEngine> Executor<E> {
             return 0.0;
         }
         let mut correct = 0.0;
-        for (x, labels) in data.batches(batch_size) {
-            let logits = if workers == 1 {
-                self.forward(&x)
-            } else {
-                self.forward_parallel(&x, workers)
+        if workers == 1 {
+            // One warm context for the whole evaluation.
+            let mut layers = std::mem::take(&mut self.net).into_layers();
+            let (stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
+                let mut ctx =
+                    InferenceCtx::new_batched(&self.engines, &self.perms, &self.layer_input_bits);
+                for (x, labels) in data.batches(batch_size) {
+                    let logits = ctx.run(&mut layers, &x);
+                    correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+                }
+                (
+                    ctx.stats,
+                    ctx.layer_stats,
+                    ctx.layer_mvms,
+                    ctx.sentinels,
+                    ctx.layer_sentinels,
+                )
             };
-            correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+            self.net = Network::new(layers);
+            self.merge_worker(
+                stats,
+                &layer_stats,
+                &layer_mvms,
+                sentinels,
+                &layer_sentinels,
+            );
+        } else {
+            for (x, labels) in data.batches(batch_size) {
+                let logits = self.forward_parallel(&x, workers);
+                correct += forms_dnn::accuracy(&logits, labels) * labels.len() as f32;
+            }
         }
         correct / data.len() as f32
     }
@@ -996,6 +1249,81 @@ mod tests {
         assert_eq!(serial.stats(), parallel.stats());
         assert_eq!(serial.layer_stats(), parallel.layer_stats());
         assert_eq!(serial.layer_mvms(), parallel.layer_mvms());
+    }
+
+    #[test]
+    fn default_matmul_into_matches_per_sample_matvec_into() {
+        // The trait's default `matmul_into` must be bitwise identical to
+        // looping `matvec_into` — third-party engines that never override
+        // it inherit the batched API contract for free.
+        let net = small_net(21);
+        let exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let engine = &exec.engines()[1];
+        let rows = 64;
+        let nsamples = 5;
+        let codes: Vec<u32> = (0..rows * nsamples)
+            .map(|i| ((i * 13) % 31) as u32)
+            .collect();
+        let scales: Vec<f32> = (0..nsamples).map(|s| 0.1 + 0.02 * s as f32).collect();
+        let out_len = engine.output_len();
+        let mut scratch = DigitalScratch::default();
+        let mut batched = vec![0.0f32; nsamples * out_len];
+        let bstats = engine.matmul_into(&codes, &scales, &mut scratch, &mut batched);
+        let mut expected = vec![0.0f32; nsamples * out_len];
+        let mut estats = DigitalStats::default();
+        for s in 0..nsamples {
+            estats.merge(engine.matvec_into(
+                &codes[s * rows..(s + 1) * rows],
+                scales[s],
+                &mut scratch,
+                &mut expected[s * out_len..(s + 1) * out_len],
+            ));
+        }
+        assert_eq!(batched, expected);
+        assert_eq!(bstats, estats);
+        // Empty batch: no columns, no stats.
+        let empty = engine.matmul_into(&[], &[], &mut scratch, &mut []);
+        assert_eq!(empty, DigitalStats::default());
+    }
+
+    #[test]
+    fn forward_batched_matches_forward_bitwise() {
+        let net = small_net(22);
+        let mut per_sample = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        let mut batched = per_sample.clone();
+        for n in [1usize, 3, 8] {
+            let x = Tensor::from_fn(&[n, 1, 8, 8], |i| ((i * 3 + n) % 13) as f32 / 13.0);
+            let ys = per_sample.forward(&x);
+            let yb = batched.forward_batched(&x);
+            assert_eq!(ys, yb, "batch {n}");
+        }
+        assert_eq!(per_sample.stats(), batched.stats());
+        assert_eq!(per_sample.layer_stats(), batched.layer_stats());
+        assert_eq!(per_sample.layer_mvms(), batched.layer_mvms());
+        assert_eq!(
+            per_sample.sentinel_violations(),
+            batched.sentinel_violations()
+        );
+    }
+
+    #[test]
+    fn work_stealing_parallel_is_bitwise_stable_across_worker_counts() {
+        let net = small_net(23);
+        let serial = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        // Odd batch sizes exercise ragged steal tails.
+        for n in [1usize, 5, 9] {
+            let x = Tensor::from_fn(&[n, 1, 8, 8], |i| ((i * 7 + n) % 11) as f32 / 11.0);
+            let mut reference = serial.clone();
+            let ys = reference.forward(&x);
+            for workers in [1usize, 2, 4] {
+                let mut exec = serial.clone();
+                let yp = exec.forward_parallel(&x, workers);
+                assert_eq!(ys, yp, "n={n} workers={workers}");
+                assert_eq!(reference.stats(), exec.stats(), "n={n} workers={workers}");
+                assert_eq!(reference.layer_stats(), exec.layer_stats());
+                assert_eq!(reference.layer_mvms(), exec.layer_mvms());
+            }
+        }
     }
 
     #[test]

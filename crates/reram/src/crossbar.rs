@@ -122,6 +122,17 @@ pub struct Crossbar {
     /// Hoisted `(g - g_min) / step` per cell, bitwise the terms the raw
     /// read paths compute on the fly.
     dequant: Vec<f64>,
+    /// Integer image of `dequant`, valid only while `integral` holds: the
+    /// batched MVM kernels accumulate these as machine integers instead of
+    /// f64, which is exact (and therefore bitwise identical) because every
+    /// partial sum is an integer well below 2^53.
+    dequant_codes: Vec<u16>,
+    /// Whether every dequantized cell value is *exactly* an in-range
+    /// integer (`0 ..= max_code`). True for any array programmed through
+    /// code paths (including stuck-at faults, which land on conductance
+    /// rails); conductance drift breaks it and routes readers back to the
+    /// f64 path.
+    integral: bool,
     /// Set by `conductances_mut`, cleared by `commit_writes`.
     dirty: bool,
 }
@@ -152,6 +163,8 @@ impl Crossbar {
             conductances: vec![spec.g_min(); rows * cols],
             // Code 0 dequantizes to exactly 0.0.
             dequant: vec![0.0; rows * cols],
+            dequant_codes: vec![0; rows * cols],
+            integral: true,
             dirty: false,
         }
     }
@@ -199,8 +212,21 @@ impl Crossbar {
     pub fn commit_writes(&mut self) {
         let step = self.spec.g_step();
         let g_min = self.spec.g_min();
-        for (d, &g) in self.dequant.iter_mut().zip(&self.conductances) {
-            *d = (g - g_min) / step;
+        let max = f64::from(self.spec.max_code());
+        self.integral = true;
+        for ((d, code), &g) in self
+            .dequant
+            .iter_mut()
+            .zip(&mut self.dequant_codes)
+            .zip(&self.conductances)
+        {
+            let v = (g - g_min) / step;
+            *d = v;
+            if v >= 0.0 && v <= max && v.fract() == 0.0 {
+                *code = v as u16;
+            } else {
+                self.integral = false;
+            }
         }
         self.dirty = false;
     }
@@ -237,7 +263,18 @@ impl Crossbar {
         let idx = row * self.cols + col;
         let g = self.spec.conductance(code);
         self.conductances[idx] = g;
-        self.dequant[idx] = (g - self.spec.g_min()) / self.spec.g_step();
+        let v = (g - self.spec.g_min()) / self.spec.g_step();
+        self.dequant[idx] = v;
+        // Keep the integer image in lockstep. A programmed code usually
+        // dequantizes exactly (conductance() and the division round-trip
+        // through small integers), but an awkward `g_min`/`g_step` pair can
+        // leave float residue — then the whole array conservatively drops
+        // to the f64 path until a full `commit_writes` re-audit.
+        if v >= 0.0 && v <= f64::from(self.spec.max_code()) && v.fract() == 0.0 {
+            self.dequant_codes[idx] = v as u16;
+        } else {
+            self.integral = false;
+        }
     }
 
     /// Reads back the nearest code of one cell.
@@ -382,6 +419,50 @@ impl Crossbar {
             "stale packed read: commit_writes() after conductances_mut()"
         );
         out.copy_from_slice(&self.dequant[row * self.cols..row * self.cols + out.len()]);
+    }
+
+    /// The integer image of the dequantized cell table, row-major, when —
+    /// and only when — every cell dequantizes to an *exact* integer in
+    /// `0 ..= max_code`. `None` otherwise (e.g. after conductance drift).
+    ///
+    /// While `Some`, `table[i] as f64 == dequant(i)` bitwise for every
+    /// cell, so a kernel may accumulate these as machine integers and get
+    /// results identical to the f64 current path: all partial sums are
+    /// exact integers far below 2^53, and a lossless ADC (full scale on
+    /// the top code, range covering the window's maximum current) converts
+    /// such integers to themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if direct conductance writes are pending a
+    /// [`commit_writes`](Self::commit_writes).
+    pub fn integral_dequant_codes(&self) -> Option<&[u16]> {
+        assert!(
+            !self.dirty,
+            "stale packed read: commit_writes() after conductances_mut()"
+        );
+        self.integral.then_some(self.dequant_codes.as_slice())
+    }
+
+    /// Copies the integer dequantized codes of one row's leading
+    /// `out.len()` columns into `out` — the u16 mirror of
+    /// [`dequant_row_into`](Self::dequant_row_into) for integral arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not integral (see
+    /// [`integral_dequant_codes`](Self::integral_dequant_codes)), the row
+    /// is out of bounds, `out.len()` exceeds the column count, or writes
+    /// are pending a [`commit_writes`](Self::commit_writes).
+    pub fn integral_row_into(&self, row: usize, out: &mut [u16]) {
+        assert!(row < self.rows, "row out of bounds");
+        assert!(out.len() <= self.cols, "output wider than the crossbar");
+        assert!(
+            !self.dirty,
+            "stale packed read: commit_writes() after conductances_mut()"
+        );
+        assert!(self.integral, "integral read from a non-integral array");
+        out.copy_from_slice(&self.dequant_codes[row * self.cols..row * self.cols + out.len()]);
     }
 
     /// Current of a single column over a row window, in code units — the
@@ -619,6 +700,64 @@ mod tests {
         let mut out = [0.0; 2];
         xb.dequant_row_into(0, &mut out);
         assert_eq!(out, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn programmed_arrays_expose_integral_codes() {
+        let mut xb = Crossbar::new(4, 3, CellSpec::paper_2bit());
+        xb.program_codes(&[3, 1, 2, 0, 1, 3, 0, 2, 1, 2, 0, 3]);
+        let codes = xb.integral_dequant_codes().expect("programmed = integral");
+        assert_eq!(codes, &[3, 1, 2, 0, 1, 3, 0, 2, 1, 2, 0, 3]);
+        // The integer image matches the f64 table bitwise.
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(f64::from(c), xb.dequant[i]);
+        }
+        let mut row = [0u16; 3];
+        xb.integral_row_into(1, &mut row);
+        assert_eq!(row, [0, 1, 3]);
+    }
+
+    #[test]
+    fn stuck_at_rails_keep_the_array_integral() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[1, 2, 3, 0]);
+        // Stuck-at faults land on conductance rails = exact codes.
+        xb.conductances_mut()[0] = xb.spec().g_max();
+        xb.conductances_mut()[3] = xb.spec().g_min();
+        xb.commit_writes();
+        assert_eq!(xb.integral_dequant_codes(), Some([3, 2, 3, 0].as_slice()));
+    }
+
+    #[test]
+    fn drifted_cells_drop_the_integral_image() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[1, 2, 3, 0]);
+        xb.conductances_mut()[1] *= 1.01; // off-grid conductance
+        xb.commit_writes();
+        assert_eq!(xb.integral_dequant_codes(), None);
+        // Reprogramming restores it.
+        xb.program_codes(&[0, 1, 2, 3]);
+        assert_eq!(xb.integral_dequant_codes(), Some([0, 1, 2, 3].as_slice()));
+    }
+
+    #[test]
+    fn out_of_range_integral_values_are_rejected() {
+        // An integer dequant value above max_code must NOT count as
+        // integral: the lossless-ADC identity only holds in range.
+        let mut xb = Crossbar::new(1, 1, CellSpec::paper_2bit());
+        let over = xb.spec().g_min() + 4.0 * xb.spec().g_step();
+        xb.conductances_mut()[0] = over; // dequantizes to exactly 4.0 > 3
+        xb.commit_writes();
+        assert_eq!(xb.integral_dequant_codes(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packed read")]
+    fn uncommitted_mutation_panics_on_integral_read() {
+        let mut xb = Crossbar::new(2, 2, CellSpec::paper_2bit());
+        xb.program_codes(&[1; 4]);
+        xb.conductances_mut()[0] = 9.0;
+        let _ = xb.integral_dequant_codes();
     }
 
     #[test]

@@ -43,6 +43,70 @@ pub fn pack_bit_planes(codes: &[u32], planes: u32, out: &mut Vec<u64>) -> usize 
     words
 }
 
+/// Packs the bit planes of a *tile* of input vectors in one pass.
+///
+/// `codes` holds `samples` consecutive vectors of `codes.len() / samples`
+/// inputs each (sample-major). The output layout is sample-major too:
+/// sample `s`, plane `p` occupies
+/// `out[(s * planes + p) * words .. (s * planes + p + 1) * words]`, each
+/// identical to what [`pack_bit_planes`] produces for that sample alone.
+/// Returns the words per plane.
+///
+/// This is the batched kernels' front end: one tile of B vectors is packed
+/// once, then every weight fragment/dequant window is swept once per tile
+/// instead of once per sample.
+///
+/// # Panics
+///
+/// Panics if `codes.len()` is not a multiple of `samples` (for
+/// `samples > 0`).
+pub fn pack_tile_bit_planes(
+    codes: &[u32],
+    samples: usize,
+    planes: u32,
+    out: &mut Vec<u64>,
+) -> usize {
+    if samples == 0 {
+        out.clear();
+        return 0;
+    }
+    assert!(
+        codes.len().is_multiple_of(samples),
+        "tile codes must hold whole samples ({} codes over {samples} samples)",
+        codes.len(),
+    );
+    let len = codes.len() / samples;
+    let words = plane_words(len);
+    let stride = planes as usize * words;
+    out.clear();
+    out.resize(samples * stride, 0);
+    let keep = if planes >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << planes) - 1
+    };
+    for (s, sample) in codes.chunks_exact(len).enumerate() {
+        let base = s * stride;
+        for (i, &code) in sample.iter().enumerate() {
+            let (word, bit) = (i / 64, 1u64 << (i % 64));
+            let mut rest = code & keep;
+            while rest != 0 {
+                let p = rest.trailing_zeros() as usize;
+                out[base + p * words + word] |= bit;
+                rest &= rest - 1;
+            }
+        }
+    }
+    words
+}
+
+/// Whether one packed plane drives no input at all — the batched kernels
+/// skip such planes outright (their column currents are identically zero).
+#[inline]
+pub fn plane_is_zero(mask: &[u64]) -> bool {
+    mask.iter().all(|&w| w == 0)
+}
+
 /// Visits the set-bit indices of one packed plane in ascending order.
 #[inline]
 pub fn for_each_set_bit(mask: &[u64], mut f: impl FnMut(usize)) {
@@ -100,6 +164,38 @@ mod tests {
         let mut masks = Vec::new();
         pack_bit_planes(&codes, 3, &mut masks);
         assert_eq!(masks, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn tile_packing_matches_per_sample_packing() {
+        let tile: Vec<u32> = (0..3u32 * 70)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
+        let mut packed = Vec::new();
+        let words = pack_tile_bit_planes(&tile, 3, 10, &mut packed);
+        assert_eq!(words, plane_words(70));
+        let stride = 10 * words;
+        for (s, sample) in tile.chunks_exact(70).enumerate() {
+            let mut solo = Vec::new();
+            assert_eq!(pack_bit_planes(sample, 10, &mut solo), words);
+            assert_eq!(&packed[s * stride..(s + 1) * stride], solo.as_slice());
+        }
+    }
+
+    #[test]
+    fn tile_packing_edge_cases() {
+        let mut out = vec![5u64; 4];
+        assert_eq!(pack_tile_bit_planes(&[], 0, 8, &mut out), 0);
+        assert!(out.is_empty());
+        // One sample degenerates to plain packing.
+        let codes = [0b101u32, 0b011];
+        let mut tile = Vec::new();
+        let mut solo = Vec::new();
+        pack_tile_bit_planes(&codes, 1, 3, &mut tile);
+        pack_bit_planes(&codes, 3, &mut solo);
+        assert_eq!(tile, solo);
+        assert!(plane_is_zero(&[0, 0]));
+        assert!(!plane_is_zero(&[0, 4]));
     }
 
     #[test]

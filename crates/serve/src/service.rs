@@ -17,8 +17,11 @@
 //! that were cancelled or whose deadline already passed — a request past
 //! its latency budget is *rejected, not executed*, because its client has
 //! given up — then run the survivors as one batched forward and fill each
-//! request's response slot. Activation quantization is per-sample, so
-//! batched results are bitwise identical to running each request alone.
+//! request's response slot. Sessions lower every weight layer through the
+//! engines' batched [`matmul_into`](forms_exec::CrossbarEngine::matmul_into)
+//! hot path — one kernel call per layer for the whole admitted batch, with
+//! per-sample activation scales and per-sample sentinel checks — so batched
+//! results are bitwise identical to running each request alone.
 //!
 //! Failure containment: the forward runs under `catch_unwind`, so a
 //! panicking engine fails its batch (every request gets

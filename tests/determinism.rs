@@ -1,12 +1,15 @@
-//! Determinism regression: the executor's parallel batch path must be
-//! bitwise identical to the serial path, for both the FORMS design and the
-//! ISAAC baseline, on a pruned multi-crossbar network.
+//! Determinism regression: the executor's batched (`matmul_into`) and
+//! work-stealing parallel paths must be bitwise identical to the serial
+//! per-sample path, for both the FORMS design and the ISAAC baseline, on
+//! a pruned multi-crossbar network.
 //!
-//! This pins the property the serving layer is built on: distributing
-//! samples across workers (or replicas) can never change a result, because
-//! activation quantization is per-sample and the engines are immutable
-//! during inference. Any future change that introduces batch-global state
-//! into the hot path fails here first.
+//! This pins the property the serving layer is built on: lowering a whole
+//! batch through one blocked kernel call, or distributing samples across
+//! workers (or replicas) with an atomic work-stealing cursor, can never
+//! change a result, because activation quantization is per-sample, column
+//! evaluation order matches the per-sample loop, and the engines are
+//! immutable during inference. Any future change that introduces
+//! batch-global state into the hot path fails here first.
 
 use forms::admm::{
     fragment_signs, polarization_violations, project_polarization, project_structured_pruning,
@@ -63,6 +66,25 @@ where
     let x = batch();
     let mut serial = exec.clone();
     let expected = serial.forward(&x);
+    // The batched lowering (one blocked matmul_into per layer) must be
+    // bitwise identical to the per-sample walk, outputs and stats alike.
+    let mut batched = exec.clone();
+    let got = batched.forward_batched(&x);
+    assert_eq!(
+        got.data(),
+        expected.data(),
+        "{design}: batched outputs not bitwise identical to serial"
+    );
+    assert_eq!(
+        batched.stats(),
+        serial.stats(),
+        "{design}: batched stats diverge from serial"
+    );
+    assert_eq!(
+        batched.layer_mvms(),
+        serial.layer_mvms(),
+        "{design}: batched per-layer MVM counts diverge"
+    );
     for workers in [1, 2, 4] {
         let mut parallel = exec.clone();
         let got = parallel.forward_parallel(&x, workers);
