@@ -51,6 +51,18 @@ echo "== fault-tolerance bench (smoke) =="
 # invariants — and exits non-zero on any violation.
 cargo run --release --offline -p forms-bench --bin faults -- --smoke
 
+echo "== network front-end bench (smoke) =="
+# Drives the open-loop generator through real loopback TCP sockets against
+# the serving layer (FORMS and ISAAC), pairing every point with an
+# in-process baseline, then runs a poisoned-replica storm over one socket;
+# the binary re-validates the BENCH_net.json it writes — schema, the
+# mode's loopback/in-process throughput floor (0.7x full, looser in smoke
+# where CI contention makes saturation throughput noisy), zero wire
+# errors, and the
+# zero-corrupted / Degraded-as-wire-status / quarantine storm invariants —
+# and exits non-zero on any violation.
+cargo run --release --offline -p forms-bench --bin net -- --smoke
+
 echo "== dependency freeze =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be an in-tree forms-* path crate. Anything else means

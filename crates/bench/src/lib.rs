@@ -21,10 +21,12 @@
 
 pub mod experiments;
 pub mod faults;
-pub mod json;
 pub mod mvm;
+pub mod net;
 pub mod quant;
 pub mod report;
 pub mod serve;
 pub mod suite;
 pub mod timing;
+
+pub use forms_serve::json;

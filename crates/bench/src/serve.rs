@@ -27,7 +27,9 @@ use forms_dnn::{Layer, Network, WeightLayerMut};
 use forms_exec::{CrossbarEngine, Executor};
 use forms_reram::CellSpec;
 use forms_rng::StdRng;
-use forms_serve::{run_open_loop, serve, OpenLoopSpec, PacedConfig, PacedEngine, ServeConfig};
+use forms_serve::{
+    run_open_loop, serve, OpenLoopSpec, PacedConfig, PacedEngine, ServeConfig, TelemetrySnapshot,
+};
 use forms_workloads::ActivationModel;
 
 use crate::json::JsonValue;
@@ -138,6 +140,10 @@ pub struct SweepPoint {
     pub expired: usize,
     /// Requests failed by a replica.
     pub failed: usize,
+    /// The service's own final telemetry for this point, rendered into
+    /// the document via [`TelemetrySnapshot::to_json`] as a server-side
+    /// cross-check of the client-observed columns.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Everything a suite run produces.
@@ -184,6 +190,7 @@ impl ServeBenchReport {
                     ("shed", JsonValue::Number(p.shed as f64)),
                     ("expired", JsonValue::Number(p.expired as f64)),
                     ("failed", JsonValue::Number(p.failed as f64)),
+                    ("telemetry", p.telemetry.to_json()),
                 ])
             })
             .collect();
@@ -303,6 +310,7 @@ where
                 shed: report.shed,
                 expired: report.expired,
                 failed: report.failed,
+                telemetry,
             };
             println!(
                 "{:>5} r={} b={}  {:>7.1} req/s  p50 {:>8.1} ms  p99 {:>8.1} ms  shed {:>5.1}%  ({} ok / {} shed)",
@@ -316,7 +324,7 @@ where
                 point.completed,
                 point.shed,
             );
-            assert_eq!(telemetry.failed, 0, "bench engines must not fail");
+            assert_eq!(point.telemetry.failed, 0, "bench engines must not fail");
             points.push(point);
         }
     }
@@ -435,6 +443,16 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
         }
         if num("failed")? != 0.0 {
             return Err(format!("sweep[{i}] recorded engine failures"));
+        }
+        let snapshot = point
+            .get("telemetry")
+            .ok_or_else(|| format!("sweep[{i}] missing `telemetry` snapshot"))?;
+        let parsed = TelemetrySnapshot::from_json(snapshot)
+            .map_err(|e| format!("sweep[{i}].telemetry does not parse as a snapshot: {e}"))?;
+        if parsed.completed as f64 != num("completed")? {
+            return Err(format!(
+                "sweep[{i}].telemetry disagrees with the client-observed completions"
+            ));
         }
     }
     let scaling = doc

@@ -1,12 +1,20 @@
 //! A minimal JSON writer and parser, replacing the former `serde_json`
 //! dependency.
 //!
-//! Only covers what the experiment reports need — strings, numbers, bools,
-//! arrays and objects, pretty-printed with two-space indentation (the same
-//! layout `serde_json::to_string_pretty` produced, so existing result files
-//! stay diffable). [`parse`] is the inverse, used by `ci.sh` (through the
-//! `mvm` bench binary) to verify that emitted `BENCH_*.json` files are
-//! well-formed.
+//! Only covers what the serving telemetry and experiment reports need —
+//! strings, numbers, bools, arrays and objects, pretty-printed with
+//! two-space indentation (the same layout `serde_json::to_string_pretty`
+//! produced, so existing result files stay diffable). [`parse`] is the
+//! inverse, used by `ci.sh` (through the bench binaries) to verify that
+//! emitted `BENCH_*.json` files are well-formed.
+//!
+//! The module lives in `forms-serve` (it started in `forms-bench`, which
+//! still re-exports it as `forms_bench::json`) so that
+//! [`TelemetrySnapshot`](crate::TelemetrySnapshot) can render itself —
+//! [`to_json`](crate::TelemetrySnapshot::to_json) /
+//! [`from_json`](crate::TelemetrySnapshot::from_json) — and the `forms-net`
+//! wire protocol can carry telemetry frames without depending on the
+//! benchmark harness.
 
 use std::fmt::Write as _;
 

@@ -31,6 +31,10 @@
 //!   host-core count.
 //! - [`loadgen`]: seeded open-loop Poisson load generator
 //!   ([`run_open_loop`]) built on `forms-workloads` request traces.
+//! - [`json`]: the workspace's minimal JSON tree ([`json::JsonValue`],
+//!   [`json::parse`]) — hosted here so telemetry snapshots render
+//!   themselves and the `forms-net` metrics frame / bench report writers
+//!   share one schema.
 //! - [`health`]: [`serve_resilient`] — fault-tolerant serving where every
 //!   replica owns an executor clone, polices its fault density and output
 //!   sentinels against a [`HealthPolicy`], rebuilds from the pristine
@@ -71,6 +75,7 @@
 #![forbid(unsafe_code)]
 
 pub mod health;
+pub mod json;
 pub mod loadgen;
 pub mod paced;
 pub mod queue;

@@ -112,9 +112,20 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: future pushes fail, consumers drain what remains
     /// and then see end-of-stream. Wakes *all* waiting consumers so none
     /// sleeps through shutdown.
-    pub fn close(&self) {
-        self.lock().closed = true;
+    ///
+    /// Idempotent and race-free: any number of threads may call `close`
+    /// concurrently with producers and draining consumers — every item
+    /// either drains to exactly one consumer or bounces back to its
+    /// producer as [`PushError::Closed`], never both and never neither.
+    /// Returns `true` for the call that actually closed the queue, `false`
+    /// for every later (redundant) call.
+    pub fn close(&self) -> bool {
+        let mut state = self.lock();
+        let first = !state.closed;
+        state.closed = true;
+        drop(state);
         self.not_empty.notify_all();
+        first
     }
 
     /// Pops the next batch into `out` (cleared first): blocks until at
@@ -336,6 +347,105 @@ mod tests {
             q.close();
         });
         assert_eq!(woke.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn close_is_idempotent_across_racing_threads() {
+        let q = BoundedQueue::<u32>::new(4);
+        let first_closes = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (qref, cref) = (&q, &first_closes);
+                scope.spawn(move || {
+                    if qref.close() {
+                        cref.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // A second close from the same thread is a no-op too.
+                    assert!(!qref.close());
+                });
+            }
+        });
+        assert_eq!(
+            first_closes.load(Ordering::SeqCst),
+            1,
+            "exactly one close call wins"
+        );
+        assert!(q.is_closed());
+    }
+
+    /// The ticket-conservation contract under a shutdown race: producers
+    /// hammer `try_push` while one thread calls `close()` mid-drain and
+    /// consumers drain batches. Every pushed item must resolve exactly
+    /// once — drained by one consumer XOR handed back to its producer —
+    /// with no panic, no loss, and no double-resolution.
+    #[test]
+    fn concurrent_close_and_push_resolves_every_ticket_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 400;
+        for round in 0..8u64 {
+            let q = BoundedQueue::new(8);
+            let drained = std::sync::Mutex::new(Vec::new());
+            let bounced = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for p in 0..PRODUCERS {
+                    let (qref, bref) = (&q, &bounced);
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..PER_PRODUCER {
+                            let ticket = p * PER_PRODUCER + i;
+                            match qref.try_push(ticket) {
+                                Ok(()) => {}
+                                // Full: retry until admitted or closed, so
+                                // the race window with close() stays open.
+                                Err(PushError::Full(t)) => {
+                                    let mut t = t;
+                                    loop {
+                                        std::thread::yield_now();
+                                        match qref.try_push(t) {
+                                            Ok(()) => break,
+                                            Err(PushError::Full(back)) => t = back,
+                                            Err(PushError::Closed(back)) => {
+                                                mine.push(back);
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(PushError::Closed(t)) => mine.push(t),
+                            }
+                        }
+                        bref.lock().unwrap().append(&mut mine);
+                    });
+                }
+                for _ in 0..2 {
+                    let (qref, dref) = (&q, &drained);
+                    scope.spawn(move || {
+                        let mut batch = Vec::new();
+                        let mut mine = Vec::new();
+                        while qref.pop_batch(4, Duration::from_micros(200), &mut batch) {
+                            mine.append(&mut batch);
+                        }
+                        dref.lock().unwrap().append(&mut mine);
+                    });
+                }
+                // Close mid-flight, racing both producers and consumers;
+                // a redundant second close must change nothing.
+                let qref = &q;
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_micros(500 * (round + 1)));
+                    qref.close();
+                    qref.close();
+                });
+            });
+            let mut all: Vec<usize> = drained.into_inner().unwrap();
+            all.extend(bounced.into_inner().unwrap());
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+            assert_eq!(
+                all, expected,
+                "round {round}: every ticket resolved exactly once"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Duration;
 
+use crate::json::JsonValue;
+
 /// Number of histogram buckets.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 /// Lower edge of bucket 1 in nanoseconds (bucket 0 catches everything
@@ -90,7 +92,7 @@ impl AtomicHistogram {
 }
 
 /// An immutable copy of the histogram counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts.
     pub buckets: [u64; HISTOGRAM_BUCKETS],
@@ -243,7 +245,7 @@ impl Telemetry {
 }
 
 /// A consistent-enough copy of the telemetry counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
     /// Requests offered to `submit`.
     pub submitted: u64,
@@ -272,6 +274,75 @@ pub struct TelemetrySnapshot {
     pub plan: String,
 }
 
+/// Reads a non-negative integer counter (stored as a JSON number) from an
+/// object field. Counters fit `f64` exactly up to 2^53, far beyond any
+/// realistic request count.
+fn counter(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    let v = doc
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric `{key}`"))?;
+    if !(v.is_finite() && v >= 0.0 && v.fract() == 0.0) {
+        return Err(format!("`{key}` must be a non-negative integer"));
+    }
+    Ok(v as u64)
+}
+
+impl HistogramSnapshot {
+    /// Renders the histogram as a JSON object (`buckets`, `count`,
+    /// `sum_ns`, `max_ns`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "buckets",
+                JsonValue::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&c| JsonValue::Number(c as f64))
+                        .collect(),
+                ),
+            ),
+            ("count", JsonValue::Number(self.count as f64)),
+            ("sum_ns", JsonValue::Number(self.sum_ns as f64)),
+            ("max_ns", JsonValue::Number(self.max_ns as f64)),
+        ])
+    }
+
+    /// Parses a histogram previously rendered by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let buckets = doc
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing `buckets` array")?;
+        if buckets.len() != HISTOGRAM_BUCKETS {
+            return Err(format!(
+                "expected {HISTOGRAM_BUCKETS} buckets, found {}",
+                buckets.len()
+            ));
+        }
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter().enumerate() {
+            let v = b
+                .as_f64()
+                .ok_or_else(|| format!("bucket {i} is not a number"))?;
+            if !(v.is_finite() && v >= 0.0 && v.fract() == 0.0) {
+                return Err(format!("bucket {i} must be a non-negative integer"));
+            }
+            out[i] = v as u64;
+        }
+        Ok(Self {
+            buckets: out,
+            count: counter(doc, "count")?,
+            sum_ns: counter(doc, "sum_ns")?,
+            max_ns: counter(doc, "max_ns")?,
+        })
+    }
+}
+
 impl TelemetrySnapshot {
     /// Fraction of offered requests that were shed (0 when none offered).
     pub fn shed_rate(&self) -> f64 {
@@ -285,6 +356,57 @@ impl TelemetrySnapshot {
     /// Requests with a recorded terminal outcome.
     pub fn resolved(&self) -> u64 {
         self.completed + self.shed + self.expired + self.cancelled + self.failed + self.degraded
+    }
+
+    /// Renders the snapshot as a JSON object — the single schema shared by
+    /// the `forms-net` telemetry wire frame and the bench report writers.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("submitted", JsonValue::Number(self.submitted as f64)),
+            ("completed", JsonValue::Number(self.completed as f64)),
+            ("shed", JsonValue::Number(self.shed as f64)),
+            ("expired", JsonValue::Number(self.expired as f64)),
+            ("cancelled", JsonValue::Number(self.cancelled as f64)),
+            ("failed", JsonValue::Number(self.failed as f64)),
+            ("degraded", JsonValue::Number(self.degraded as f64)),
+            ("rebuilds", JsonValue::Number(self.rebuilds as f64)),
+            ("quarantines", JsonValue::Number(self.quarantines as f64)),
+            (
+                "faults_injected",
+                JsonValue::Number(self.faults_injected as f64),
+            ),
+            ("latency", self.latency.to_json()),
+            ("plan", JsonValue::String(self.plan.clone())),
+        ])
+    }
+
+    /// Parses a snapshot previously rendered by [`to_json`](Self::to_json)
+    /// — the inverse used by consumers of the `forms-net` metrics frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            submitted: counter(doc, "submitted")?,
+            completed: counter(doc, "completed")?,
+            shed: counter(doc, "shed")?,
+            expired: counter(doc, "expired")?,
+            cancelled: counter(doc, "cancelled")?,
+            failed: counter(doc, "failed")?,
+            degraded: counter(doc, "degraded")?,
+            rebuilds: counter(doc, "rebuilds")?,
+            quarantines: counter(doc, "quarantines")?,
+            faults_injected: counter(doc, "faults_injected")?,
+            latency: HistogramSnapshot::from_json(
+                doc.get("latency").ok_or("missing `latency` object")?,
+            )?,
+            plan: doc
+                .get("plan")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing string `plan`")?
+                .to_string(),
+        })
     }
 }
 
@@ -378,6 +500,87 @@ mod tests {
         assert_eq!(t.plan(), "mixed w4-8/a8-16 (5 layers)");
         assert_eq!(t.snapshot().plan, "mixed w4-8/a8-16 (5 layers)");
         assert_eq!(Telemetry::tagged(String::new()).snapshot().plan, "");
+    }
+
+    /// A snapshot with arbitrary counters, histogram contents and plan
+    /// tag — including empty and unicode-heavy plans.
+    fn arbitrary_snapshot(rng: &mut forms_rng::StdRng) -> TelemetrySnapshot {
+        use forms_rng::Rng;
+        let mut counter = |hi: u64| rng.next_u64() % hi;
+        let submitted = counter(1 << 40);
+        let mut latency = HistogramSnapshot {
+            buckets: [0u64; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: counter(1 << 50),
+        };
+        for b in latency.buckets.iter_mut() {
+            *b = counter(1 << 20);
+        }
+        latency.count = latency.buckets.iter().sum();
+        latency.sum_ns = counter(1 << 52);
+        const PLANS: &[&str] = &[
+            "",
+            "uniform w8/a16",
+            "mixed w4-8/a8-16 (5 layers)",
+            "µ\"p\\n",
+        ];
+        TelemetrySnapshot {
+            submitted,
+            completed: counter(1 << 40),
+            shed: counter(1 << 32),
+            expired: counter(1 << 32),
+            cancelled: counter(1 << 32),
+            failed: counter(1 << 32),
+            degraded: counter(1 << 32),
+            rebuilds: counter(1 << 16),
+            quarantines: counter(1 << 8),
+            faults_injected: counter(1 << 16),
+            latency,
+            plan: PLANS[counter(PLANS.len() as u64) as usize].to_string(),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_on_arbitrary_telemetry() {
+        use forms_rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(0x7E1E_0502);
+        for case in 0..200 {
+            let snapshot = arbitrary_snapshot(&mut rng);
+            let doc = snapshot.to_json();
+            let text = doc.pretty();
+            let reparsed = crate::json::parse(&text)
+                .unwrap_or_else(|e| panic!("case {case}: emitted invalid JSON: {e}\n{text}"));
+            let back = TelemetrySnapshot::from_json(&reparsed)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, snapshot, "case {case} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn snapshot_from_json_rejects_malformed_documents() {
+        let good = Telemetry::tagged("uniform w8/a16".into())
+            .snapshot()
+            .to_json();
+        assert!(TelemetrySnapshot::from_json(&good).is_ok());
+        let JsonValue::Object(fields) = &good else {
+            panic!("snapshot renders an object")
+        };
+        for (key, _) in fields {
+            let broken =
+                JsonValue::Object(fields.iter().filter(|(k, _)| k != key).cloned().collect());
+            assert!(
+                TelemetrySnapshot::from_json(&broken).is_err(),
+                "accepted document without `{key}`"
+            );
+        }
+        // Negative and fractional counters are rejected, not truncated.
+        for bad in [-1.0, 0.5, f64::NAN] {
+            let mut fields = fields.clone();
+            fields[0].1 = JsonValue::Number(bad);
+            assert!(TelemetrySnapshot::from_json(&JsonValue::Object(fields)).is_err());
+        }
+        assert!(TelemetrySnapshot::from_json(&JsonValue::Null).is_err());
     }
 
     #[test]

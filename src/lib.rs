@@ -19,6 +19,8 @@
 //! - [`workloads`] — activation generators, EIC statistics, request traces
 //! - [`serve`] — batched multi-replica inference serving (queues,
 //!   deadlines, telemetry, open-loop load generation)
+//! - [`net`] — TCP front-end for the serving layer (binary wire
+//!   protocol, blocking loopback/LAN server, pipelined client)
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub use forms_baselines as baselines;
 pub use forms_dnn as dnn;
 pub use forms_exec as exec;
 pub use forms_hwmodel as hwmodel;
+pub use forms_net as net;
 pub use forms_reram as reram;
 pub use forms_rng as rng;
 pub use forms_serve as serve;
