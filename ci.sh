@@ -43,6 +43,26 @@ echo "== serving-layer bench (smoke) =="
 # replica-scaling floor; the binary exits non-zero on any violation.
 cargo run --release --offline -p forms-bench --bin serve -- --smoke
 
+echo "== observability smoke gate =="
+# Every sweep point embeds a full TelemetrySnapshot with per-stage
+# histograms (the bench already asserts a live to_json/from_json
+# round-trip before writing, and validate() re-checks the stage-sum
+# telescoping). Belt and braces: fail fast if the written document
+# carries no per-stage samples at all.
+awk '
+    /"(queue_wait|batch_form|execute|respond)": \{/ { stage = 1; next }
+    stage && /"count":/ {
+        v = $2; gsub(/[^0-9]/, "", v)
+        if (v + 0 > 0) nonzero += 1
+        stage = 0
+    }
+    END { exit !(nonzero >= 4) }
+' BENCH_serve.json || {
+    echo "BENCH_serve.json telemetry has no non-zero stage histograms" >&2
+    exit 1
+}
+echo "ok: BENCH_serve.json carries non-zero per-stage histograms"
+
 echo "== fault-tolerance bench (smoke) =="
 # Sweeps stuck-at fault rates through the packed path for FORMS and ISAAC,
 # then runs a poisoned-replica serving storm; the binary re-validates the

@@ -35,15 +35,12 @@ use forms_arch::{MappedLayer, MappingConfig};
 use forms_baselines::{IsaacConfig, IsaacLayer};
 use forms_dnn::{Layer, Network, WeightLayerMut};
 use forms_exec::{CrossbarEngine, Executor, FaultCampaign};
-use forms_net::{
-    serve_net, serve_net_resilient, ClientConfig, NetClient, NetConfig, NetResilientConfig,
-    WireStatus,
-};
+use forms_net::{serve_net, serve_net_resilient, ClientConfig, NetClient, NetConfig, WireStatus};
 use forms_reram::CellSpec;
 use forms_rng::StdRng;
 use forms_serve::{
-    run_open_loop, serve, HealthPolicy, OpenLoopSpec, PacedConfig, PacedEngine, ServeConfig,
-    TelemetrySnapshot,
+    run_open_loop, serve, HealthPolicy, OpenLoopSpec, PacedConfig, PacedEngine, ResilientConfig,
+    ServeConfig, TelemetrySnapshot,
 };
 use forms_tensor::Tensor;
 use forms_workloads::{poisson_arrivals, synth_request, ActivationModel};
@@ -193,6 +190,10 @@ pub struct NetPoint {
     pub degraded: usize,
     /// Client-side transport/protocol failures — must be zero.
     pub wire_errors: usize,
+    /// Final server-side telemetry of the point, including per-stage
+    /// histograms and per-layer attribution, rendered into the document
+    /// via [`TelemetrySnapshot::to_json`].
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl NetPoint {
@@ -272,6 +273,7 @@ impl NetBenchReport {
                     ("expired", JsonValue::Number(p.expired as f64)),
                     ("degraded", JsonValue::Number(p.degraded as f64)),
                     ("wire_errors", JsonValue::Number(p.wire_errors as f64)),
+                    ("telemetry", p.telemetry.to_json()),
                 ])
             })
             .collect();
@@ -451,8 +453,8 @@ where
     E: CrossbarEngine,
     E::Stats: Sync,
 {
-    let config = NetConfig {
-        serve: spec.serve_config(replicas),
+    let serve_config = spec.serve_config(replicas);
+    let net_config = NetConfig {
         // Roomy in-flight window: the open-loop schedule must never stall
         // on the backpressure bound, or the measurement degenerates into
         // a closed loop.
@@ -461,31 +463,32 @@ where
     };
     let base = spec.requests / connections;
     let extra = spec.requests % connections;
-    let ((outcomes, elapsed), _telemetry) = serve_net(executor, &[spec.rows], &config, |net| {
-        let addr = net.addr();
-        let started = Instant::now();
-        let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..connections)
-                .map(|c| {
-                    let requests = base + usize::from(c < extra);
-                    let rate = spec.rate_rps / connections as f64;
-                    let seed = 0x11E7 ^ ((replicas as u64) << 16) ^ ((c as u64) << 4);
-                    scope.spawn(move || drive_connection(addr, spec, seed, requests, rate))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| ConnOutcome {
-                        wire_errors: base + 1,
-                        ..ConnOutcome::default()
+    let ((outcomes, elapsed), telemetry) =
+        serve_net(executor, &[spec.rows], &serve_config, &net_config, |net| {
+            let addr = net.addr();
+            let started = Instant::now();
+            let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..connections)
+                    .map(|c| {
+                        let requests = base + usize::from(c < extra);
+                        let rate = spec.rate_rps / connections as f64;
+                        let seed = 0x11E7 ^ ((replicas as u64) << 16) ^ ((c as u64) << 4);
+                        scope.spawn(move || drive_connection(addr, spec, seed, requests, rate))
                     })
-                })
-                .collect()
-        });
-        (outcomes, started.elapsed())
-    })
-    .expect("loopback listener binds");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| ConnOutcome {
+                            wire_errors: base + 1,
+                            ..ConnOutcome::default()
+                        })
+                    })
+                    .collect()
+            });
+            (outcomes, started.elapsed())
+        })
+        .expect("loopback listener binds");
     let mut point = NetPoint {
         design,
         replicas,
@@ -499,6 +502,7 @@ where
         expired: 0,
         degraded: 0,
         wire_errors: 0,
+        telemetry,
     };
     let mut ns: Vec<f64> = Vec::new();
     for o in outcomes {
@@ -619,16 +623,13 @@ fn run_storm(spec: &NetBenchSpec) -> NetStormResult {
         .clone()
         .forward(&Tensor::from_vec(request.clone(), &[1, spec.rows]))
         .into_vec();
-    let config = NetResilientConfig {
-        net: NetConfig {
-            serve: ServeConfig {
-                replicas,
-                queue_capacity: spec.storm_requests.max(4),
-                max_batch: 2,
-                max_delay: Duration::from_micros(200),
-                default_deadline: None,
-            },
-            ..NetConfig::default()
+    let config = ResilientConfig {
+        serve: ServeConfig {
+            replicas,
+            queue_capacity: spec.storm_requests.max(4),
+            max_batch: 2,
+            max_delay: Duration::from_micros(200),
+            default_deadline: None,
         },
         policy: HealthPolicy {
             // Tolerate the raw density so the sentinel path (not the
@@ -642,8 +643,12 @@ fn run_storm(spec: &NetBenchSpec) -> NetStormResult {
     let poison = FaultCampaign::stuck_at(0x570_12A, 0.0, 0.35);
     let warmup = spec.storm_requests / 3;
     let max_waves = 400;
-    let ((requests, ok_outputs, degraded, wire_errors), telemetry) =
-        serve_net_resilient(&pristine, &[spec.rows], &config, |net, faults| {
+    let ((requests, ok_outputs, degraded, wire_errors), telemetry) = serve_net_resilient(
+        &pristine,
+        &[spec.rows],
+        &config,
+        &NetConfig::default(),
+        |net, faults| {
             let addr = net.addr();
             let service = net.service().clone();
             let request = &request;
@@ -685,8 +690,9 @@ fn run_storm(spec: &NetBenchSpec) -> NetStormResult {
                 });
                 worker.join().expect("storm client thread")
             })
-        })
-        .expect("storm listener binds");
+        },
+    )
+    .expect("storm listener binds");
     let corrupted = ok_outputs.iter().filter(|o| **o != clean).count();
     println!(
         "storm: {} requests over one socket -> {} completed ({} corrupted), {} degraded statuses, {} wire errors, {} quarantined",
@@ -827,6 +833,13 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
         if num("wire_errors")? != 0.0 {
             return Err(format!("sweep[{i}] recorded wire errors"));
         }
+        let snapshot = point
+            .get("telemetry")
+            .ok_or_else(|| format!("sweep[{i}] missing `telemetry` snapshot"))?;
+        let parsed = TelemetrySnapshot::from_json(snapshot)
+            .map_err(|e| format!("sweep[{i}].telemetry does not parse as a snapshot: {e}"))?;
+        crate::serve::validate_stage_breakdown(&parsed)
+            .map_err(|e| format!("sweep[{i}].telemetry: {e}"))?;
     }
     if !(designs_seen.0 && designs_seen.1) {
         return Err("sweep must cover both FORMS and ISAAC".into());
@@ -861,6 +874,7 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
     if parsed.degraded as f64 != num("degraded")? {
         return Err("`storm.telemetry` disagrees with the storm counters".into());
     }
+    crate::serve::validate_stage_breakdown(&parsed).map_err(|e| format!("storm.telemetry: {e}"))?;
     Ok(())
 }
 

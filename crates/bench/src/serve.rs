@@ -286,6 +286,14 @@ where
             let (report, telemetry) = serve(executor, &[spec.rows], &config, |handle| {
                 run_open_loop(handle, &load)
             });
+            // Live round-trip gate: the snapshot this point embeds must
+            // survive its own JSON rendering bit-for-bit.
+            let rendered = telemetry.to_json().pretty();
+            let reparsed = TelemetrySnapshot::from_json(
+                &crate::json::parse(&rendered).expect("telemetry renders valid JSON"),
+            )
+            .expect("telemetry JSON parses back");
+            assert_eq!(reparsed, telemetry, "telemetry JSON round-trip drifted");
             // Exact client-side percentiles from the sorted samples, plus
             // the bucketed mean as a cross-check aggregate.
             let ns: Vec<f64> = report
@@ -454,10 +462,60 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
                 "sweep[{i}].telemetry disagrees with the client-observed completions"
             ));
         }
+        validate_stage_breakdown(&parsed).map_err(|e| format!("sweep[{i}].telemetry: {e}"))?;
     }
     let scaling = doc
         .get("throughput_scaling_1_to_max_replicas")
         .ok_or("missing `throughput_scaling_1_to_max_replicas`")?;
+    validate_scaling_entries(scaling, mode)?;
+    Ok(())
+}
+
+/// Checks one embedded snapshot's per-stage breakdown: every stage saw
+/// every completion, percentiles are ordered, the per-stage sums
+/// telescope to the end-to-end latency sum within 1%, and per-layer
+/// attribution is populated whenever work completed.
+///
+/// # Errors
+///
+/// Returns a description of the first violated stage invariant.
+pub fn validate_stage_breakdown(snapshot: &TelemetrySnapshot) -> Result<(), String> {
+    if snapshot.completed == 0 {
+        return Ok(());
+    }
+    let mut stage_sum = 0u64;
+    for (stage, name) in snapshot
+        .stages
+        .in_order()
+        .into_iter()
+        .zip(forms_serve::STAGE_NAMES)
+    {
+        if stage.count != snapshot.completed {
+            return Err(format!(
+                "stage `{name}` saw {} samples but {} requests completed",
+                stage.count, snapshot.completed
+            ));
+        }
+        if stage.p50_ns() > stage.p99_ns() + 1e-9 {
+            return Err(format!("stage `{name}` percentiles out of order"));
+        }
+        stage_sum = stage_sum.saturating_add(stage.sum_ns);
+    }
+    let end_to_end = snapshot.latency.sum_ns;
+    let drift = stage_sum.abs_diff(end_to_end) as f64;
+    if drift > end_to_end as f64 * 0.01 {
+        return Err(format!(
+            "stage sums ({stage_sum} ns) do not telescope to the end-to-end \
+             latency sum ({end_to_end} ns) within 1%"
+        ));
+    }
+    if !snapshot.layers.iter().any(|l| l.mvms > 0 && l.wall_ns > 0) {
+        return Err("per-layer attribution is empty despite completed requests".into());
+    }
+    Ok(())
+}
+
+fn validate_scaling_entries(scaling: &JsonValue, mode: &str) -> Result<(), String> {
     let floor = scaling_floor(mode);
     for design in ["FORMS", "ISAAC"] {
         let s = scaling

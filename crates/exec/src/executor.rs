@@ -72,6 +72,9 @@ pub struct Executor<E: CrossbarEngine> {
     layer_stats: Vec<E::Stats>,
     /// Matrix-vector activations per weight layer since the last reset.
     layer_mvms: Vec<u64>,
+    /// Wall-clock nanoseconds spent inside each weight layer's analog
+    /// lowering since the last reset (host-measured, not modeled).
+    layer_wall_ns: Vec<u64>,
     /// Output-range sentinel violations since the last reset.
     sentinels: u64,
     /// Sentinel violations per weight layer since the last reset.
@@ -114,6 +117,10 @@ struct InferenceCtx<'a, E: CrossbarEngine> {
     stats: E::Stats,
     layer_stats: Vec<E::Stats>,
     layer_mvms: Vec<u64>,
+    /// Wall-clock nanoseconds this context spent inside each weight
+    /// layer's analog lowering (conv/linear dispatch, including
+    /// quantization and code gathering).
+    layer_wall_ns: Vec<u64>,
     /// Per-layer pristine output ceilings (in code×step units, before the
     /// input scale), cached once at context construction.
     ceilings: Vec<Option<f64>>,
@@ -141,6 +148,7 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); engines.len()],
             layer_mvms: vec![0; engines.len()],
+            layer_wall_ns: vec![0; engines.len()],
             ceilings: engines.iter().map(E::output_ceiling).collect(),
             sentinels: 0,
             layer_sentinels: vec![0; engines.len()],
@@ -185,13 +193,13 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
                     conv.padding(),
                 );
                 let bias = conv.bias().value.clone();
-                self.conv_forward(idx, x, &geom, &bias)
+                self.timed(idx, |ctx| ctx.conv_forward(idx, x, &geom, &bias))
             }
             Layer::Linear(lin) => {
                 let idx = *widx;
                 *widx += 1;
                 let bias = lin.bias().value.clone();
-                self.linear_forward(idx, x, &bias)
+                self.timed(idx, |ctx| ctx.linear_forward(idx, x, &bias))
             }
             Layer::Residual(block) => {
                 let mut y = x.clone();
@@ -207,6 +215,17 @@ impl<'a, E: CrossbarEngine> InferenceCtx<'a, E> {
             }
             other => other.forward(x, false),
         }
+    }
+
+    /// Runs one weight layer's lowering under a wall-clock stopwatch,
+    /// attributing the elapsed nanoseconds to layer `idx`. Wall time is
+    /// host-measured and non-deterministic, so it lives outside
+    /// `E::Stats` and is never part of bitwise-equality contracts.
+    fn timed(&mut self, idx: usize, f: impl FnOnce(&mut Self) -> Tensor) -> Tensor {
+        let t0 = std::time::Instant::now();
+        let y = f(self);
+        self.layer_wall_ns[idx] += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        y
     }
 
     /// Quantizes an activation tensor at weight layer `idx`'s input width
@@ -514,6 +533,14 @@ impl<E: CrossbarEngine> InferenceSession<'_, E> {
         &self.ctx.layer_mvms
     }
 
+    /// Wall-clock nanoseconds this session spent inside each weight
+    /// layer's analog lowering — the profiling hook the serving layer's
+    /// per-layer attribution reads between batches. Host-measured, so it
+    /// is *not* part of any bitwise-equality contract.
+    pub fn layer_wall_ns(&self) -> &[u64] {
+        &self.ctx.layer_wall_ns
+    }
+
     /// Output-range sentinel violations observed by this session.
     pub fn sentinel_violations(&self) -> u64 {
         self.ctx.sentinels
@@ -673,6 +700,7 @@ impl<E: CrossbarEngine> Executor<E> {
             stats: E::Stats::default(),
             layer_stats: vec![E::Stats::default(); count],
             layer_mvms: vec![0; count],
+            layer_wall_ns: vec![0; count],
             sentinels: 0,
             layer_sentinels: vec![0; count],
         })
@@ -732,6 +760,14 @@ impl<E: CrossbarEngine> Executor<E> {
         &self.layer_mvms
     }
 
+    /// Wall-clock nanoseconds spent inside each weight layer's analog
+    /// lowering since the last reset. Host-measured profiling data — it
+    /// accumulates alongside the stats registry but is never part of a
+    /// bitwise-equality contract.
+    pub fn layer_wall_ns(&self) -> &[u64] {
+        &self.layer_wall_ns
+    }
+
     /// Output-range sentinel violations since the last reset: MVM outputs
     /// whose magnitude exceeded the pristine mapping's nominal ceiling
     /// (see [`CrossbarEngine::output_ceiling`]).
@@ -758,6 +794,7 @@ impl<E: CrossbarEngine> Executor<E> {
         self.stats = E::Stats::default();
         self.layer_stats = vec![E::Stats::default(); self.engines.len()];
         self.layer_mvms = vec![0; self.engines.len()];
+        self.layer_wall_ns = vec![0; self.engines.len()];
         self.sentinels = 0;
         self.layer_sentinels = vec![0; self.engines.len()];
     }
@@ -821,24 +858,37 @@ impl<E: CrossbarEngine> Executor<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `layer_stats`, `layer_mvms` or `layer_sentinels` length
-    /// differs from the weight-layer count.
+    /// Panics if `layer_stats`, `layer_mvms`, `layer_wall_ns` or
+    /// `layer_sentinels` length differs from the weight-layer count.
     pub fn merge_stats(
         &mut self,
         stats: E::Stats,
         layer_stats: &[E::Stats],
         layer_mvms: &[u64],
+        layer_wall_ns: &[u64],
         sentinels: u64,
         layer_sentinels: &[u64],
     ) {
         assert_eq!(layer_stats.len(), self.engines.len(), "layer stats length");
         assert_eq!(layer_mvms.len(), self.engines.len(), "layer mvms length");
         assert_eq!(
+            layer_wall_ns.len(),
+            self.engines.len(),
+            "layer wall-time length"
+        );
+        assert_eq!(
             layer_sentinels.len(),
             self.engines.len(),
             "layer sentinels length"
         );
-        self.merge_worker(stats, layer_stats, layer_mvms, sentinels, layer_sentinels);
+        self.merge_worker(
+            stats,
+            layer_stats,
+            layer_mvms,
+            layer_wall_ns,
+            sentinels,
+            layer_sentinels,
+        );
     }
 
     /// Folds one finished worker context's statistics into the registry.
@@ -847,6 +897,7 @@ impl<E: CrossbarEngine> Executor<E> {
         stats: E::Stats,
         layer_stats: &[E::Stats],
         layer_mvms: &[u64],
+        layer_wall_ns: &[u64],
         sentinels: u64,
         layer_sentinels: &[u64],
     ) {
@@ -857,6 +908,9 @@ impl<E: CrossbarEngine> Executor<E> {
         for (acc, &m) in self.layer_mvms.iter_mut().zip(layer_mvms) {
             *acc += m;
         }
+        for (acc, &w) in self.layer_wall_ns.iter_mut().zip(layer_wall_ns) {
+            *acc = acc.saturating_add(w);
+        }
         self.sentinels += sentinels;
         for (acc, &s) in self.layer_sentinels.iter_mut().zip(layer_sentinels) {
             *acc += s;
@@ -866,7 +920,7 @@ impl<E: CrossbarEngine> Executor<E> {
     /// Runs inference on a `[N, ...]` batch through the mixed-signal path.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut layers = std::mem::take(&mut self.net).into_layers();
-        let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
+        let (y, stats, layer_stats, layer_mvms, layer_wall_ns, sentinels, layer_sentinels) = {
             let mut ctx = InferenceCtx::new(&self.engines, &self.perms, &self.layer_input_bits);
             let y = ctx.run(&mut layers, x);
             (
@@ -874,6 +928,7 @@ impl<E: CrossbarEngine> Executor<E> {
                 ctx.stats,
                 ctx.layer_stats,
                 ctx.layer_mvms,
+                ctx.layer_wall_ns,
                 ctx.sentinels,
                 ctx.layer_sentinels,
             )
@@ -883,6 +938,7 @@ impl<E: CrossbarEngine> Executor<E> {
             stats,
             &layer_stats,
             &layer_mvms,
+            &layer_wall_ns,
             sentinels,
             &layer_sentinels,
         );
@@ -895,7 +951,7 @@ impl<E: CrossbarEngine> Executor<E> {
     /// bitwise identical to [`forward`](Self::forward).
     pub fn forward_batched(&mut self, x: &Tensor) -> Tensor {
         let mut layers = std::mem::take(&mut self.net).into_layers();
-        let (y, stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
+        let (y, stats, layer_stats, layer_mvms, layer_wall_ns, sentinels, layer_sentinels) = {
             let mut ctx =
                 InferenceCtx::new_batched(&self.engines, &self.perms, &self.layer_input_bits);
             let y = ctx.run(&mut layers, x);
@@ -904,6 +960,7 @@ impl<E: CrossbarEngine> Executor<E> {
                 ctx.stats,
                 ctx.layer_stats,
                 ctx.layer_mvms,
+                ctx.layer_wall_ns,
                 ctx.sentinels,
                 ctx.layer_sentinels,
             )
@@ -913,6 +970,7 @@ impl<E: CrossbarEngine> Executor<E> {
             stats,
             &layer_stats,
             &layer_mvms,
+            &layer_wall_ns,
             sentinels,
             &layer_sentinels,
         );
@@ -949,7 +1007,7 @@ impl<E: CrossbarEngine> Executor<E> {
         // batches, capped so each stolen range still fills an engine tile.
         let tile = n.div_ceil(workers * 4).clamp(1, STEAL_TILE_MAX);
         let cursor = std::sync::atomic::AtomicUsize::new(0);
-        type WorkerResult<S> = (S, Vec<S>, Vec<u64>, u64, Vec<u64>);
+        type WorkerResult<S> = (S, Vec<S>, Vec<u64>, Vec<u64>, u64, Vec<u64>);
         let pieces: std::sync::Mutex<Vec<(usize, Tensor)>> = std::sync::Mutex::new(Vec::new());
         let worker_stats: std::sync::Mutex<Vec<WorkerResult<E::Stats>>> =
             std::sync::Mutex::new(Vec::new());
@@ -980,19 +1038,21 @@ impl<E: CrossbarEngine> Executor<E> {
                         ctx.stats,
                         ctx.layer_stats,
                         ctx.layer_mvms,
+                        ctx.layer_wall_ns,
                         ctx.sentinels,
                         ctx.layer_sentinels,
                     ));
                 });
             }
         });
-        for (stats, layer_stats, layer_mvms, sentinels, layer_sentinels) in
+        for (stats, layer_stats, layer_mvms, layer_wall_ns, sentinels, layer_sentinels) in
             worker_stats.into_inner().unwrap()
         {
             self.merge_worker(
                 stats,
                 &layer_stats,
                 &layer_mvms,
+                &layer_wall_ns,
                 sentinels,
                 &layer_sentinels,
             );
@@ -1044,7 +1104,7 @@ impl<E: CrossbarEngine> Executor<E> {
         if workers == 1 {
             // One warm context for the whole evaluation.
             let mut layers = std::mem::take(&mut self.net).into_layers();
-            let (stats, layer_stats, layer_mvms, sentinels, layer_sentinels) = {
+            let (stats, layer_stats, layer_mvms, layer_wall_ns, sentinels, layer_sentinels) = {
                 let mut ctx =
                     InferenceCtx::new_batched(&self.engines, &self.perms, &self.layer_input_bits);
                 for (x, labels) in data.batches(batch_size) {
@@ -1055,6 +1115,7 @@ impl<E: CrossbarEngine> Executor<E> {
                     ctx.stats,
                     ctx.layer_stats,
                     ctx.layer_mvms,
+                    ctx.layer_wall_ns,
                     ctx.sentinels,
                     ctx.layer_sentinels,
                 )
@@ -1064,6 +1125,7 @@ impl<E: CrossbarEngine> Executor<E> {
                 stats,
                 &layer_stats,
                 &layer_mvms,
+                &layer_wall_ns,
                 sentinels,
                 &layer_sentinels,
             );
@@ -1327,6 +1389,55 @@ mod tests {
     }
 
     #[test]
+    fn layer_wall_time_accumulates_and_resets() {
+        let net = small_net(31);
+        let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
+        assert_eq!(exec.layer_wall_ns(), &[0, 0]);
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 5) as f32 / 8.0);
+        exec.forward(&x);
+        // Every weight layer ran, so every layer attributed some wall time
+        // (Instant is monotone and the lowering does real work; even a
+        // coarse clock advances across a conv's 64 positions — accept any
+        // non-decreasing attribution but require the registry shape).
+        assert_eq!(exec.layer_wall_ns().len(), 2);
+        let after_forward = exec.layer_wall_ns().to_vec();
+        // Sessions profile independently and merge additively.
+        let mut session = exec.session();
+        let mut out = Vec::new();
+        session.forward_batch_into(&x, &mut out);
+        assert_eq!(session.layer_wall_ns().len(), 2);
+        let session_wall = session.layer_wall_ns().to_vec();
+        let (stats, layer_stats, layer_mvms) = (
+            session.stats(),
+            session.layer_stats().to_vec(),
+            session.layer_mvms().to_vec(),
+        );
+        let (sentinels, layer_sentinels) = (
+            session.sentinel_violations(),
+            session.layer_sentinel_violations().to_vec(),
+        );
+        drop(session);
+        exec.merge_stats(
+            stats,
+            &layer_stats,
+            &layer_mvms,
+            &session_wall,
+            sentinels,
+            &layer_sentinels,
+        );
+        for ((&total, &before), &from_session) in exec
+            .layer_wall_ns()
+            .iter()
+            .zip(&after_forward)
+            .zip(&session_wall)
+        {
+            assert_eq!(total, before + from_session);
+        }
+        exec.reset_stats();
+        assert_eq!(exec.layer_wall_ns(), &[0, 0]);
+    }
+
+    #[test]
     fn layer_registry_counts_mvms_per_layer() {
         let net = small_net(3);
         let mut exec = Executor::<DigitalEngine>::map_network(&net, &16, 16).unwrap();
@@ -1358,10 +1469,11 @@ mod tests {
             all_dims.push(dims);
             all_out.push(out.clone());
         }
-        let (stats, layer_stats, layer_mvms) = (
+        let (stats, layer_stats, layer_mvms, layer_wall_ns) = (
             session.stats(),
             session.layer_stats().to_vec(),
             session.layer_mvms().to_vec(),
+            session.layer_wall_ns().to_vec(),
         );
         let (sentinels, layer_sentinels) = (
             session.sentinel_violations(),
@@ -1372,6 +1484,7 @@ mod tests {
             stats,
             &layer_stats,
             &layer_mvms,
+            &layer_wall_ns,
             sentinels,
             &layer_sentinels,
         );

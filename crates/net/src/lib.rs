@@ -36,6 +36,7 @@
 //!
 //! ```
 //! use forms_net::{serve_net, ClientConfig, NetClient, NetConfig};
+//! use forms_serve::ServeConfig;
 //! # use forms_exec::Executor;
 //! # let mut rng = forms_rng::StdRng::seed_from_u64(0);
 //! # let mut net = forms_dnn::Network::new(vec![
@@ -51,8 +52,8 @@
 //! # });
 //! # let exec = Executor::<forms_arch::MappedLayer>::map_network(
 //! #     &net, &forms_arch::MappingConfig::paper(8), 16).unwrap();
-//! let config = NetConfig::default();
-//! let ((), telemetry) = serve_net(&exec, &[1, 4, 4], &config, |net| {
+//! let (serve, net_cfg) = (ServeConfig::default(), NetConfig::default());
+//! let ((), telemetry) = serve_net(&exec, &[1, 4, 4], &serve, &net_cfg, |net| {
 //!     let addr = net.addr();
 //!     std::thread::scope(|s| {
 //!         s.spawn(move || {
@@ -75,4 +76,6 @@ pub mod server;
 
 pub use client::{ClientConfig, ClientError, NetClient, NetReceiver, NetReply, NetSender};
 pub use protocol::{Frame, FrameKind, WireError, WireStatus};
-pub use server::{serve_net, serve_net_resilient, NetConfig, NetHandle, NetResilientConfig};
+pub use server::{
+    serve_net, serve_net_resilient, NetConfig, NetConfigError, NetHandle, NetServerExt,
+};

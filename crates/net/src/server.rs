@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use forms_exec::{CrossbarEngine, Executor, FaultableEngine};
 use forms_serve::{
-    serve, serve_resilient, FaultInjector, ResilientConfig, ServeConfig, ServeError, ServiceHandle,
+    FaultInjector, ResilientConfig, ServeConfig, ServeError, Server, ServerBuilder, ServiceHandle,
     TelemetrySnapshot, Ticket,
 };
 
@@ -49,11 +49,12 @@ use crate::protocol::{
     latency_to_us, read_frame, status_of, write_frame, Frame, WireError, WireStatus,
 };
 
-/// Front-end sizing and timeout policy around a [`ServeConfig`].
+/// Front-end sizing and timeout policy. Purely transport-level: the
+/// wrapped serving core is sized by its own [`ServeConfig`], passed
+/// separately, so a knob like the deadline or queue bound exists in
+/// exactly one place.
 #[derive(Clone, Copy, Debug)]
 pub struct NetConfig {
-    /// The wrapped serving core's sizing/batching policy.
-    pub serve: ServeConfig,
     /// Address to bind; port 0 picks an ephemeral port (the bound address
     /// is reported by [`NetHandle::addr`]).
     pub bind: SocketAddr,
@@ -74,7 +75,6 @@ pub struct NetConfig {
 impl Default for NetConfig {
     fn default() -> Self {
         Self {
-            serve: ServeConfig::default(),
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             max_connections: 64,
             max_in_flight: 32,
@@ -84,14 +84,72 @@ impl Default for NetConfig {
     }
 }
 
-/// Front-end policy plus the health policy of a resilient service.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NetResilientConfig {
-    /// Front-end sizing and timeouts (its `serve` field sizes the core).
-    pub net: NetConfig,
-    /// Health thresholds and recovery budget, as for
-    /// [`serve_resilient`].
-    pub policy: forms_serve::HealthPolicy,
+/// A contradiction or impossibility in a [`NetConfig`], reported by
+/// [`NetConfig::validate`] before any socket is bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetConfigError {
+    /// `max_connections` is zero — every accept would be refused.
+    ZeroConnections,
+    /// `max_in_flight` is zero — a reader could never admit a request.
+    ZeroInFlight,
+    /// `read_timeout` is zero — readers would spin instead of polling.
+    ZeroReadTimeout,
+    /// The idle timeout is shorter than the read timeout, so the very
+    /// first quiet poll tick would already count as "idle too long" and
+    /// drop the connection.
+    IdleShorterThanPoll {
+        /// The configured idle timeout, in microseconds.
+        idle_us: u128,
+        /// The configured read timeout, in microseconds.
+        read_us: u128,
+    },
+}
+
+impl std::fmt::Display for NetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroConnections => write!(f, "max_connections must be positive"),
+            Self::ZeroInFlight => write!(f, "max_in_flight must be positive"),
+            Self::ZeroReadTimeout => write!(f, "read_timeout must be positive"),
+            Self::IdleShorterThanPoll { idle_us, read_us } => write!(
+                f,
+                "idle timeout {idle_us}µs is shorter than the {read_us}µs read poll, \
+                 so every idle connection would drop at its first quiet tick"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetConfigError {}
+
+impl NetConfig {
+    /// Rejects impossible or contradictory front-end settings with a
+    /// typed error (the serving core's knobs are validated separately by
+    /// [`ServerBuilder::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`NetConfigError`] found, in field order.
+    pub fn validate(&self) -> Result<(), NetConfigError> {
+        if self.max_connections == 0 {
+            return Err(NetConfigError::ZeroConnections);
+        }
+        if self.max_in_flight == 0 {
+            return Err(NetConfigError::ZeroInFlight);
+        }
+        if self.read_timeout.is_zero() {
+            return Err(NetConfigError::ZeroReadTimeout);
+        }
+        if let Some(idle) = self.idle_timeout {
+            if idle < self.read_timeout {
+                return Err(NetConfigError::IdleShorterThanPoll {
+                    idle_us: idle.as_micros(),
+                    read_us: self.read_timeout.as_micros(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The client closure's view of the running front-end.
@@ -125,14 +183,107 @@ impl NetHandle {
     }
 }
 
+/// Network-facing serving modes for [`ServerBuilder`] — the same builder
+/// that launches in-process serving grows [`run_net`](Self::run_net) and
+/// [`run_net_resilient`](Self::run_net_resilient) when `forms-net` is in
+/// scope, so every mode shares one configuration surface.
+pub trait NetServerExt {
+    /// Runs the serving core and a TCP front-end over it for the duration
+    /// of `client`, then drains both.
+    ///
+    /// The closure may connect [`NetClient`](crate::NetClient)s to
+    /// [`NetHandle::addr`] (from threads it spawns) and/or submit
+    /// in-process through [`NetHandle::service`]. On return, the listener
+    /// shuts down, in-flight requests drain to their connections, and the
+    /// final telemetry snapshot is returned alongside the closure's
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the listen socket cannot be created; the
+    /// service is not started in that case.
+    ///
+    /// # Panics
+    ///
+    /// As [`ServerBuilder::run`] (zero replicas/capacity/batch), plus if
+    /// `net.max_connections` or `net.max_in_flight` is zero.
+    fn run_net<E, R>(
+        &self,
+        executor: &Executor<E>,
+        sample_dims: &[usize],
+        net: &NetConfig,
+        client: impl FnOnce(&NetHandle) -> R,
+    ) -> std::io::Result<(R, TelemetrySnapshot)>
+    where
+        E: CrossbarEngine,
+        E::Stats: Sync;
+
+    /// The resilient sibling of [`run_net`](Self::run_net): wraps
+    /// [`ServerBuilder::run_resilient`], so the client closure can poison
+    /// replicas while socket traffic is in flight and watch `Degraded`
+    /// surface as wire statuses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the listen socket cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// As [`ServerBuilder::run_resilient`], plus if `net.max_connections`
+    /// or `net.max_in_flight` is zero.
+    fn run_net_resilient<E, R>(
+        &self,
+        pristine: &Executor<E>,
+        sample_dims: &[usize],
+        net: &NetConfig,
+        client: impl FnOnce(&NetHandle, &FaultInjector<'_>) -> R,
+    ) -> std::io::Result<(R, TelemetrySnapshot)>
+    where
+        E: FaultableEngine,
+        E::Stats: Sync;
+}
+
+impl NetServerExt for ServerBuilder {
+    fn run_net<E, R>(
+        &self,
+        executor: &Executor<E>,
+        sample_dims: &[usize],
+        net: &NetConfig,
+        client: impl FnOnce(&NetHandle) -> R,
+    ) -> std::io::Result<(R, TelemetrySnapshot)>
+    where
+        E: CrossbarEngine,
+        E::Stats: Sync,
+    {
+        let listener = bind(net)?;
+        Ok(self.run(executor, sample_dims, |service| {
+            front_end(&listener, service, net, client)
+        }))
+    }
+
+    fn run_net_resilient<E, R>(
+        &self,
+        pristine: &Executor<E>,
+        sample_dims: &[usize],
+        net: &NetConfig,
+        client: impl FnOnce(&NetHandle, &FaultInjector<'_>) -> R,
+    ) -> std::io::Result<(R, TelemetrySnapshot)>
+    where
+        E: FaultableEngine,
+        E::Stats: Sync,
+    {
+        let listener = bind(net)?;
+        Ok(
+            self.run_resilient(pristine, sample_dims, |service, injector| {
+                front_end(&listener, service, net, |handle| client(handle, injector))
+            }),
+        )
+    }
+}
+
 /// Runs the serving core and a TCP front-end over it for the duration of
-/// `client`, then drains both.
-///
-/// The closure may connect [`NetClient`](crate::NetClient)s to
-/// [`NetHandle::addr`] (from threads it spawns) and/or submit in-process
-/// through [`NetHandle::service`]. On return, the listener shuts down,
-/// in-flight requests drain to their connections, and the final telemetry
-/// snapshot is returned alongside the closure's result.
+/// `client` — the function form of [`NetServerExt::run_net`], kept as a
+/// thin wrapper so pre-builder callers read naturally.
 ///
 /// # Errors
 ///
@@ -141,28 +292,25 @@ impl NetHandle {
 ///
 /// # Panics
 ///
-/// As [`forms_serve::serve`] (zero replicas/capacity/batch), plus if
-/// `max_connections` or `max_in_flight` is zero.
+/// As [`NetServerExt::run_net`].
 pub fn serve_net<E, R>(
     executor: &Executor<E>,
     sample_dims: &[usize],
-    config: &NetConfig,
+    serve: &ServeConfig,
+    net: &NetConfig,
     client: impl FnOnce(&NetHandle) -> R,
 ) -> std::io::Result<(R, TelemetrySnapshot)>
 where
     E: CrossbarEngine,
     E::Stats: Sync,
 {
-    let listener = bind(config)?;
-    Ok(serve(executor, sample_dims, &config.serve, |service| {
-        front_end(&listener, service, config, client)
-    }))
+    Server::builder()
+        .config(*serve)
+        .run_net(executor, sample_dims, net, client)
 }
 
-/// The resilient sibling of [`serve_net`]: wraps
-/// [`forms_serve::serve_resilient`], so the client closure can poison
-/// replicas while socket traffic is in flight and watch `Degraded`
-/// surface as wire statuses.
+/// The resilient sibling of [`serve_net`] — the function form of
+/// [`NetServerExt::run_net_resilient`], kept as a thin wrapper.
 ///
 /// # Errors
 ///
@@ -170,29 +318,22 @@ where
 ///
 /// # Panics
 ///
-/// As [`forms_serve::serve_resilient`], plus if `max_connections` or
-/// `max_in_flight` is zero.
+/// As [`NetServerExt::run_net_resilient`].
 pub fn serve_net_resilient<E, R>(
     pristine: &Executor<E>,
     sample_dims: &[usize],
-    config: &NetResilientConfig,
+    config: &ResilientConfig,
+    net: &NetConfig,
     client: impl FnOnce(&NetHandle, &FaultInjector<'_>) -> R,
 ) -> std::io::Result<(R, TelemetrySnapshot)>
 where
     E: FaultableEngine,
     E::Stats: Sync,
 {
-    let listener = bind(&config.net)?;
-    let resilient = ResilientConfig {
-        serve: config.net.serve,
-        policy: config.policy,
-    };
-    Ok(serve_resilient(
-        pristine,
-        sample_dims,
-        &resilient,
-        |service, injector| front_end(&listener, service, &config.net, |net| client(net, injector)),
-    ))
+    Server::builder()
+        .config(config.serve)
+        .health(config.policy)
+        .run_net_resilient(pristine, sample_dims, net, client)
 }
 
 fn bind(config: &NetConfig) -> std::io::Result<TcpListener> {

@@ -10,12 +10,9 @@ use forms_arch::{MappedLayer, MappingConfig};
 use forms_dnn::{Layer, Network, WeightLayerMut};
 use forms_exec::{Executor, FaultCampaign};
 use forms_net::protocol::{read_frame, write_frame, Frame};
-use forms_net::{
-    serve_net, serve_net_resilient, ClientConfig, NetClient, NetConfig, NetResilientConfig,
-    WireStatus,
-};
+use forms_net::{serve_net, serve_net_resilient, ClientConfig, NetClient, NetConfig, WireStatus};
 use forms_rng::StdRng;
-use forms_serve::{HealthPolicy, PacedConfig, PacedEngine, ServeConfig};
+use forms_serve::{HealthPolicy, PacedConfig, PacedEngine, ResilientConfig, ServeConfig};
 use forms_tensor::Tensor;
 
 const ROWS: usize = 16;
@@ -68,14 +65,11 @@ fn sample(scale: f32) -> Vec<f32> {
 #[test]
 fn socket_call_is_bitwise_identical_to_in_process_submission() {
     let exec = executor();
-    let config = NetConfig {
-        serve: ServeConfig {
-            replicas: 2,
-            ..ServeConfig::default()
-        },
-        ..NetConfig::default()
+    let serve = ServeConfig {
+        replicas: 2,
+        ..ServeConfig::default()
     };
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &config, |net| {
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &serve, &NetConfig::default(), |net| {
         let in_process = net
             .service()
             .submit(sample(1.0))
@@ -101,7 +95,8 @@ fn socket_call_is_bitwise_identical_to_in_process_submission() {
 #[test]
 fn pipelined_requests_resolve_in_send_order() {
     let exec = executor();
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &NetConfig::default(), |net| {
+    let (serve, net_cfg) = (ServeConfig::default(), NetConfig::default());
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &serve, &net_cfg, |net| {
         let addr = net.addr();
         std::thread::scope(|s| {
             s.spawn(move || {
@@ -128,17 +123,14 @@ fn rejections_are_statuses_on_a_live_connection_not_disconnects() {
     // 20 ms device latency makes queue time observable: a 1 µs deadline
     // always expires before batch formation.
     let exec = paced_executor(Duration::from_millis(20));
-    let config = NetConfig {
-        serve: ServeConfig {
-            replicas: 1,
-            queue_capacity: 1,
-            max_batch: 1,
-            max_delay: Duration::ZERO,
-            default_deadline: None,
-        },
-        ..NetConfig::default()
+    let serve = ServeConfig {
+        replicas: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        default_deadline: None,
     };
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &config, |net| {
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &serve, &NetConfig::default(), |net| {
         let addr = net.addr();
         std::thread::scope(|s| {
             s.spawn(move || {
@@ -181,7 +173,8 @@ fn rejections_are_statuses_on_a_live_connection_not_disconnects() {
 #[test]
 fn telemetry_frame_round_trips_the_snapshot_over_the_wire() {
     let exec = executor();
-    let ((), final_snapshot) = serve_net(&exec, &[ROWS], &NetConfig::default(), |net| {
+    let (serve, net_cfg) = (ServeConfig::default(), NetConfig::default());
+    let ((), final_snapshot) = serve_net(&exec, &[ROWS], &serve, &net_cfg, |net| {
         let addr = net.addr();
         let handle_snapshot = std::thread::scope(|s| {
             s.spawn(move || {
@@ -201,6 +194,15 @@ fn telemetry_frame_round_trips_the_snapshot_over_the_wire() {
         assert_eq!(handle_snapshot.completed, 3);
         assert_eq!(handle_snapshot.plan, direct.plan);
         assert!(direct.completed >= handle_snapshot.completed);
+        // The v2 tracing extensions survive the wire: per-stage counts
+        // match the completions and per-layer attribution is populated.
+        for stage in handle_snapshot.stages.in_order() {
+            assert_eq!(stage.count, 3, "every stage sees every completion");
+        }
+        assert!(
+            handle_snapshot.layers.iter().any(|l| l.mvms > 0),
+            "per-layer attribution crossed the wire"
+        );
     })
     .unwrap();
     assert_eq!(final_snapshot.completed, 3);
@@ -209,17 +211,14 @@ fn telemetry_frame_round_trips_the_snapshot_over_the_wire() {
 #[test]
 fn concurrent_connections_multiplex_onto_one_queue() {
     let exec = executor();
-    let config = NetConfig {
-        serve: ServeConfig {
-            replicas: 2,
-            queue_capacity: 256,
-            ..ServeConfig::default()
-        },
-        ..NetConfig::default()
+    let serve = ServeConfig {
+        replicas: 2,
+        queue_capacity: 256,
+        ..ServeConfig::default()
     };
     let per_conn = 8usize;
     let conns = 6usize;
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &config, |net| {
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &serve, &NetConfig::default(), |net| {
         let addr = net.addr();
         std::thread::scope(|s| {
             for c in 0..conns {
@@ -242,19 +241,16 @@ fn concurrent_connections_multiplex_onto_one_queue() {
 #[test]
 fn shutdown_drains_in_flight_requests_before_closing() {
     let exec = paced_executor(Duration::from_millis(5));
-    let config = NetConfig {
-        serve: ServeConfig {
-            replicas: 1,
-            queue_capacity: 64,
-            ..ServeConfig::default()
-        },
-        ..NetConfig::default()
+    let serve = ServeConfig {
+        replicas: 1,
+        queue_capacity: 64,
+        ..ServeConfig::default()
     };
     let n = 6usize;
     // Smuggle the stream out of the closure: requests are in flight when
     // shutdown starts, and the drain contract says each still gets a
     // response frame before the server lets go of the connection.
-    let (stream, telemetry) = serve_net(&exec, &[ROWS], &config, |net| {
+    let (stream, telemetry) = serve_net(&exec, &[ROWS], &serve, &NetConfig::default(), |net| {
         let mut stream = TcpStream::connect(net.addr()).unwrap();
         let mut scratch = Vec::new();
         for id in 0..n as u64 {
@@ -292,16 +288,13 @@ fn poisoned_replica_surfaces_degraded_as_wire_statuses_with_zero_corruption() {
         .clone()
         .forward(&Tensor::from_vec(vec![1.0; ROWS], &[1, ROWS]))
         .into_vec();
-    let config = NetResilientConfig {
-        net: NetConfig {
-            serve: ServeConfig {
-                replicas: 2,
-                queue_capacity: 64,
-                max_batch: 2,
-                max_delay: Duration::from_micros(200),
-                default_deadline: None,
-            },
-            ..NetConfig::default()
+    let config = ResilientConfig {
+        serve: ServeConfig {
+            replicas: 2,
+            queue_capacity: 64,
+            max_batch: 2,
+            max_delay: Duration::from_micros(200),
+            default_deadline: None,
         },
         policy: HealthPolicy {
             // Tolerate the raw density so the output sentinels (not the
@@ -312,8 +305,12 @@ fn poisoned_replica_surfaces_degraded_as_wire_statuses_with_zero_corruption() {
             backoff_multiplier: 2.0,
         },
     };
-    let ((ok_outputs, degraded), telemetry) =
-        serve_net_resilient(&exec, &[ROWS], &config, |net, faults| {
+    let ((ok_outputs, degraded), telemetry) = serve_net_resilient(
+        &exec,
+        &[ROWS],
+        &config,
+        &NetConfig::default(),
+        |net, faults| {
             let addr = net.addr();
             let service = net.service().clone();
             std::thread::scope(|s| {
@@ -344,8 +341,9 @@ fn poisoned_replica_surfaces_degraded_as_wire_statuses_with_zero_corruption() {
                 .join()
                 .unwrap()
             })
-        })
-        .unwrap();
+        },
+    )
+    .unwrap();
     let corrupted = ok_outputs.iter().filter(|o| **o != clean).count();
     assert_eq!(corrupted, 0, "no corrupted response may cross the wire");
     assert!(degraded >= 1, "poison must surface as Degraded statuses");
@@ -356,7 +354,8 @@ fn poisoned_replica_surfaces_degraded_as_wire_statuses_with_zero_corruption() {
 #[test]
 fn malformed_bytes_drop_the_connection_but_not_the_server() {
     let exec = executor();
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &NetConfig::default(), |net| {
+    let (serve, net_cfg) = (ServeConfig::default(), NetConfig::default());
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &serve, &net_cfg, |net| {
         let addr = net.addr();
         std::thread::scope(|s| {
             s.spawn(move || {
@@ -385,7 +384,7 @@ fn client_reconnects_with_backoff_after_an_idle_drop() {
         idle_timeout: Some(Duration::from_millis(30)),
         ..NetConfig::default()
     };
-    let ((), telemetry) = serve_net(&exec, &[ROWS], &config, |net| {
+    let ((), telemetry) = serve_net(&exec, &[ROWS], &ServeConfig::default(), &config, |net| {
         let addr = net.addr();
         std::thread::scope(|s| {
             s.spawn(move || {
@@ -402,4 +401,98 @@ fn client_reconnects_with_backoff_after_an_idle_drop() {
     })
     .unwrap();
     assert_eq!(telemetry.completed, 2);
+}
+
+#[test]
+fn net_config_validate_rejects_contradictions() {
+    use forms_net::NetConfigError;
+    assert_eq!(NetConfig::default().validate(), Ok(()));
+    let base = NetConfig::default();
+    assert_eq!(
+        NetConfig {
+            max_connections: 0,
+            ..base
+        }
+        .validate(),
+        Err(NetConfigError::ZeroConnections)
+    );
+    assert_eq!(
+        NetConfig {
+            max_in_flight: 0,
+            ..base
+        }
+        .validate(),
+        Err(NetConfigError::ZeroInFlight)
+    );
+    assert_eq!(
+        NetConfig {
+            read_timeout: Duration::ZERO,
+            ..base
+        }
+        .validate(),
+        Err(NetConfigError::ZeroReadTimeout)
+    );
+    // An idle timeout inside the poll granularity would reap every
+    // connection at its first quiet tick.
+    let reapy = NetConfig {
+        read_timeout: Duration::from_millis(50),
+        idle_timeout: Some(Duration::from_millis(10)),
+        ..base
+    };
+    assert!(matches!(
+        reapy.validate(),
+        Err(NetConfigError::IdleShorterThanPoll { .. })
+    ));
+    // Equal is fine: one full poll tick of silence is a legal idle bound.
+    let tight = NetConfig {
+        read_timeout: Duration::from_millis(10),
+        idle_timeout: Some(Duration::from_millis(10)),
+        ..base
+    };
+    assert_eq!(tight.validate(), Ok(()));
+}
+
+#[test]
+fn builder_and_legacy_serve_net_agree() {
+    use forms_net::NetServerExt;
+    use forms_serve::Server;
+    let exec = executor();
+    let serve = ServeConfig::default();
+    let drive = |net: &forms_net::NetHandle| {
+        let addr = net.addr();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr, ClientConfig::default()).unwrap();
+                client.call(&sample(1.0), None).unwrap().outcome.unwrap()
+            })
+            .join()
+            .unwrap()
+        })
+    };
+    let (legacy_out, legacy_t) =
+        serve_net(&exec, &[ROWS], &serve, &NetConfig::default(), drive).unwrap();
+    let (builder_out, builder_t) = Server::builder()
+        .config(serve)
+        .run_net(&exec, &[ROWS], &NetConfig::default(), drive)
+        .unwrap();
+    assert_eq!(legacy_out, builder_out);
+    assert_eq!(legacy_t.completed, builder_t.completed);
+    assert_eq!(legacy_t.plan, builder_t.plan);
+
+    // The resilient pair agrees too.
+    let resilient = ResilientConfig {
+        serve,
+        policy: HealthPolicy::default(),
+    };
+    let drive2 = |net: &forms_net::NetHandle, _: &forms_serve::FaultInjector<'_>| drive(net);
+    let (legacy_out, legacy_t) =
+        serve_net_resilient(&exec, &[ROWS], &resilient, &NetConfig::default(), drive2).unwrap();
+    let (builder_out, builder_t) = Server::builder()
+        .config(serve)
+        .health(HealthPolicy::default())
+        .run_net_resilient(&exec, &[ROWS], &NetConfig::default(), drive2)
+        .unwrap();
+    assert_eq!(legacy_out, builder_out);
+    assert_eq!(legacy_t.completed, builder_t.completed);
+    assert_eq!(legacy_t.quarantines, builder_t.quarantines);
 }

@@ -41,9 +41,10 @@ use forms_tensor::Tensor;
 
 use crate::queue::{BoundedQueue, PopWait};
 use crate::service::{
-    filter_live, CloseGuard, Pending, Response, ServeConfig, ServeError, ServiceHandle,
+    filter_live, CloseGuard, LayerDeltas, Pending, Response, ServeConfig, ServeError, ServiceHandle,
 };
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::trace::{TerminalKind, TraceConfig};
 
 /// When a replica must refuse to serve and how hard it tries to recover.
 #[derive(Clone, Copy, Debug)]
@@ -170,6 +171,25 @@ where
     E: FaultableEngine,
     E::Stats: Sync,
 {
+    crate::server::Server::builder()
+        .config(config.serve)
+        .health(config.policy)
+        .run_resilient(pristine, sample_dims, client)
+}
+
+/// The resilient serving core behind both [`serve_resilient`] and
+/// [`Server::run_resilient`](crate::server::ServerBuilder::run_resilient).
+pub(crate) fn serve_resilient_impl<E, R>(
+    pristine: &Executor<E>,
+    sample_dims: &[usize],
+    config: &ResilientConfig,
+    trace: &TraceConfig,
+    client: impl FnOnce(&ServiceHandle, &FaultInjector<'_>) -> R,
+) -> (R, TelemetrySnapshot)
+where
+    E: FaultableEngine,
+    E::Stats: Sync,
+{
     assert!(config.serve.replicas > 0, "need at least one replica");
     assert!(config.serve.max_batch > 0, "batch size must be positive");
     assert!(!sample_dims.is_empty(), "sample shape must be non-empty");
@@ -182,7 +202,11 @@ where
         "fault-density threshold must be finite and non-negative"
     );
     let queue = Arc::new(BoundedQueue::new(config.serve.queue_capacity));
-    let telemetry = Arc::new(Telemetry::tagged(pristine.plan().summary()));
+    let telemetry = Arc::new(Telemetry::new(
+        pristine.plan().summary(),
+        pristine.engines().len(),
+        trace,
+    ));
     let mailboxes: Vec<ReplicaMailbox> = (0..config.serve.replicas)
         .map(|_| ReplicaMailbox::default())
         .collect();
@@ -242,6 +266,7 @@ fn resilient_replica_loop<E: FaultableEngine>(
     // same campaign poisons different cells on different replicas.
     let salt = replica as u64;
     let mut executor = pristine.clone();
+    let mut deltas = LayerDeltas::new(pristine.engines().len());
     let mut consecutive_rebuilds = 0u32;
     let mut backoff = policy.backoff;
     let mut batch: Vec<Pending> = Vec::new();
@@ -256,6 +281,7 @@ fn resilient_replica_loop<E: FaultableEngine>(
             consecutive_rebuilds += 1;
             if consecutive_rebuilds > policy.max_rebuilds {
                 telemetry.quarantines.fetch_add(1, Ordering::Relaxed);
+                telemetry.record_quarantine_event();
                 false
             } else {
                 telemetry.rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +321,7 @@ fn resilient_replica_loop<E: FaultableEngine>(
         }
 
         let mut session = executor.session();
+        deltas.reset();
         let mut seen_sentinels = session.sentinel_violations();
         loop {
             // Bounded wait: an idle replica must still notice fault
@@ -314,6 +341,10 @@ fn resilient_replica_loop<E: FaultableEngine>(
                 }
                 PopWait::Batch => {}
             }
+            let dequeued = Instant::now();
+            for pending in &mut batch {
+                pending.span.dequeued = Some(dequeued);
+            }
             filter_live(&mut batch, &mut live, telemetry);
             if live.is_empty() {
                 if mailbox.has_pending.load(Ordering::Acquire) {
@@ -329,10 +360,17 @@ fn resilient_replica_loop<E: FaultableEngine>(
             let mut dims = vec![batch_size];
             dims.extend_from_slice(sample_dims);
             let x = Tensor::from_vec(std::mem::take(&mut staging), &dims);
-            let started = Instant::now();
+            let batch_formed = Instant::now();
+            for pending in &mut live {
+                pending.span.batch_formed = Some(batch_formed);
+            }
             let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 session.forward_batch_into(&x, &mut out);
             }));
+            let executed = Instant::now();
+            for pending in &mut live {
+                pending.span.executed = Some(executed);
+            }
             staging = x.into_vec();
             match forward {
                 Ok(()) => {
@@ -343,6 +381,11 @@ fn resilient_replica_loop<E: FaultableEngine>(
                         // any slot is filled, then recover.
                         for pending in live.drain(..) {
                             telemetry.degraded.fetch_add(1, Ordering::Relaxed);
+                            telemetry.record_terminal_span(
+                                TerminalKind::Degraded,
+                                &pending.span,
+                                executed,
+                            );
                             pending.slot.fill(Err(ServeError::Degraded));
                         }
                         out.clear();
@@ -354,15 +397,17 @@ fn resilient_replica_loop<E: FaultableEngine>(
                     seen_sentinels = sentinels;
                     consecutive_rebuilds = 0;
                     backoff = policy.backoff;
+                    deltas.publish(session.layer_wall_ns(), session.layer_mvms(), telemetry);
                     let per_sample = out.len() / batch_size;
-                    let finished = Instant::now();
-                    for (i, pending) in live.drain(..).enumerate() {
-                        let latency = finished.duration_since(pending.submitted);
-                        telemetry.record_completed(latency);
+                    for (i, mut pending) in live.drain(..).enumerate() {
+                        pending.span.responded = Some(Instant::now());
+                        let stages = pending.span.stages();
+                        telemetry.record_completed_span(&stages);
                         pending.slot.fill(Ok(Response {
                             output: out[i * per_sample..(i + 1) * per_sample].to_vec(),
-                            latency,
-                            queue_wait: started.duration_since(pending.submitted),
+                            latency: stages.total(),
+                            queue_wait: stages.queue_wait,
+                            stages,
                             batch_size,
                         }));
                     }
@@ -370,10 +415,16 @@ fn resilient_replica_loop<E: FaultableEngine>(
                 Err(_) => {
                     for pending in live.drain(..) {
                         telemetry.failed.fetch_add(1, Ordering::Relaxed);
+                        telemetry.record_terminal_span(
+                            TerminalKind::Failed,
+                            &pending.span,
+                            executed,
+                        );
                         pending.slot.fill(Err(ServeError::EngineFailed));
                     }
                     out.clear();
                     session = executor.session();
+                    deltas.reset();
                     seen_sentinels = session.sentinel_violations();
                 }
             }
@@ -388,8 +439,11 @@ fn resilient_replica_loop<E: FaultableEngine>(
     // admitted ticket can hang on an abandoned queue.
     if active.fetch_sub(1, Ordering::AcqRel) == 1 {
         while queue.pop_batch(serve_cfg.max_batch, serve_cfg.max_delay, &mut batch) {
-            for pending in batch.drain(..) {
+            let dequeued = Instant::now();
+            for mut pending in batch.drain(..) {
+                pending.span.dequeued = Some(dequeued);
                 telemetry.degraded.fetch_add(1, Ordering::Relaxed);
+                telemetry.record_terminal_span(TerminalKind::Degraded, &pending.span, dequeued);
                 pending.slot.fill(Err(ServeError::Degraded));
             }
         }

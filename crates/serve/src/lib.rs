@@ -79,12 +79,20 @@ pub mod json;
 pub mod loadgen;
 pub mod paced;
 pub mod queue;
+pub mod server;
 pub mod service;
 pub mod telemetry;
+pub mod trace;
 
 pub use health::{serve_resilient, FaultInjector, HealthPolicy, ResilientConfig};
 pub use loadgen::{run_open_loop, LoadReport, OpenLoopSpec};
 pub use paced::{PacedConfig, PacedEngine, PacedScratch};
 pub use queue::{BoundedQueue, PopWait, PushError};
+pub use server::{ConfigError, Server, ServerBuilder};
 pub use service::{serve, Response, ServeConfig, ServeError, ServiceHandle, Ticket};
-pub use telemetry::{Telemetry, TelemetrySnapshot};
+pub use telemetry::{
+    LayerAttribution, StageSnapshots, Telemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+};
+pub use trace::{
+    EventRecord, SpanRecord, StageDurations, TerminalKind, TraceConfig, STAGE_COUNT, STAGE_NAMES,
+};

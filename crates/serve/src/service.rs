@@ -40,6 +40,7 @@ use forms_tensor::Tensor;
 
 use crate::queue::{BoundedQueue, PushError};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::trace::{SpanRecord, StageDurations, TerminalKind, TraceConfig};
 
 /// Service sizing and batching policy.
 #[derive(Clone, Copy, Debug)]
@@ -118,10 +119,15 @@ impl std::error::Error for ServeError {}
 pub struct Response {
     /// Flattened output vector for this sample.
     pub output: Vec<f32>,
-    /// End-to-end latency: submission to completion.
+    /// End-to-end latency: submission to completion. Always exactly
+    /// [`StageDurations::total`] of `stages`.
     pub latency: Duration,
-    /// Time spent queued before the executing batch formed.
+    /// Time spent queued before the executing batch formed. Always
+    /// exactly the `queue_wait` stage of `stages`.
     pub queue_wait: Duration,
+    /// Per-stage breakdown of `latency`: queue wait, batch formation,
+    /// execution, and response delivery.
+    pub stages: StageDurations,
     /// Number of requests in the batch that executed this one.
     pub batch_size: usize,
 }
@@ -204,7 +210,9 @@ impl Ticket {
 #[derive(Debug)]
 pub(crate) struct Pending {
     pub(crate) input: Vec<f32>,
-    pub(crate) submitted: Instant,
+    /// Stage timestamps for this request; `span.enqueued` is the
+    /// submission instant.
+    pub(crate) span: SpanRecord,
     pub(crate) deadline: Option<Instant>,
     pub(crate) slot: Arc<Slot>,
 }
@@ -273,18 +281,28 @@ impl ServiceHandle {
         let slot = Slot::new();
         let pending = Pending {
             input,
-            submitted,
+            span: SpanRecord::new(submitted),
             deadline: deadline.map(|d| submitted + d),
             slot: Arc::clone(&slot),
         };
         match self.queue.try_push(pending) {
             Ok(()) => Ok(Ticket { slot }),
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(rejected)) => {
                 self.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.record_terminal_span(
+                    TerminalKind::Shed,
+                    &rejected.span,
+                    Instant::now(),
+                );
                 Err(ServeError::Shed)
             }
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(rejected)) => {
                 self.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.record_terminal_span(
+                    TerminalKind::Shed,
+                    &rejected.span,
+                    Instant::now(),
+                );
                 Err(ServeError::ShuttingDown)
             }
         }
@@ -349,11 +367,33 @@ where
     E: CrossbarEngine,
     E::Stats: Sync,
 {
+    crate::server::Server::builder()
+        .config(*config)
+        .run(executor, sample_dims, client)
+}
+
+/// The serving core behind both [`serve`] and
+/// [`Server::run`](crate::server::ServerBuilder::run).
+pub(crate) fn serve_impl<E, R>(
+    executor: &Executor<E>,
+    sample_dims: &[usize],
+    config: &ServeConfig,
+    trace: &TraceConfig,
+    client: impl FnOnce(&ServiceHandle) -> R,
+) -> (R, TelemetrySnapshot)
+where
+    E: CrossbarEngine,
+    E::Stats: Sync,
+{
     assert!(config.replicas > 0, "need at least one replica");
     assert!(config.max_batch > 0, "batch size must be positive");
     assert!(!sample_dims.is_empty(), "sample shape must be non-empty");
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-    let telemetry = Arc::new(Telemetry::tagged(executor.plan().summary()));
+    let telemetry = Arc::new(Telemetry::new(
+        executor.plan().summary(),
+        executor.engines().len(),
+        trace,
+    ));
     let handle = ServiceHandle {
         queue: Arc::clone(&queue),
         telemetry: Arc::clone(&telemetry),
@@ -373,6 +413,55 @@ where
     (result, telemetry.snapshot())
 }
 
+/// Tracks the per-layer wall-time and MVM counters of one replica's
+/// session between batches, pushing only the per-batch deltas into the
+/// shared telemetry so attribution stays correct across many replicas.
+pub(crate) struct LayerDeltas {
+    prev_wall: Vec<u64>,
+    prev_mvms: Vec<u64>,
+    wall_delta: Vec<u64>,
+    mvm_delta: Vec<u64>,
+}
+
+impl LayerDeltas {
+    pub(crate) fn new(layer_count: usize) -> Self {
+        Self {
+            prev_wall: vec![0; layer_count],
+            prev_mvms: vec![0; layer_count],
+            wall_delta: vec![0; layer_count],
+            mvm_delta: vec![0; layer_count],
+        }
+    }
+
+    /// Forget the previous session's counters after a rebuild (the fresh
+    /// session restarts them from zero).
+    pub(crate) fn reset(&mut self) {
+        self.prev_wall.fill(0);
+        self.prev_mvms.fill(0);
+    }
+
+    /// Publish the delta since the last call into `telemetry`.
+    pub(crate) fn publish(&mut self, wall: &[u64], mvms: &[u64], telemetry: &Telemetry) {
+        for (d, (&w, &p)) in self
+            .wall_delta
+            .iter_mut()
+            .zip(wall.iter().zip(&self.prev_wall))
+        {
+            *d = w.saturating_sub(p);
+        }
+        for (d, (&m, &p)) in self
+            .mvm_delta
+            .iter_mut()
+            .zip(mvms.iter().zip(&self.prev_mvms))
+        {
+            *d = m.saturating_sub(p);
+        }
+        self.prev_wall.copy_from_slice(wall);
+        self.prev_mvms.copy_from_slice(mvms);
+        telemetry.add_layer_attribution(&self.wall_delta, &self.mvm_delta);
+    }
+}
+
 /// One replica: pop batches until the queue is closed and drained.
 fn replica_loop<E: CrossbarEngine>(
     executor: &Executor<E>,
@@ -382,11 +471,16 @@ fn replica_loop<E: CrossbarEngine>(
     telemetry: &Telemetry,
 ) {
     let mut session = executor.session();
+    let mut deltas = LayerDeltas::new(executor.engines().len());
     let mut batch: Vec<Pending> = Vec::new();
     let mut live: Vec<Pending> = Vec::new();
     let mut staging: Vec<f32> = Vec::new();
     let mut out: Vec<f32> = Vec::new();
     while queue.pop_batch(config.max_batch, config.max_delay, &mut batch) {
+        let dequeued = Instant::now();
+        for pending in &mut batch {
+            pending.span.dequeued = Some(dequeued);
+        }
         filter_live(&mut batch, &mut live, telemetry);
         if live.is_empty() {
             continue;
@@ -399,22 +493,31 @@ fn replica_loop<E: CrossbarEngine>(
         let mut dims = vec![batch_size];
         dims.extend_from_slice(sample_dims);
         let x = Tensor::from_vec(std::mem::take(&mut staging), &dims);
-        let started = Instant::now();
+        let batch_formed = Instant::now();
+        for pending in &mut live {
+            pending.span.batch_formed = Some(batch_formed);
+        }
         let forward = catch_unwind(AssertUnwindSafe(|| {
             session.forward_batch_into(&x, &mut out);
         }));
+        let executed = Instant::now();
+        for pending in &mut live {
+            pending.span.executed = Some(executed);
+        }
         staging = x.into_vec();
         match forward {
             Ok(()) => {
+                deltas.publish(session.layer_wall_ns(), session.layer_mvms(), telemetry);
                 let per_sample = out.len() / batch_size;
-                let finished = Instant::now();
-                for (i, pending) in live.drain(..).enumerate() {
-                    let latency = finished.duration_since(pending.submitted);
-                    telemetry.record_completed(latency);
+                for (i, mut pending) in live.drain(..).enumerate() {
+                    pending.span.responded = Some(Instant::now());
+                    let stages = pending.span.stages();
+                    telemetry.record_completed_span(&stages);
                     pending.slot.fill(Ok(Response {
                         output: out[i * per_sample..(i + 1) * per_sample].to_vec(),
-                        latency,
-                        queue_wait: started.duration_since(pending.submitted),
+                        latency: stages.total(),
+                        queue_wait: stages.queue_wait,
+                        stages,
                         batch_size,
                     }));
                 }
@@ -422,13 +525,17 @@ fn replica_loop<E: CrossbarEngine>(
             Err(_) => {
                 // The engine panicked: fail this batch but keep the
                 // replica alive. The session's buffers may be mid-update,
-                // so rebuild it before the next batch.
+                // so rebuild it before the next batch. Each request's
+                // partial span still reaches the event ring, so the
+                // failure is visible with its stage breakdown.
                 for pending in live.drain(..) {
                     telemetry.failed.fetch_add(1, Ordering::Relaxed);
+                    telemetry.record_terminal_span(TerminalKind::Failed, &pending.span, executed);
                     pending.slot.fill(Err(ServeError::EngineFailed));
                 }
                 out.clear();
                 session = executor.session();
+                deltas.reset();
             }
         }
     }
@@ -448,9 +555,11 @@ pub(crate) fn filter_live(
     for pending in batch.drain(..) {
         if pending.is_cancelled() {
             telemetry.cancelled.fetch_add(1, Ordering::Relaxed);
+            telemetry.record_terminal_span(TerminalKind::Cancelled, &pending.span, now);
             pending.slot.fill(Err(ServeError::Cancelled));
         } else if pending.deadline.is_some_and(|d| now >= d) {
             telemetry.expired.fetch_add(1, Ordering::Relaxed);
+            telemetry.record_terminal_span(TerminalKind::Expired, &pending.span, now);
             pending.slot.fill(Err(ServeError::DeadlineExceeded));
         } else {
             live.push(pending);

@@ -1,19 +1,40 @@
-//! Lock-free serving telemetry: outcome counters and a fixed-bucket
-//! latency histogram with percentile extraction.
+//! Lock-free serving telemetry: outcome counters, per-stage latency
+//! histograms with percentile extraction, the terminal-event ring, and
+//! per-layer execution-time attribution.
 //!
 //! Replica workers and submitters record into plain atomics — no lock is
 //! ever taken on the request path, so telemetry can't become a point of
-//! contention or a deadlock participant. The histogram uses fixed
-//! log-spaced buckets (geometric growth of √2 per bucket starting at 1 µs,
-//! so every estimate is within ±19% of the true value across six decades),
-//! and p50/p95/p99 are extracted from a consistent-enough snapshot by
+//! contention or a deadlock participant. Histograms use fixed log-spaced
+//! buckets (geometric growth of √2 per bucket starting at 1 µs, so every
+//! estimate is within ±19% of the true value across six decades), and
+//! p50/p95/p99 are extracted from a consistent-enough snapshot by
 //! geometric interpolation inside the hit bucket.
+//!
+//! Beyond the end-to-end latency histogram, each completed request's
+//! [`StageDurations`] feed four per-stage histograms (queue-wait,
+//! batch-form, execute, respond — see [`crate::trace`]), terminal events
+//! land in a bounded [`EventRing`], and replicas attribute wall time and
+//! MVM counts to individual weight layers between batches. All of it
+//! aggregates into [`TelemetrySnapshot`], whose JSON rendering (schema
+//! version 2) is the single schema shared by the `forms-net` telemetry
+//! wire frame and the bench report writers; version-1 documents (without
+//! the tracing extensions) still parse, so old snapshots and old servers
+//! interoperate with new clients.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::JsonValue;
+use crate::trace::{
+    EventRecord, EventRing, SpanRecord, StageDurations, TerminalKind, TraceConfig, STAGE_COUNT,
+    STAGE_NAMES,
+};
+
+/// Version tag written into every telemetry JSON document. Version 2
+/// added the tracing extensions (`stages`, `events`, `slowest`,
+/// `layers`); they parse as optional so version-1 documents remain valid.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Number of histogram buckets.
 pub const HISTOGRAM_BUCKETS: usize = 64;
@@ -105,6 +126,16 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// A histogram with no observations.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0u64; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
     /// Mean latency in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {
@@ -189,15 +220,32 @@ pub struct Telemetry {
     /// Fault-campaign applications delivered to replicas.
     pub faults_injected: AtomicU64,
     latency: AtomicHistogram,
+    /// Per-stage latency histograms of completed requests, in
+    /// [`STAGE_NAMES`] order.
+    stages: [AtomicHistogram; STAGE_COUNT],
+    /// Recent terminal events and slowest-N completed spans.
+    events: EventRing,
+    /// Per-weight-layer execution-time / MVM attribution cells.
+    per_layer: Vec<LayerCell>,
     /// Summary of the precision plan the served executor was mapped under
     /// (e.g. `"uniform w8/a16"`). Set once at service construction, before
     /// any worker thread observes the telemetry, and immutable thereafter.
     plan: String,
 }
 
+/// One weight layer's lock-free attribution counters.
+#[derive(Debug, Default)]
+struct LayerCell {
+    /// Wall-clock nanoseconds replicas spent inside this layer's lowering.
+    wall_ns: AtomicU64,
+    /// Matrix-vector activations executed on this layer.
+    mvms: AtomicU64,
+}
+
 impl Telemetry {
-    /// Telemetry tagged with the served executor's precision-plan summary.
-    pub(crate) fn tagged(plan: String) -> Self {
+    /// Telemetry for a service over `layer_count` weight layers, tagged
+    /// with the executor's precision-plan summary and sized by `trace`.
+    pub(crate) fn new(plan: String, layer_count: usize, trace: &TraceConfig) -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -210,8 +258,18 @@ impl Telemetry {
             quarantines: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             latency: AtomicHistogram::new(),
+            stages: std::array::from_fn(|_| AtomicHistogram::new()),
+            events: EventRing::new(trace),
+            per_layer: (0..layer_count).map(|_| LayerCell::default()).collect(),
             plan,
         }
+    }
+
+    /// Telemetry tagged with the served executor's precision-plan summary
+    /// (no layer attribution, default trace sizing).
+    #[cfg(test)]
+    pub(crate) fn tagged(plan: String) -> Self {
+        Self::new(plan, 0, &TraceConfig::default())
     }
 
     /// Summary of the served executor's precision plan (empty if untagged).
@@ -225,8 +283,57 @@ impl Telemetry {
         self.latency.record(latency);
     }
 
-    /// Takes an immutable snapshot of every counter and the histogram.
+    /// Records one successful completion from its full stage breakdown:
+    /// the end-to-end latency is the stages' exact sum, each stage lands
+    /// in its own histogram, and the span competes for the slowest-N list.
+    pub(crate) fn record_completed_span(&self, stages: &StageDurations) {
+        let total = stages.total();
+        self.record_completed(total);
+        for (h, d) in self.stages.iter().zip([
+            stages.queue_wait,
+            stages.batch_form,
+            stages.execute,
+            stages.respond,
+        ]) {
+            h.record(d);
+        }
+        let total_ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
+        self.events.record_completed(stages.as_ns(), total_ns);
+    }
+
+    /// Flushes a request that ended without completing (shed, expired,
+    /// cancelled, failed, degraded) into the terminal-event ring with its
+    /// partial span. Does *not* touch the outcome counters — callers keep
+    /// incrementing those as before.
+    pub(crate) fn record_terminal_span(&self, kind: TerminalKind, span: &SpanRecord, now: Instant) {
+        self.events
+            .record_terminal(kind, span.partial_stage_ns(now), span.total_ns(now));
+    }
+
+    /// Marks a replica quarantine in the event ring (span-less: this is a
+    /// replica lifecycle event, not a request outcome).
+    pub(crate) fn record_quarantine_event(&self) {
+        self.events
+            .record_terminal(TerminalKind::Quarantined, [0; STAGE_COUNT], 0);
+    }
+
+    /// Adds per-layer wall-time and MVM deltas measured by a replica's
+    /// session since its last flush. Slices shorter than the layer count
+    /// (or an untagged zero-layer telemetry) add nothing for the missing
+    /// tail.
+    pub(crate) fn add_layer_attribution(&self, wall_ns: &[u64], mvms: &[u64]) {
+        for (cell, &w) in self.per_layer.iter().zip(wall_ns) {
+            cell.wall_ns.fetch_add(w, Ordering::Relaxed);
+        }
+        for (cell, &m) in self.per_layer.iter().zip(mvms) {
+            cell.mvms.fetch_add(m, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes an immutable snapshot of every counter, histogram, the event
+    /// ring and the per-layer attribution.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let (events, slowest) = self.events.snapshot();
         TelemetrySnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -239,6 +346,22 @@ impl Telemetry {
             quarantines: self.quarantines.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            stages: StageSnapshots {
+                queue_wait: self.stages[0].snapshot(),
+                batch_form: self.stages[1].snapshot(),
+                execute: self.stages[2].snapshot(),
+                respond: self.stages[3].snapshot(),
+            },
+            events,
+            slowest,
+            layers: self
+                .per_layer
+                .iter()
+                .map(|cell| LayerAttribution {
+                    wall_ns: cell.wall_ns.load(Ordering::Relaxed),
+                    mvms: cell.mvms.load(Ordering::Relaxed),
+                })
+                .collect(),
             plan: self.plan.clone(),
         }
     }
@@ -269,9 +392,95 @@ pub struct TelemetrySnapshot {
     pub faults_injected: u64,
     /// Latency histogram of completed requests.
     pub latency: HistogramSnapshot,
+    /// Per-stage latency histograms of completed requests (empty
+    /// histograms when parsed from a version-1 document).
+    pub stages: StageSnapshots,
+    /// Recent terminal events, oldest first (empty on version-1 parses).
+    pub events: Vec<EventRecord>,
+    /// Slowest completed spans, slowest first (empty on version-1 parses).
+    pub slowest: Vec<EventRecord>,
+    /// Per-weight-layer execution attribution, in visit order (empty on
+    /// version-1 parses or untagged telemetry).
+    pub layers: Vec<LayerAttribution>,
     /// Summary of the precision plan the served executor was mapped under
     /// (empty if the service predates plan tagging).
     pub plan: String,
+}
+
+/// The four per-stage latency histograms of a snapshot, in pipeline order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshots {
+    /// Admission → dequeue.
+    pub queue_wait: HistogramSnapshot,
+    /// Dequeue → batch formed.
+    pub batch_form: HistogramSnapshot,
+    /// Batch formed → forward returned.
+    pub execute: HistogramSnapshot,
+    /// Forward returned → slot filled.
+    pub respond: HistogramSnapshot,
+}
+
+impl StageSnapshots {
+    /// All-empty stage histograms (the version-1 parse default).
+    pub fn empty() -> Self {
+        Self {
+            queue_wait: HistogramSnapshot::empty(),
+            batch_form: HistogramSnapshot::empty(),
+            execute: HistogramSnapshot::empty(),
+            respond: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// The stage histograms in pipeline order (matching [`STAGE_NAMES`]).
+    pub fn in_order(&self) -> [&HistogramSnapshot; STAGE_COUNT] {
+        [
+            &self.queue_wait,
+            &self.batch_form,
+            &self.execute,
+            &self.respond,
+        ]
+    }
+
+    /// Renders the stages as one JSON object keyed by [`STAGE_NAMES`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(
+            STAGE_NAMES
+                .iter()
+                .zip(self.in_order())
+                .map(|(&name, h)| (name, h.to_json()))
+                .collect(),
+        )
+    }
+
+    /// Parses stages rendered by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed stage.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let stage = |name: &str| -> Result<HistogramSnapshot, String> {
+            HistogramSnapshot::from_json(
+                doc.get(name)
+                    .ok_or_else(|| format!("missing stage `{name}`"))?,
+            )
+            .map_err(|e| format!("stage `{name}`: {e}"))
+        };
+        Ok(Self {
+            queue_wait: stage("queue_wait")?,
+            batch_form: stage("batch_form")?,
+            execute: stage("execute")?,
+            respond: stage("respond")?,
+        })
+    }
+}
+
+/// One weight layer's share of the service's execution cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerAttribution {
+    /// Wall-clock nanoseconds replicas spent inside this layer's lowering.
+    pub wall_ns: u64,
+    /// Matrix-vector activations executed on this layer.
+    pub mvms: u64,
 }
 
 /// Reads a non-negative integer counter (stored as a JSON number) from an
@@ -360,8 +569,18 @@ impl TelemetrySnapshot {
 
     /// Renders the snapshot as a JSON object — the single schema shared by
     /// the `forms-net` telemetry wire frame and the bench report writers.
+    ///
+    /// The document carries `schema_version` [`TELEMETRY_SCHEMA_VERSION`];
+    /// the version-2 additions (`stages`, `events`, `slowest`, `layers`)
+    /// are *optional* on parse, so version-1 consumers ignore them and
+    /// version-1 documents still round-trip through
+    /// [`from_json`](Self::from_json).
     pub fn to_json(&self) -> JsonValue {
         JsonValue::object(vec![
+            (
+                "schema_version",
+                JsonValue::Number(f64::from(TELEMETRY_SCHEMA_VERSION)),
+            ),
             ("submitted", JsonValue::Number(self.submitted as f64)),
             ("completed", JsonValue::Number(self.completed as f64)),
             ("shed", JsonValue::Number(self.shed as f64)),
@@ -376,6 +595,29 @@ impl TelemetrySnapshot {
                 JsonValue::Number(self.faults_injected as f64),
             ),
             ("latency", self.latency.to_json()),
+            ("stages", self.stages.to_json()),
+            (
+                "events",
+                JsonValue::Array(self.events.iter().map(EventRecord::to_json).collect()),
+            ),
+            (
+                "slowest",
+                JsonValue::Array(self.slowest.iter().map(EventRecord::to_json).collect()),
+            ),
+            (
+                "layers",
+                JsonValue::Array(
+                    self.layers
+                        .iter()
+                        .map(|l| {
+                            JsonValue::object(vec![
+                                ("wall_ns", JsonValue::Number(l.wall_ns as f64)),
+                                ("mvms", JsonValue::Number(l.mvms as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("plan", JsonValue::String(self.plan.clone())),
         ])
     }
@@ -383,10 +625,51 @@ impl TelemetrySnapshot {
     /// Parses a snapshot previously rendered by [`to_json`](Self::to_json)
     /// — the inverse used by consumers of the `forms-net` metrics frame.
     ///
+    /// The version-1 fields (counters, `latency`, `plan`) are required;
+    /// the version-2 tracing extensions (`stages`, `events`, `slowest`,
+    /// `layers`) default to empty when absent, so documents written by
+    /// older servers still parse. Extensions that *are* present must be
+    /// well-formed.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first missing or malformed field.
     pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        // Absent on v1 documents; when present it must be a plausible
+        // version number (newer versions still parse — additions are
+        // optional by design).
+        if let Some(v) = doc.get("schema_version") {
+            let n = v.as_f64().ok_or("`schema_version` must be a number")?;
+            if !n.is_finite() || n < 1.0 || n.fract() != 0.0 {
+                return Err(format!("`schema_version` {n} is not a positive integer"));
+            }
+        }
+        let events_list = |key: &str| -> Result<Vec<EventRecord>, String> {
+            match doc.get(key) {
+                None => Ok(Vec::new()),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| format!("`{key}` must be an array"))?
+                    .iter()
+                    .map(EventRecord::from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("`{key}`: {e}")),
+            }
+        };
+        let layers = match doc.get("layers") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("`layers` must be an array")?
+                .iter()
+                .map(|l| {
+                    Ok(LayerAttribution {
+                        wall_ns: counter(l, "wall_ns").map_err(|e| format!("`layers`: {e}"))?,
+                        mvms: counter(l, "mvms").map_err(|e| format!("`layers`: {e}"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
         Ok(Self {
             submitted: counter(doc, "submitted")?,
             completed: counter(doc, "completed")?,
@@ -401,6 +684,13 @@ impl TelemetrySnapshot {
             latency: HistogramSnapshot::from_json(
                 doc.get("latency").ok_or("missing `latency` object")?,
             )?,
+            stages: match doc.get("stages") {
+                None => StageSnapshots::empty(),
+                Some(v) => StageSnapshots::from_json(v)?,
+            },
+            events: events_list("events")?,
+            slowest: events_list("slowest")?,
+            layers,
             plan: doc
                 .get("plan")
                 .and_then(JsonValue::as_str)
@@ -525,6 +815,48 @@ mod tests {
             "mixed w4-8/a8-16 (5 layers)",
             "µ\"p\\n",
         ];
+        let mut stage_histogram = || {
+            let mut h = HistogramSnapshot::empty();
+            for b in h.buckets.iter_mut() {
+                *b = counter(1 << 18);
+            }
+            h.count = h.buckets.iter().sum();
+            h.sum_ns = counter(1 << 50);
+            h.max_ns = counter(1 << 48);
+            h
+        };
+        let stages = StageSnapshots {
+            queue_wait: stage_histogram(),
+            batch_form: stage_histogram(),
+            execute: stage_histogram(),
+            respond: stage_histogram(),
+        };
+        const KINDS: &[TerminalKind] = &[
+            TerminalKind::Completed,
+            TerminalKind::Shed,
+            TerminalKind::Expired,
+            TerminalKind::Cancelled,
+            TerminalKind::Failed,
+            TerminalKind::Degraded,
+            TerminalKind::Quarantined,
+        ];
+        let mut events = |n: u64| -> Vec<EventRecord> {
+            (0..counter(n))
+                .map(|seq| EventRecord {
+                    seq,
+                    kind: KINDS[counter(KINDS.len() as u64) as usize],
+                    stage_ns: std::array::from_fn(|_| counter(1 << 40)),
+                    total_ns: counter(1 << 42),
+                })
+                .collect()
+        };
+        let (events, slowest) = (events(12), events(5));
+        let layers = (0..counter(6))
+            .map(|_| LayerAttribution {
+                wall_ns: counter(1 << 50),
+                mvms: counter(1 << 36),
+            })
+            .collect();
         TelemetrySnapshot {
             submitted,
             completed: counter(1 << 40),
@@ -537,6 +869,10 @@ mod tests {
             quarantines: counter(1 << 8),
             faults_injected: counter(1 << 16),
             latency,
+            stages,
+            events,
+            slowest,
+            layers,
             plan: PLANS[counter(PLANS.len() as u64) as usize].to_string(),
         }
     }
@@ -566,7 +902,22 @@ mod tests {
         let JsonValue::Object(fields) = &good else {
             panic!("snapshot renders an object")
         };
-        for (key, _) in fields {
+        // The v1 core is required; dropping any of these fields must error.
+        const REQUIRED: &[&str] = &[
+            "submitted",
+            "completed",
+            "shed",
+            "expired",
+            "cancelled",
+            "failed",
+            "degraded",
+            "rebuilds",
+            "quarantines",
+            "faults_injected",
+            "latency",
+            "plan",
+        ];
+        for key in REQUIRED {
             let broken =
                 JsonValue::Object(fields.iter().filter(|(k, _)| k != key).cloned().collect());
             assert!(
@@ -574,13 +925,127 @@ mod tests {
                 "accepted document without `{key}`"
             );
         }
+        // The v2 extensions are optional-with-default (old documents keep
+        // parsing) but strict when present: a malformed value must error
+        // rather than fall back to the default.
+        for key in ["schema_version", "stages", "events", "slowest", "layers"] {
+            let stripped =
+                JsonValue::Object(fields.iter().filter(|(k, _)| k != key).cloned().collect());
+            assert!(
+                TelemetrySnapshot::from_json(&stripped).is_ok(),
+                "rejected document without optional `{key}`"
+            );
+            let mangled = JsonValue::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == key {
+                            (k.clone(), JsonValue::String("bogus".into()))
+                        } else {
+                            (k.clone(), v.clone())
+                        }
+                    })
+                    .collect(),
+            );
+            assert!(
+                TelemetrySnapshot::from_json(&mangled).is_err(),
+                "accepted malformed `{key}`"
+            );
+        }
         // Negative and fractional counters are rejected, not truncated.
         for bad in [-1.0, 0.5, f64::NAN] {
             let mut fields = fields.clone();
-            fields[0].1 = JsonValue::Number(bad);
+            let slot = fields
+                .iter_mut()
+                .find(|(k, _)| k == "submitted")
+                .expect("submitted field");
+            slot.1 = JsonValue::Number(bad);
             assert!(TelemetrySnapshot::from_json(&JsonValue::Object(fields)).is_err());
         }
         assert!(TelemetrySnapshot::from_json(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn v1_documents_parse_with_empty_trace_fields() {
+        // A document from a pre-tracing build carries only the v1 fields.
+        // It must parse, with the trace extensions defaulting to empty.
+        let rendered = Telemetry::tagged("uniform w8/a16".into())
+            .snapshot()
+            .to_json();
+        let JsonValue::Object(fields) = &rendered else {
+            panic!("snapshot renders an object")
+        };
+        const V2_ONLY: &[&str] = &["schema_version", "stages", "events", "slowest", "layers"];
+        let v1 = JsonValue::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| !V2_ONLY.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        );
+        let parsed = TelemetrySnapshot::from_json(&v1).expect("v1 document parses");
+        assert_eq!(parsed.stages, StageSnapshots::empty());
+        assert!(parsed.events.is_empty());
+        assert!(parsed.slowest.is_empty());
+        assert!(parsed.layers.is_empty());
+        assert_eq!(parsed.plan, "uniform w8/a16");
+    }
+
+    #[test]
+    fn span_recording_fills_stages_events_and_layers() {
+        use crate::trace::SpanRecord;
+        use std::time::Instant;
+
+        let t = Telemetry::new("plan".into(), 2, &TraceConfig::default());
+        let stages = StageDurations {
+            queue_wait: Duration::from_micros(5),
+            batch_form: Duration::from_micros(2),
+            execute: Duration::from_micros(40),
+            respond: Duration::from_micros(3),
+        };
+        t.record_completed_span(&stages);
+        t.add_layer_attribution(&[7_000, 11_000], &[3, 4]);
+        t.add_layer_attribution(&[1_000, 1_000], &[1, 1]);
+
+        let mut span = SpanRecord::new(Instant::now());
+        span.dequeued = Some(span.enqueued + Duration::from_micros(9));
+        t.record_terminal_span(
+            TerminalKind::Expired,
+            &span,
+            span.enqueued + Duration::from_micros(10),
+        );
+        t.record_quarantine_event();
+
+        let s = t.snapshot();
+        assert_eq!(s.latency.count, 1);
+        for h in s.stages.in_order() {
+            assert_eq!(h.count, 1);
+        }
+        assert_eq!(s.stages.queue_wait.sum_ns, 5_000);
+        assert_eq!(s.stages.execute.sum_ns, 40_000);
+        // The completed span is the slowest seen so far.
+        assert_eq!(s.slowest.len(), 1);
+        assert_eq!(s.slowest[0].kind, TerminalKind::Completed);
+        assert_eq!(s.slowest[0].total_ns, 50_000);
+        // The expired span and the quarantine land in the event ring, in order.
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].kind, TerminalKind::Expired);
+        assert_eq!(s.events[0].stage_ns[0], 9_000);
+        assert_eq!(s.events[0].stage_ns[2], 0, "no execute stage on expiry");
+        assert_eq!(s.events[1].kind, TerminalKind::Quarantined);
+        assert_eq!(
+            s.layers,
+            vec![
+                LayerAttribution {
+                    wall_ns: 8_000,
+                    mvms: 4
+                },
+                LayerAttribution {
+                    wall_ns: 12_000,
+                    mvms: 5
+                },
+            ]
+        );
     }
 
     #[test]

@@ -34,21 +34,19 @@ fn main() {
     let exec = Executor::<MappedLayer>::map_network(&net, &MappingConfig::paper(8), 16)
         .expect("polarized model maps");
 
-    let config = NetConfig {
-        serve: ServeConfig {
-            replicas: 2,
-            queue_capacity: 32,
-            max_batch: 4,
-            max_delay: Duration::from_micros(500),
-            default_deadline: None,
-        },
-        ..NetConfig::default()
+    let serve_config = ServeConfig {
+        replicas: 2,
+        queue_capacity: 32,
+        max_batch: 4,
+        max_delay: Duration::from_micros(500),
+        default_deadline: None,
     };
+    let net_config = NetConfig::default();
 
     // `serve_net` binds an ephemeral loopback port, runs the client
     // closure, then drains in-flight requests and tears the stack down —
     // no daemon left behind, which is why this example exits cleanly.
-    let ((), telemetry) = serve_net(&exec, &[1, 8, 8], &config, |handle| {
+    let ((), telemetry) = serve_net(&exec, &[1, 8, 8], &serve_config, &net_config, |handle| {
         println!("serving on {}", handle.addr());
         let mut client =
             NetClient::connect(handle.addr(), ClientConfig::default()).expect("connect");
@@ -83,7 +81,8 @@ fn main() {
             .expect("transport stays up");
         println!("1 ns deadline -> {}", reply.outcome.unwrap_err());
 
-        // The telemetry frame round-trips the server's own counters.
+        // The telemetry frame round-trips the server's own counters —
+        // including the per-stage breakdown of the request lifecycle.
         let snapshot = client.telemetry().expect("telemetry");
         println!(
             "telemetry over the wire: {} completed, {} expired, {} shed, p99 {:.2} ms",
@@ -92,6 +91,19 @@ fn main() {
             snapshot.shed,
             snapshot.latency.p99_ns() / 1e6,
         );
+        for (stage, name) in snapshot
+            .stages
+            .in_order()
+            .into_iter()
+            .zip(forms::serve::STAGE_NAMES)
+        {
+            println!(
+                "  {name:>10}: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+                stage.p50_ns() / 1e6,
+                stage.p95_ns() / 1e6,
+                stage.p99_ns() / 1e6,
+            );
+        }
     })
     .expect("loopback listener binds");
 
